@@ -1,0 +1,144 @@
+// Command dsspbench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	dsspbench -exp table2                 # invalidation scenarios (Table 2)
+//	dsspbench -exp table4                 # toystore IPM characterization (Table 4)
+//	dsspbench -exp table7                 # three-app IPM characterization (Table 7)
+//	dsspbench -exp figure3                # bookstore security-scalability tradeoff
+//	dsspbench -exp figure4 -app bboard    # strategy-class containment check
+//	dsspbench -exp figure6 -pair U1/Q2    # one pair's invalidation probability matrix
+//	dsspbench -exp figure7                # exposure reduction per template
+//	dsspbench -exp figure8                # scalability per invalidation strategy
+//	dsspbench -exp security               # §5.4 security-enhancement summary
+//	dsspbench -exp all                    # everything (simulations included)
+//
+// Simulation-based experiments (figure3, figure8) accept -full for the
+// paper's 10-minute runs; the default quick mode uses 150-second runs that
+// preserve the shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dssp/internal/apps"
+	"dssp/internal/experiments"
+	"dssp/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|security|ablation|capacity|nodes|all")
+	app := flag.String("app", "bboard", "application for figure4: auction|bboard|bookstore")
+	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
+	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
+	maxUsers := flag.Int("maxusers", 4000, "cap for the scalability search")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.DefaultRunOptions()
+	opts.Full = *full
+	opts.MaxUsers = *maxUsers
+	opts.Seed = *seed
+
+	if err := run(*exp, *app, *pair, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "dsspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, app, pair string, opts experiments.RunOptions) error {
+	switch exp {
+	case "table2":
+		r, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "table4":
+		fmt.Println(experiments.Table4().Format())
+	case "table7":
+		fmt.Println(experiments.Table7().Format())
+	case "figure3":
+		r, err := experiments.Figure3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "figure4":
+		b, err := benchmark(app)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.Figure4(b, 2000, opts.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "figure6":
+		parts := strings.SplitN(pair, "/", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -pair %q (want e.g. U1/Q2)", pair)
+		}
+		r, err := experiments.Figure6(parts[0], parts[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "figure7":
+		fmt.Println(experiments.Figure7().Format())
+	case "figure8":
+		r, err := experiments.Figure8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "security":
+		fmt.Println(experiments.Security().Format())
+	case "ablation":
+		fmt.Println(experiments.AblationConstraints().Format())
+		r, err := experiments.AblationScalability(app, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "capacity":
+		r, err := experiments.CapacitySweep(app, 150, []int{50, 100, 200, 400, 800, 0}, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "nodes":
+		r, err := experiments.NodeSweep(app, 200, []int{1, 2, 4, 8}, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "all":
+		for _, e := range []string{"table2", "table4", "table7", "figure4", "figure6", "figure7", "security", "figure3", "figure8", "ablation", "capacity", "nodes"} {
+			if err := run(e, app, pair, opts); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func benchmark(name string) (workload.Benchmark, error) {
+	switch name {
+	case "auction":
+		return apps.NewAuction(), nil
+	case "bboard":
+		return apps.NewBBoard(), nil
+	case "bookstore":
+		return apps.NewBookstore(), nil
+	default:
+		return nil, fmt.Errorf("unknown application %q", name)
+	}
+}

@@ -1,0 +1,143 @@
+// Command dsspclient is the trusted application side of the networked
+// deployment: it seals a query or update with the application's key,
+// sends it to a DSSP node, and prints the decrypted answer.
+//
+// Usage (with dssphome and dsspnode running):
+//
+//	dsspclient -app toystore -key secret -query Q2 -params 5
+//	dsspclient -app toystore -key secret -update U1 -params 5
+//	dsspclient -app toystore -key secret -query Q1 -params bear -exposure Q1=stmt
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dssp/internal/apps"
+	"dssp/internal/encrypt"
+	"dssp/internal/httpapi"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+func main() {
+	appName := flag.String("app", "toystore", "application: toystore|auction|bboard|bookstore")
+	node := flag.String("node", "http://localhost:8400", "DSSP node base URL")
+	keyPhrase := flag.String("key", "", "key phrase shared with the home server (required)")
+	queryID := flag.String("query", "", "query template ID to execute")
+	updateID := flag.String("update", "", "update template ID to execute")
+	paramsArg := flag.String("params", "", "comma-separated parameters (integers or strings)")
+	exposures := flag.String("exposure", "", "comma-separated overrides, e.g. Q1=stmt,U1=template")
+	flag.Parse()
+
+	if *keyPhrase == "" || (*queryID == "") == (*updateID == "") {
+		fmt.Fprintln(os.Stderr, "dsspclient: -key and exactly one of -query/-update are required")
+		os.Exit(2)
+	}
+	app, err := resolveApp(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exps, err := parseExposures(*exposures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	master := sha256.Sum256([]byte(*keyPhrase))
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), exps)
+	client := httpapi.NewClient(codec, *node, nil)
+	params := parseParams(*paramsArg)
+
+	if *queryID != "" {
+		t := app.Query(*queryID)
+		if t == nil {
+			log.Fatalf("dsspclient: unknown query template %q", *queryID)
+		}
+		r, err := client.Query(t, params...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  (cache hit: %v)\n", strings.Join(r.Result.Columns, "\t"), r.Outcome.Hit)
+		for _, row := range r.Result.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		return
+	}
+	t := app.Update(*updateID)
+	if t == nil {
+		log.Fatalf("dsspclient: unknown update template %q", *updateID)
+	}
+	affected, invalidated, err := client.Update(t, params...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rows affected: %d, cache entries invalidated: %d\n", affected, invalidated)
+}
+
+func resolveApp(name string) (*template.App, error) {
+	switch name {
+	case "toystore":
+		return apps.Toystore(), nil
+	case "auction":
+		return apps.NewAuction().App(), nil
+	case "bboard":
+		return apps.NewBBoard().App(), nil
+	case "bookstore":
+		return apps.NewBookstore().App(), nil
+	default:
+		return nil, fmt.Errorf("dsspclient: unknown application %q", name)
+	}
+}
+
+// parseParams turns "5,bear,7" into typed parameters: integers where the
+// token parses as one, strings otherwise.
+func parseParams(s string) []interface{} {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]interface{}, len(parts))
+	for i, p := range parts {
+		if n, err := strconv.ParseInt(p, 10, 64); err == nil {
+			out[i] = n
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// parseExposures parses "Q1=stmt,U1=template" overrides.
+func parseExposures(s string) (map[string]template.Exposure, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]template.Exposure)
+	for _, kv := range strings.Split(s, ",") {
+		id, level, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("dsspclient: bad exposure %q", kv)
+		}
+		switch level {
+		case "blind":
+			out[id] = template.ExpBlind
+		case "template":
+			out[id] = template.ExpTemplate
+		case "stmt":
+			out[id] = template.ExpStmt
+		case "view":
+			out[id] = template.ExpView
+		default:
+			return nil, fmt.Errorf("dsspclient: bad exposure level %q", level)
+		}
+	}
+	return out, nil
+}

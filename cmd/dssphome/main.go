@@ -1,0 +1,97 @@
+// Command dssphome runs an application's home server: the master database
+// plus the trusted HTTP endpoint the DSSP forwards sealed statements to
+// (Figure 1). The demo key is derived from -key; in production the key
+// never leaves the home organization.
+//
+// Usage:
+//
+//	dssphome -app toystore -addr :8401 -key secret
+//	dssphome -app bookstore -addr :8401 -key secret -seed 1
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"dssp/internal/apps"
+	"dssp/internal/encrypt"
+	"dssp/internal/homeserver"
+	"dssp/internal/httpapi"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+	"dssp/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "toystore", "application: toystore|auction|bboard|bookstore")
+	addr := flag.String("addr", ":8401", "listen address")
+	keyPhrase := flag.String("key", "", "key phrase shared with clients (required)")
+	seed := flag.Int64("seed", 1, "benchmark data seed")
+	flag.Parse()
+
+	if *keyPhrase == "" {
+		fmt.Fprintln(os.Stderr, "dssphome: -key is required")
+		os.Exit(2)
+	}
+
+	app, db, err := buildApp(*appName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	master := sha256.Sum256([]byte(*keyPhrase))
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), nil)
+	home := homeserver.New(db, app, codec)
+
+	log.Printf("home server for %q on %s (%d query templates, %d update templates)",
+		app.Name, *addr, len(app.Queries), len(app.Updates))
+	log.Fatal(http.ListenAndServe(*addr, httpapi.HomeHandler(home)))
+}
+
+// buildApp resolves the application and populates its master database.
+func buildApp(name string, seed int64) (*template.App, *storage.Database, error) {
+	if name == "toystore" {
+		app := apps.Toystore()
+		db := storage.NewDatabase(app.Schema)
+		seedToystore(db)
+		return app, db, nil
+	}
+	var b workload.Benchmark
+	switch name {
+	case "auction":
+		b = apps.NewAuction()
+	case "bboard":
+		b = apps.NewBBoard()
+	case "bookstore":
+		b = apps.NewBookstore()
+	default:
+		return nil, nil, fmt.Errorf("dssphome: unknown application %q", name)
+	}
+	db := storage.NewDatabase(b.App().Schema)
+	if err := b.Populate(db, rand.New(rand.NewSource(seed))); err != nil {
+		return nil, nil, err
+	}
+	return b.App(), db, nil
+}
+
+func seedToystore(db *storage.Database) {
+	iv, sv := sqlparse.IntVal, sqlparse.StringVal
+	toys := []struct {
+		id   int64
+		name string
+		qty  int64
+	}{{1, "bear", 10}, {2, "truck", 3}, {3, "bear", 7}, {5, "kite", 25}}
+	for _, t := range toys {
+		_ = db.Insert("toys", storage.Row{iv(t.id), sv(t.name), iv(t.qty)})
+	}
+	for i := int64(1); i <= 3; i++ {
+		_ = db.Insert("customers", storage.Row{iv(i), sv(fmt.Sprintf("cust%d", i))})
+		_ = db.Insert("credit_card", storage.Row{iv(i), sv("4111"), sv("15213")})
+	}
+}

@@ -1,0 +1,62 @@
+// Command dsspnode runs an untrusted DSSP caching node for one
+// application: it serves sealed queries from its cache, forwards misses
+// and updates to the home server, and invalidates on completed updates.
+// The node holds no keys — it only ever sees what the application's
+// exposure assignment reveals.
+//
+// Usage:
+//
+//	dsspnode -app toystore -addr :8400 -home http://localhost:8401
+//	dsspnode -app bookstore -addr :8400 -home http://home:8401 -capacity 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"dssp/internal/apps"
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/dssp"
+	"dssp/internal/httpapi"
+	"dssp/internal/template"
+)
+
+func main() {
+	appName := flag.String("app", "toystore", "application: toystore|auction|bboard|bookstore")
+	addr := flag.String("addr", ":8400", "listen address")
+	home := flag.String("home", "http://localhost:8401", "home server base URL")
+	capacity := flag.Int("capacity", 0, "cache capacity in entries (0 = unbounded)")
+	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (§4.5)")
+	flag.Parse()
+
+	app, err := resolveApp(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
+	node := dssp.NewNode(app, analysis, cache.Options{Capacity: *capacity})
+	srv := httpapi.NewNodeServer(node, *home, nil)
+
+	log.Printf("DSSP node for %q on %s (home: %s, capacity: %d)", app.Name, *addr, *home, *capacity)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func resolveApp(name string) (*template.App, error) {
+	switch name {
+	case "toystore":
+		return apps.Toystore(), nil
+	case "auction":
+		return apps.NewAuction().App(), nil
+	case "bboard":
+		return apps.NewBBoard().App(), nil
+	case "bookstore":
+		return apps.NewBookstore().App(), nil
+	default:
+		return nil, fmt.Errorf("dsspnode: unknown application %q", name)
+	}
+}

@@ -1,0 +1,244 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssp/internal/engine"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/workload"
+)
+
+func benchmarks() []workload.Benchmark {
+	return []workload.Benchmark{NewBookstore(), NewAuction(), NewBBoard()}
+}
+
+func TestToystoreTemplatesMatchPaper(t *testing.T) {
+	simple := SimpleToystore()
+	if len(simple.Queries) != 3 || len(simple.Updates) != 1 {
+		t.Errorf("simple-toystore: %d queries, %d updates", len(simple.Queries), len(simple.Updates))
+	}
+	toy := Toystore()
+	if len(toy.Queries) != 3 || len(toy.Updates) != 2 {
+		t.Errorf("toystore: %d queries, %d updates", len(toy.Queries), len(toy.Updates))
+	}
+	if len(toy.Schema.ForeignKeys) != 1 {
+		t.Error("toystore must declare the credit_card.cid foreign key")
+	}
+	// Fresh instances must not share mutable state.
+	a, b := Toystore(), Toystore()
+	a.Queries = a.Queries[:1]
+	if len(b.Queries) != 3 {
+		t.Error("Toystore instances share template slices")
+	}
+}
+
+func TestBenchmarkTemplateCounts(t *testing.T) {
+	want := map[string][2]int{ // queries, updates
+		"bookstore": {28, 13},
+		"auction":   {18, 9},
+		"bboard":    {15, 8},
+	}
+	for _, b := range benchmarks() {
+		app := b.App()
+		w := want[b.Name()]
+		if len(app.Queries) != w[0] || len(app.Updates) != w[1] {
+			t.Errorf("%s: %d queries, %d updates, want %v", b.Name(), len(app.Queries), len(app.Updates), w)
+		}
+		// Unique IDs.
+		seen := map[string]bool{}
+		for _, tm := range append(append([]*template.Template{}, app.Queries...), app.Updates...) {
+			if seen[tm.ID] {
+				t.Errorf("%s: duplicate template ID %s", b.Name(), tm.ID)
+			}
+			seen[tm.ID] = true
+		}
+	}
+}
+
+func TestAggregateFractionMatchesPaper(t *testing.T) {
+	// §5.1: between 7% and 11% of the query templates of each application
+	// have aggregation or group-by constructs. Our rebuilds stay in the
+	// same ballpark (at most 20%).
+	for _, b := range benchmarks() {
+		app := b.App()
+		agg := 0
+		for _, q := range app.Queries {
+			if q.HasAggregate || q.HasGroupBy {
+				agg++
+			}
+		}
+		frac := float64(agg) / float64(len(app.Queries))
+		if frac == 0 || frac > 0.20 {
+			t.Errorf("%s: aggregate fraction %.2f (%d/%d) out of range", b.Name(), frac, agg, len(app.Queries))
+		}
+	}
+}
+
+func TestPopulateSatisfiesConstraints(t *testing.T) {
+	for _, b := range benchmarks() {
+		db := storage.NewDatabase(b.App().Schema)
+		if err := b.Populate(db, rand.New(rand.NewSource(1))); err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		for _, tab := range b.App().Schema.Tables() {
+			if db.Table(tab.Name).Len() == 0 && tab.Name != "shopping_cart" && tab.Name != "shopping_cart_line" && tab.Name != "buy_now" {
+				t.Errorf("%s: table %s empty after populate", b.Name(), tab.Name)
+			}
+		}
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	for _, mk := range []func() workload.Benchmark{
+		func() workload.Benchmark { return NewBookstore() },
+		func() workload.Benchmark { return NewAuction() },
+		func() workload.Benchmark { return NewBBoard() },
+	} {
+		b1, b2 := mk(), mk()
+		db1 := storage.NewDatabase(b1.App().Schema)
+		db2 := storage.NewDatabase(b2.App().Schema)
+		if err := b1.Populate(db1, rand.New(rand.NewSource(5))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b2.Populate(db2, rand.New(rand.NewSource(5))); err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range b1.App().Schema.Tables() {
+			if db1.Table(tab.Name).Len() != db2.Table(tab.Name).Len() {
+				t.Errorf("%s: nondeterministic populate for %s", b1.Name(), tab.Name)
+			}
+		}
+	}
+}
+
+// TestSessionsExecutable drives each benchmark's session generator for
+// many pages and executes every operation directly against the engine:
+// all parameters must bind, all statements must run, and constraint
+// violations must not occur.
+func TestSessionsExecutable(t *testing.T) {
+	for _, b := range benchmarks() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			db := storage.NewDatabase(b.App().Schema)
+			if err := b.Populate(db, rng); err != nil {
+				t.Fatal(err)
+			}
+			sessions := make([]workload.Session, 10)
+			for i := range sessions {
+				sessions[i] = b.NewSession(rng)
+			}
+			queries, updates := 0, 0
+			for page := 0; page < 500; page++ {
+				s := sessions[rng.Intn(len(sessions))]
+				for _, op := range s.NextPage() {
+					if got := len(op.Params); got != op.Template.NumParams {
+						t.Fatalf("%s: %d params for %s (want %d)", op.Template.ID, got, op.Template.SQL, op.Template.NumParams)
+					}
+					if op.Template.Kind == template.KQuery {
+						if _, err := engine.ExecQuery(db, op.Template.Stmt.(*sqlparse.SelectStmt), op.Params); err != nil {
+							t.Fatalf("query %s%v: %v", op.Template.ID, op.Params, err)
+						}
+						queries++
+					} else {
+						if _, err := engine.ExecUpdate(db, op.Template.Stmt, op.Params); err != nil {
+							t.Fatalf("update %s%v: %v", op.Template.ID, op.Params, err)
+						}
+						updates++
+					}
+				}
+			}
+			if queries == 0 || updates == 0 {
+				t.Errorf("workload exercised %d queries, %d updates", queries, updates)
+			}
+			// Web workloads are read-dominated (§1: "updates are
+			// infrequent").
+			if float64(updates)/float64(queries+updates) > 0.5 {
+				t.Errorf("update fraction too high: %d/%d", updates, queries+updates)
+			}
+		})
+	}
+}
+
+// TestEveryTemplateReachable: each template must be producible by the
+// session generator (otherwise it pads the analysis without being part of
+// the workload).
+func TestEveryTemplateReachable(t *testing.T) {
+	for _, b := range benchmarks() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			db := storage.NewDatabase(b.App().Schema)
+			if err := b.Populate(db, rng); err != nil {
+				t.Fatal(err)
+			}
+			seen := map[string]bool{}
+			sessions := make([]workload.Session, 20)
+			for i := range sessions {
+				sessions[i] = b.NewSession(rng)
+			}
+			for page := 0; page < 4000; page++ {
+				for _, op := range sessions[rng.Intn(len(sessions))].NextPage() {
+					seen[op.Template.ID] = true
+				}
+			}
+			app := b.App()
+			for _, q := range app.Queries {
+				if !seen[q.ID] {
+					t.Errorf("query template %s never generated", q.ID)
+				}
+			}
+			for _, u := range app.Updates {
+				// bboard U7 (archival deletion) is administrative: part of
+				// the template set for the analysis, but not of the
+				// steady-state user workload.
+				if b.Name() == "bboard" && u.ID == "U7" {
+					continue
+				}
+				if !seen[u.ID] {
+					t.Errorf("update template %s never generated", u.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestCompulsoryReferencesRealTemplates(t *testing.T) {
+	for _, b := range benchmarks() {
+		app := b.App()
+		for id, e := range b.Compulsory() {
+			tm := app.Query(id)
+			if tm == nil {
+				tm = app.Update(id)
+			}
+			if tm == nil {
+				t.Errorf("%s: compulsory cap on unknown template %s", b.Name(), id)
+				continue
+			}
+			if e >= template.MaxExposure(tm.Kind) {
+				t.Errorf("%s: compulsory cap on %s does not reduce exposure", b.Name(), id)
+			}
+		}
+	}
+}
+
+func TestBookstoreZipfSkew(t *testing.T) {
+	b := NewBookstore()
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[int64]int)
+	s := b.NewSession(rng).(*bookstoreSession)
+	for i := 0; i < 20000; i++ {
+		counts[s.item()]++
+	}
+	if counts[1] <= counts[500] {
+		t.Errorf("popularity not skewed: item1=%d item500=%d", counts[1], counts[500])
+	}
+	// The most popular item should take a few percent of all draws under
+	// the Brynjolfsson exponent (0.871).
+	if counts[1] < 20000/100 {
+		t.Errorf("head too light: %d", counts[1])
+	}
+}

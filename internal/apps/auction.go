@@ -1,0 +1,302 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssp/internal/schema"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/workload"
+)
+
+// Auction is the RUBiS-like auction benchmark of §5.1 (modeled after
+// ebay.com): users browse items by category and region, view bid
+// histories, place bids, buy items outright, and comment on each other.
+type Auction struct {
+	app  *template.App
+	zipf *workload.Zipf
+
+	numUsers, numItems, numCategories, numRegions int
+	numBids, numComments                          int
+
+	nextUser, nextItem, nextBid, nextComment, nextBuyNow int64
+}
+
+// NewAuction builds the benchmark at its default scale.
+func NewAuction() *Auction {
+	a := &Auction{
+		numUsers:      500,
+		numItems:      800,
+		numCategories: 20,
+		numRegions:    10,
+		numBids:       2000,
+		numComments:   500,
+	}
+	a.zipf = workload.NewZipf(a.numItems, 1.0)
+	a.app = auctionApp()
+	return a
+}
+
+// Name implements workload.Benchmark.
+func (a *Auction) Name() string { return "auction" }
+
+// App implements workload.Benchmark.
+func (a *Auction) App() *template.App { return a.app }
+
+// Compulsory implements workload.Benchmark: the auction application holds
+// no credit-card data, but user passwords and balances are
+// highly sensitive, so login and registration templates are capped.
+func (a *Auction) Compulsory() map[string]template.Exposure {
+	return map[string]template.Exposure{
+		"Q1": template.ExpStmt,     // login: password in the result
+		"U3": template.ExpTemplate, // registration: password in params
+	}
+}
+
+func auctionSchema() *schema.Schema {
+	s := schema.New()
+	i, str := schema.TInt, schema.TString
+	col := func(n string, t schema.Type) schema.Column { return schema.Column{Name: n, Type: t} }
+	s.MustAddTable("regions", []schema.Column{col("r_id", i), col("r_name", str)}, "r_id")
+	s.MustAddTable("categories", []schema.Column{col("c_id", i), col("c_name", str)}, "c_id")
+	s.MustAddTable("users", []schema.Column{
+		col("u_id", i), col("u_nickname", str), col("u_password", str), col("u_email", str),
+		col("u_rating", i), col("u_balance", i), col("u_region", i),
+	}, "u_id")
+	s.MustAddTable("items", []schema.Column{
+		col("it_id", i), col("it_name", str), col("it_seller", i), col("it_category", i),
+		col("it_initial_price", i), col("it_max_bid", i), col("it_nb_bids", i),
+		col("it_end_date", i), col("it_buy_now", i),
+	}, "it_id")
+	s.MustAddTable("bids", []schema.Column{
+		col("b_id", i), col("b_user_id", i), col("b_item_id", i), col("b_qty", i),
+		col("b_bid", i), col("b_date", i),
+	}, "b_id")
+	s.MustAddTable("comments", []schema.Column{
+		col("cm_id", i), col("cm_from", i), col("cm_to", i), col("cm_item", i),
+		col("cm_rating", i), col("cm_date", i),
+	}, "cm_id")
+	s.MustAddTable("buy_now", []schema.Column{
+		col("bn_id", i), col("bn_buyer", i), col("bn_item", i), col("bn_qty", i), col("bn_date", i),
+	}, "bn_id")
+
+	s.MustAddForeignKey("users", "u_region", "regions", "r_id")
+	s.MustAddForeignKey("items", "it_seller", "users", "u_id")
+	s.MustAddForeignKey("items", "it_category", "categories", "c_id")
+	s.MustAddForeignKey("bids", "b_user_id", "users", "u_id")
+	s.MustAddForeignKey("bids", "b_item_id", "items", "it_id")
+	s.MustAddForeignKey("comments", "cm_from", "users", "u_id")
+	s.MustAddForeignKey("comments", "cm_to", "users", "u_id")
+	s.MustAddForeignKey("comments", "cm_item", "items", "it_id")
+	s.MustAddForeignKey("buy_now", "bn_buyer", "users", "u_id")
+	s.MustAddForeignKey("buy_now", "bn_item", "items", "it_id")
+	return s
+}
+
+func auctionApp() *template.App {
+	s := auctionSchema()
+	q := func(id, sql string) *template.Template { return template.MustNew(id, s, sql) }
+	return &template.App{
+		Name:   "auction",
+		Schema: s,
+		Queries: []*template.Template{
+			q("Q1", "SELECT u_id, u_password FROM users WHERE u_nickname=?"),
+			q("Q2", "SELECT u_nickname, u_rating, u_balance FROM users WHERE u_id=?"),
+			q("Q3", "SELECT r_id, r_name FROM regions"),
+			q("Q4", "SELECT c_id, c_name FROM categories"),
+			q("Q5", "SELECT it_id, it_name, it_max_bid, it_end_date FROM items WHERE it_category=? ORDER BY it_end_date LIMIT 25"),
+			q("Q6", "SELECT it_id, it_name FROM items, users WHERE it_seller=u_id AND u_region=? AND it_category=? LIMIT 25"),
+			q("Q7", "SELECT it_name, it_initial_price, it_max_bid, it_nb_bids, it_end_date, it_seller FROM items WHERE it_id=?"),
+			// Full bid history for an item: the paper's example of
+			// moderately sensitive data that turns out encryptable.
+			q("Q8", "SELECT b_user_id, b_bid, b_date FROM bids WHERE b_item_id=? ORDER BY b_date DESC"),
+			q("Q9", "SELECT MAX(b_bid) FROM bids WHERE b_item_id=?"),
+			q("Q10", "SELECT COUNT(*) FROM bids WHERE b_item_id=?"),
+			q("Q11", "SELECT it_id, it_name, it_max_bid FROM items WHERE it_seller=?"),
+			q("Q12", "SELECT it_name, b_bid FROM bids, items WHERE b_item_id=it_id AND b_user_id=?"),
+			q("Q13", "SELECT cm_from, cm_rating, cm_date FROM comments WHERE cm_to=? ORDER BY cm_date DESC LIMIT 10"),
+			q("Q14", "SELECT u_rating FROM users WHERE u_id=?"),
+			q("Q15", "SELECT bn_buyer, bn_qty, bn_date FROM buy_now WHERE bn_item=?"),
+			q("Q16", "SELECT u_id, u_nickname FROM users WHERE u_region=? LIMIT 25"),
+			q("Q17", "SELECT COUNT(*) FROM comments WHERE cm_to=?"),
+			q("Q18", "SELECT u_nickname, u_rating FROM users, items WHERE u_id=it_seller AND it_id=?"),
+		},
+		Updates: []*template.Template{
+			template.MustNew("U1", s, "INSERT INTO bids (b_id, b_user_id, b_item_id, b_qty, b_bid, b_date) VALUES (?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U2", s, "UPDATE items SET it_max_bid=?, it_nb_bids=? WHERE it_id=?"),
+			template.MustNew("U3", s, "INSERT INTO users (u_id, u_nickname, u_password, u_email, u_rating, u_balance, u_region) VALUES (?, ?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U4", s, "INSERT INTO items (it_id, it_name, it_seller, it_category, it_initial_price, it_max_bid, it_nb_bids, it_end_date, it_buy_now) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U5", s, "INSERT INTO comments (cm_id, cm_from, cm_to, cm_item, cm_rating, cm_date) VALUES (?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U6", s, "UPDATE users SET u_rating=? WHERE u_id=?"),
+			template.MustNew("U7", s, "INSERT INTO buy_now (bn_id, bn_buyer, bn_item, bn_qty, bn_date) VALUES (?, ?, ?, ?, ?)"),
+			template.MustNew("U8", s, "UPDATE items SET it_buy_now=? WHERE it_id=?"),
+			template.MustNew("U9", s, "UPDATE users SET u_balance=? WHERE u_id=?"),
+		},
+	}
+}
+
+// Populate implements workload.Benchmark.
+func (a *Auction) Populate(db *storage.Database, rng *rand.Rand) error {
+	iv, sv := sqlparse.IntVal, sqlparse.StringVal
+	for r := 1; r <= a.numRegions; r++ {
+		if err := db.Insert("regions", storage.Row{iv(int64(r)), sv(fmt.Sprintf("Region%d", r))}); err != nil {
+			return err
+		}
+	}
+	for c := 1; c <= a.numCategories; c++ {
+		if err := db.Insert("categories", storage.Row{iv(int64(c)), sv(fmt.Sprintf("Category%d", c))}); err != nil {
+			return err
+		}
+	}
+	for u := 1; u <= a.numUsers; u++ {
+		if err := db.Insert("users", storage.Row{
+			iv(int64(u)), sv(fmt.Sprintf("nick%d", u)), sv("secret"), sv(fmt.Sprintf("u%d@example.com", u)),
+			iv(int64(rng.Intn(100))), iv(int64(rng.Intn(100000))), iv(int64(1 + rng.Intn(a.numRegions))),
+		}); err != nil {
+			return err
+		}
+	}
+	for it := 1; it <= a.numItems; it++ {
+		if err := db.Insert("items", storage.Row{
+			iv(int64(it)), sv(fmt.Sprintf("Item %d", it)), iv(int64(1 + rng.Intn(a.numUsers))),
+			iv(int64(1 + rng.Intn(a.numCategories))), iv(int64(100 + rng.Intn(900))),
+			iv(int64(100 + rng.Intn(2000))), iv(int64(rng.Intn(30))),
+			iv(int64(rng.Intn(3650))), iv(int64(rng.Intn(2)) * int64(500+rng.Intn(1500))),
+		}); err != nil {
+			return err
+		}
+	}
+	for b := 1; b <= a.numBids; b++ {
+		if err := db.Insert("bids", storage.Row{
+			iv(int64(b)), iv(int64(1 + rng.Intn(a.numUsers))), iv(int64(1 + rng.Intn(a.numItems))),
+			iv(1), iv(int64(100 + rng.Intn(3000))), iv(int64(rng.Intn(100000))),
+		}); err != nil {
+			return err
+		}
+	}
+	for c := 1; c <= a.numComments; c++ {
+		if err := db.Insert("comments", storage.Row{
+			iv(int64(c)), iv(int64(1 + rng.Intn(a.numUsers))), iv(int64(1 + rng.Intn(a.numUsers))),
+			iv(int64(1 + rng.Intn(a.numItems))), iv(int64(rng.Intn(6))), iv(int64(rng.Intn(100000))),
+		}); err != nil {
+			return err
+		}
+	}
+	for tab, cols := range map[string][]string{
+		"items":    {"it_category", "it_seller"},
+		"bids":     {"b_item_id", "b_user_id"},
+		"comments": {"cm_to"},
+		"users":    {"u_nickname", "u_region"},
+		"buy_now":  {"bn_item"},
+	} {
+		for _, c := range cols {
+			if err := db.Table(tab).CreateIndex(c); err != nil {
+				return err
+			}
+		}
+	}
+	a.nextUser = int64(a.numUsers)
+	a.nextItem = int64(a.numItems)
+	a.nextBid = int64(a.numBids)
+	a.nextComment = int64(a.numComments)
+	a.nextBuyNow = 0
+	return nil
+}
+
+type auctionSession struct {
+	a      *Auction
+	rng    *rand.Rand
+	userID int64
+}
+
+// NewSession implements workload.Benchmark.
+func (a *Auction) NewSession(rng *rand.Rand) workload.Session {
+	return &auctionSession{a: a, rng: rng, userID: int64(1 + rng.Intn(a.numUsers))}
+}
+
+func (s *auctionSession) op(id string, params ...interface{}) workload.Op {
+	t := s.a.app.Query(id)
+	if t == nil {
+		t = s.a.app.Update(id)
+	}
+	vals, err := toValues(params)
+	if err != nil {
+		panic(fmt.Sprintf("auction %s: %v", id, err))
+	}
+	return workload.Op{Template: t, Params: vals}
+}
+
+func (s *auctionSession) item() int64 { return int64(s.a.zipf.Sample(s.rng)) }
+
+// NextPage implements workload.Session with a RUBiS-like bidding mix
+// (~85% reads). Item popularity is Zipf-distributed: auctions nearing
+// their end draw most of the traffic.
+func (s *auctionSession) NextPage() []workload.Op {
+	a, rng := s.a, s.rng
+	item := s.item()
+	cat := 1 + rng.Intn(a.numCategories)
+	switch w := rng.Intn(100); {
+	case w < 12: // Home: regions, categories, a featured category
+		return []workload.Op{s.op("Q3"), s.op("Q4"), s.op("Q5", cat)}
+	case w < 34: // Browse category
+		return []workload.Op{s.op("Q5", cat), s.op("Q4"), s.op("Q7", s.item())}
+	case w < 42: // Browse by region
+		return []workload.Op{s.op("Q6", 1+rng.Intn(a.numRegions), cat), s.op("Q16", 1+rng.Intn(a.numRegions))}
+	case w < 72: // Item detail with bid history
+		return []workload.Op{
+			s.op("Q7", item), s.op("Q8", item), s.op("Q9", item), s.op("Q10", item), s.op("Q18", item),
+		}
+	case w < 80: // User page
+		u := int64(1 + rng.Intn(a.numUsers))
+		return []workload.Op{s.op("Q2", u), s.op("Q13", u), s.op("Q17", u), s.op("Q11", u)}
+	case w < 84: // Login
+		return []workload.Op{s.op("Q1", fmt.Sprintf("nick%d", s.userID)), s.op("Q2", s.userID)}
+	case w < 92: // Place a bid: bids spread across all items (users watch
+		// hot auctions far more often than they bid)
+		item = int64(1 + rng.Intn(a.numItems))
+		a.nextBid++
+		bid := 100 + rng.Intn(5000)
+		return []workload.Op{
+			s.op("Q7", item),
+			s.op("Q9", item),
+			s.op("U1", a.nextBid, s.userID, item, 1, bid, rng.Intn(100000)),
+			s.op("U2", bid, rng.Intn(50), item),
+		}
+	case w < 94: // Buy now (uniform item choice, as with bids)
+		item = int64(1 + rng.Intn(a.numItems))
+		a.nextBuyNow++
+		return []workload.Op{
+			s.op("Q7", item),
+			s.op("U7", a.nextBuyNow, s.userID, item, 1, rng.Intn(100000)),
+			s.op("U8", 0, item),
+			s.op("U9", rng.Intn(100000), s.userID),
+			s.op("Q15", item),
+		}
+	case w < 96: // Comment on a user
+		a.nextComment++
+		to := int64(1 + rng.Intn(a.numUsers))
+		return []workload.Op{
+			s.op("U5", a.nextComment, s.userID, to, item, rng.Intn(6), rng.Intn(100000)),
+			s.op("U6", rng.Intn(100), to),
+			s.op("Q13", to),
+		}
+	case w < 98: // Sell an item
+		a.nextItem++
+		return []workload.Op{
+			s.op("U4", a.nextItem, fmt.Sprintf("Item %d", a.nextItem), s.userID, cat,
+				100+rng.Intn(900), 0, 0, rng.Intn(3650), 0),
+			s.op("Q11", s.userID),
+		}
+	case w < 99: // My bids
+		return []workload.Op{s.op("Q12", s.userID), s.op("Q14", s.userID)}
+	default: // Register
+		a.nextUser++
+		return []workload.Op{
+			s.op("U3", a.nextUser, fmt.Sprintf("nick%d", a.nextUser), "secret",
+				fmt.Sprintf("u%d@example.com", a.nextUser), 0, 0, 1+rng.Intn(a.numRegions)),
+			s.op("Q3"),
+		}
+	}
+}

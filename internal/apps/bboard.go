@@ -1,0 +1,305 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssp/internal/schema"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/workload"
+)
+
+// BBoard is the RUBBoS-like bulletin-board benchmark of §5.1 (inspired by
+// slashdot.org): users read stories and threaded comments, post, and
+// moderate each other's comments. Each HTTP request issues around ten
+// database operations, which is why this application collapses first under
+// imprecise invalidation (Figure 8).
+type BBoard struct {
+	app *template.App
+
+	numUsers, numStories, numCategories int
+	commentsPerStory                    int
+
+	nextUser, nextStory, nextComment, nextModeration int64
+	seedComments                                     int64
+	today                                            int64
+}
+
+// NewBBoard builds the benchmark at its default scale.
+func NewBBoard() *BBoard {
+	b := &BBoard{
+		numUsers:         400,
+		numStories:       300,
+		numCategories:    12,
+		commentsPerStory: 6,
+	}
+	b.app = bboardApp()
+	return b
+}
+
+// Name implements workload.Benchmark.
+func (b *BBoard) Name() string { return "bboard" }
+
+// App implements workload.Benchmark.
+func (b *BBoard) App() *template.App { return b.app }
+
+// Compulsory implements workload.Benchmark: passwords are the only
+// highly sensitive data in a bulletin board.
+func (b *BBoard) Compulsory() map[string]template.Exposure {
+	return map[string]template.Exposure{
+		"Q9": template.ExpStmt,     // login: password in the result
+		"U3": template.ExpTemplate, // registration: password in params
+	}
+}
+
+func bboardSchema() *schema.Schema {
+	s := schema.New()
+	i, str := schema.TInt, schema.TString
+	col := func(n string, t schema.Type) schema.Column { return schema.Column{Name: n, Type: t} }
+	s.MustAddTable("users", []schema.Column{
+		col("u_id", i), col("u_nickname", str), col("u_password", str), col("u_email", str), col("u_rating", i),
+	}, "u_id")
+	s.MustAddTable("stories", []schema.Column{
+		col("s_id", i), col("s_title", str), col("s_body", str), col("s_date", i),
+		col("s_author", i), col("s_category", i), col("s_comments", i),
+	}, "s_id")
+	s.MustAddTable("comments", []schema.Column{
+		col("c_id", i), col("c_story", i), col("c_parent", i), col("c_author", i),
+		col("c_date", i), col("c_subject", str), col("c_rating", i),
+	}, "c_id")
+	s.MustAddTable("moderations", []schema.Column{
+		col("m_id", i), col("m_comment", i), col("m_user", i), col("m_rating", i),
+	}, "m_id")
+
+	s.MustAddForeignKey("stories", "s_author", "users", "u_id")
+	s.MustAddForeignKey("comments", "c_story", "stories", "s_id")
+	s.MustAddForeignKey("comments", "c_author", "users", "u_id")
+	s.MustAddForeignKey("moderations", "m_comment", "comments", "c_id")
+	s.MustAddForeignKey("moderations", "m_user", "users", "u_id")
+	return s
+}
+
+func bboardApp() *template.App {
+	s := bboardSchema()
+	q := func(id, sql string) *template.Template { return template.MustNew(id, s, sql) }
+	return &template.App{
+		Name:   "bboard",
+		Schema: s,
+		Queries: []*template.Template{
+			q("Q1", "SELECT s_id, s_title, s_date, s_comments FROM stories WHERE s_date=? ORDER BY s_id DESC LIMIT 10"),
+			q("Q2", "SELECT s_title, s_body, s_author, s_date, s_comments FROM stories WHERE s_id=?"),
+			q("Q3", "SELECT c_id, c_author, c_subject, c_rating, c_date FROM comments WHERE c_story=?"),
+			q("Q4", "SELECT c_subject, c_rating, c_author FROM comments WHERE c_id=?"),
+			q("Q5", "SELECT u_nickname, u_rating FROM users WHERE u_id=?"),
+			q("Q6", "SELECT s_id, s_title FROM stories WHERE s_category=? ORDER BY s_date DESC LIMIT 25"),
+			q("Q7", "SELECT s_id, s_title FROM stories WHERE s_author=?"),
+			q("Q8", "SELECT COUNT(*) FROM comments WHERE c_story=?"),
+			q("Q9", "SELECT u_id, u_password FROM users WHERE u_nickname=?"),
+			q("Q10", "SELECT u_nickname FROM users, stories WHERE u_id=s_author AND s_id=?"),
+			q("Q11", "SELECT c_id, c_subject, c_date FROM comments WHERE c_author=?"),
+			// Moderator ratings received by a user: the paper's example of
+			// moderately sensitive bboard data that turns out encryptable.
+			q("Q12", "SELECT m_user, m_rating FROM moderations, comments WHERE m_comment=c_id AND c_author=?"),
+			q("Q13", "SELECT COUNT(*) FROM stories WHERE s_category=?"),
+			q("Q14", "SELECT MAX(s_id) FROM stories"),
+			q("Q15", "SELECT c_id, c_subject FROM comments WHERE c_date=?"),
+		},
+		Updates: []*template.Template{
+			template.MustNew("U1", s, "INSERT INTO stories (s_id, s_title, s_body, s_date, s_author, s_category, s_comments) VALUES (?, ?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U2", s, "INSERT INTO comments (c_id, c_story, c_parent, c_author, c_date, c_subject, c_rating) VALUES (?, ?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U3", s, "INSERT INTO users (u_id, u_nickname, u_password, u_email, u_rating) VALUES (?, ?, ?, ?, ?)"),
+			template.MustNew("U4", s, "INSERT INTO moderations (m_id, m_comment, m_user, m_rating) VALUES (?, ?, ?, ?)"),
+			template.MustNew("U5", s, "UPDATE users SET u_rating=? WHERE u_id=?"),
+			template.MustNew("U6", s, "UPDATE comments SET c_rating=? WHERE c_id=?"),
+			template.MustNew("U7", s, "DELETE FROM stories WHERE s_date<?"),
+			// RUBBoS keeps a denormalized comment count on each story,
+			// updated on every post — the reason template inspection
+			// collapses for this application (Figure 8).
+			template.MustNew("U8", s, "UPDATE stories SET s_comments=? WHERE s_id=?"),
+		},
+	}
+}
+
+// Populate implements workload.Benchmark.
+func (b *BBoard) Populate(db *storage.Database, rng *rand.Rand) error {
+	iv, sv := sqlparse.IntVal, sqlparse.StringVal
+	for u := 1; u <= b.numUsers; u++ {
+		if err := db.Insert("users", storage.Row{
+			iv(int64(u)), sv(fmt.Sprintf("nick%d", u)), sv("secret"),
+			sv(fmt.Sprintf("u%d@example.com", u)), iv(int64(rng.Intn(100))),
+		}); err != nil {
+			return err
+		}
+	}
+	b.today = 1000
+	cid := int64(0)
+	for s := 1; s <= b.numStories; s++ {
+		date := b.today - int64(rng.Intn(30))
+		nComments := rng.Intn(b.commentsPerStory * 2)
+		if err := db.Insert("stories", storage.Row{
+			iv(int64(s)), sv(fmt.Sprintf("Story %d", s)), sv("body text"), iv(date),
+			iv(int64(1 + rng.Intn(b.numUsers))), iv(int64(1 + rng.Intn(b.numCategories))), iv(int64(nComments)),
+		}); err != nil {
+			return err
+		}
+		for c := 0; c < nComments; c++ {
+			cid++
+			if err := db.Insert("comments", storage.Row{
+				iv(cid), iv(int64(s)), iv(0), iv(int64(1 + rng.Intn(b.numUsers))),
+				iv(date), sv(fmt.Sprintf("Re: Story %d", s)), iv(int64(rng.Intn(6))),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	mid := int64(0)
+	for m := 0; m < int(cid)/4; m++ {
+		mid++
+		if err := db.Insert("moderations", storage.Row{
+			iv(mid), iv(1 + int64(rng.Int63n(cid))), iv(int64(1 + rng.Intn(b.numUsers))), iv(int64(rng.Intn(6))),
+		}); err != nil {
+			return err
+		}
+	}
+	for tab, cols := range map[string][]string{
+		"stories":     {"s_date", "s_category", "s_author"},
+		"comments":    {"c_story", "c_author", "c_date"},
+		"users":       {"u_nickname"},
+		"moderations": {"m_comment"},
+	} {
+		for _, c := range cols {
+			if err := db.Table(tab).CreateIndex(c); err != nil {
+				return err
+			}
+		}
+	}
+	b.nextUser = int64(b.numUsers)
+	b.nextStory = int64(b.numStories)
+	b.nextComment = cid
+	b.seedComments = cid
+	b.nextModeration = mid
+	return nil
+}
+
+type bboardSession struct {
+	b      *BBoard
+	rng    *rand.Rand
+	userID int64
+}
+
+// story picks a story with Slashdot-like concentration: most traffic goes
+// to the stories of the day. Only seeded stories are referenced — stories
+// posted during the run may still be in flight at the home server, and
+// comment insertions against them would race the foreign-key check.
+func (s *bboardSession) story() int64 {
+	if s.rng.Intn(100) < 70 {
+		return int64(s.b.numStories - s.rng.Intn(10))
+	}
+	return 1 + s.rng.Int63n(int64(s.b.numStories))
+}
+
+// commenter picks a user correlated with a story, so repeat visits to a
+// hot story look up the same commenters.
+func (s *bboardSession) commenter(story int64, i int) int64 {
+	return (story*13+int64(i)*7)%int64(s.b.numUsers) + 1
+}
+
+// NewSession implements workload.Benchmark.
+func (b *BBoard) NewSession(rng *rand.Rand) workload.Session {
+	return &bboardSession{b: b, rng: rng, userID: int64(1 + rng.Intn(b.numUsers))}
+}
+
+func (s *bboardSession) op(id string, params ...interface{}) workload.Op {
+	t := s.b.app.Query(id)
+	if t == nil {
+		t = s.b.app.Update(id)
+	}
+	vals, err := toValues(params)
+	if err != nil {
+		panic(fmt.Sprintf("bboard %s: %v", id, err))
+	}
+	return workload.Op{Template: t, Params: vals}
+}
+
+// NextPage implements workload.Session. Pages issue around ten database
+// operations each, as the paper observes for this benchmark. Every page
+// carries a header lookup of the logged-in user (karma display), which is
+// cheap under statement inspection but dies with every rating update under
+// template inspection.
+func (s *bboardSession) NextPage() []workload.Op {
+	ops := s.pageBody()
+	return append([]workload.Op{s.op("Q5", s.userID)}, ops...)
+}
+
+func (s *bboardSession) pageBody() []workload.Op {
+	b, rng := s.b, s.rng
+	story := s.story()
+	cat := 1 + rng.Intn(b.numCategories)
+	switch w := rng.Intn(100); {
+	case w < 30: // Front page: stories of the day + comment counts
+		ops := []workload.Op{s.op("Q1", b.today)}
+		for i := 0; i < 4; i++ {
+			st := s.story()
+			ops = append(ops, s.op("Q8", st), s.op("Q10", st))
+		}
+		ops = append(ops, s.op("Q14"), s.op("Q15", b.today))
+		return ops
+	case w < 55: // Story page: story, author, all comments, commenters
+		ops := []workload.Op{
+			s.op("Q2", story), s.op("Q10", story), s.op("Q3", story), s.op("Q8", story),
+		}
+		for i := 0; i < 5; i++ {
+			ops = append(ops, s.op("Q5", s.commenter(story, i)))
+		}
+		return ops
+	case w < 65: // Category browse
+		return []workload.Op{
+			s.op("Q6", cat), s.op("Q13", cat),
+			s.op("Q5", s.commenter(story, 0)), s.op("Q8", story),
+		}
+	case w < 72: // User page
+		u := int64(1 + rng.Intn(b.numUsers))
+		return []workload.Op{
+			s.op("Q5", u), s.op("Q7", u), s.op("Q11", u), s.op("Q12", u),
+		}
+	case w < 77: // Login
+		return []workload.Op{s.op("Q9", fmt.Sprintf("nick%d", s.userID)), s.op("Q5", s.userID)}
+	case w < 86: // Post a comment (and bump the story's comment count)
+		b.nextComment++
+		return []workload.Op{
+			s.op("Q2", story),
+			s.op("U2", b.nextComment, story, 0, s.userID, b.today, "Re: new", 0),
+			s.op("U8", rng.Intn(50), story),
+			s.op("Q3", story), s.op("Q8", story),
+		}
+	case w < 91: // Submit a story
+		b.nextStory++
+		return []workload.Op{
+			s.op("U1", b.nextStory, fmt.Sprintf("Story %d", b.nextStory), "body text",
+				b.today, s.userID, cat, 0),
+			s.op("Q6", cat),
+		}
+	case w < 97: // Moderate a recent (seeded) comment
+		b.nextModeration++
+		c := b.seedComments - int64(rng.Intn(100))
+		if c < 1 {
+			c = 1
+		}
+		rating := rng.Intn(6)
+		return []workload.Op{
+			s.op("Q4", c),
+			s.op("U4", b.nextModeration, c, s.userID, rating),
+			s.op("U6", rating, c),
+			s.op("U5", rng.Intn(100), 1+rng.Intn(b.numUsers)),
+		}
+	default: // Register
+		b.nextUser++
+		return []workload.Op{
+			s.op("U3", b.nextUser, fmt.Sprintf("nick%d", b.nextUser), "secret",
+				fmt.Sprintf("u%d@example.com", b.nextUser), 0),
+			s.op("Q1", b.today),
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssp/internal/schema"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/workload"
+)
+
+// Bookstore is the TPC-W-like transactional e-commerce benchmark of §5.1:
+// clients of an online bookstore browse items, manage shopping carts, and
+// place orders with credit-card payment. Book popularity follows the
+// Brynjolfsson et al. Zipf fit, as in the paper (footnote 5).
+//
+// Scale parameters are laptop-sized; the template structure — which is all
+// the static analysis sees — follows the TPC-W interactions.
+type Bookstore struct {
+	app  *template.App
+	zipf *workload.Zipf
+
+	// Scale.
+	numItems, numAuthors, numCustomers, numSubjects int
+	numCountries, numOrders                         int
+
+	// Fresh-key allocators (single-threaded per simulation run).
+	nextOrder, nextCart, nextCartLine, nextOrderLine int64
+	nextCustomer, nextAddr                           int64
+}
+
+// NewBookstore builds the benchmark at its default scale.
+func NewBookstore() *Bookstore {
+	b := &Bookstore{
+		numItems:     1000,
+		numAuthors:   200,
+		numCustomers: 400,
+		numSubjects:  20,
+		numCountries: 30,
+		numOrders:    200,
+	}
+	b.zipf = workload.NewZipf(b.numItems, workload.BookPopularityExponent)
+	b.app = bookstoreApp()
+	return b
+}
+
+// Name implements workload.Benchmark.
+func (b *Bookstore) Name() string { return "bookstore" }
+
+// App implements workload.Benchmark.
+func (b *Bookstore) App() *template.App { return b.app }
+
+// Compulsory implements workload.Benchmark: the California data privacy
+// law (§5.4) mandates securing credit-card information, which lives in the
+// cc_xacts templates.
+func (b *Bookstore) Compulsory() map[string]template.Exposure {
+	return map[string]template.Exposure{
+		"U5":  template.ExpTemplate, // INSERT INTO cc_xacts: card number in params
+		"Q19": template.ExpStmt,     // payment lookup: card number in results
+	}
+}
+
+func bookstoreSchema() *schema.Schema {
+	s := schema.New()
+	i, str := schema.TInt, schema.TString
+	col := func(n string, t schema.Type) schema.Column { return schema.Column{Name: n, Type: t} }
+	s.MustAddTable("country", []schema.Column{col("co_id", i), col("co_name", str)}, "co_id")
+	s.MustAddTable("address", []schema.Column{
+		col("addr_id", i), col("addr_street", str), col("addr_city", str),
+		col("addr_zip", str), col("addr_co_id", i),
+	}, "addr_id")
+	s.MustAddTable("customer", []schema.Column{
+		col("c_id", i), col("c_uname", str), col("c_passwd", str), col("c_fname", str),
+		col("c_lname", str), col("c_addr_id", i), col("c_email", str), col("c_discount", i),
+	}, "c_id")
+	s.MustAddTable("author", []schema.Column{col("a_id", i), col("a_fname", str), col("a_lname", str)}, "a_id")
+	s.MustAddTable("item", []schema.Column{
+		col("i_id", i), col("i_title", str), col("i_a_id", i), col("i_subject", str),
+		col("i_cost", i), col("i_srp", i), col("i_stock", i), col("i_pub_date", i), col("i_related1", i),
+	}, "i_id")
+	s.MustAddTable("orders", []schema.Column{
+		col("o_id", i), col("o_c_id", i), col("o_date", i), col("o_total", i), col("o_status", str),
+	}, "o_id")
+	s.MustAddTable("order_line", []schema.Column{
+		col("ol_id", i), col("ol_o_id", i), col("ol_i_id", i), col("ol_qty", i), col("ol_discount", i),
+	}, "ol_id")
+	s.MustAddTable("cc_xacts", []schema.Column{
+		col("cx_o_id", i), col("cx_type", str), col("cx_num", str), col("cx_name", str),
+		col("cx_expiry", i), col("cx_amount", i),
+	}, "cx_o_id")
+	s.MustAddTable("shopping_cart", []schema.Column{
+		col("sc_id", i), col("sc_time", i), col("sc_total", i),
+	}, "sc_id")
+	s.MustAddTable("shopping_cart_line", []schema.Column{
+		col("scl_id", i), col("scl_sc_id", i), col("scl_i_id", i), col("scl_qty", i),
+	}, "scl_id")
+
+	s.MustAddForeignKey("address", "addr_co_id", "country", "co_id")
+	s.MustAddForeignKey("customer", "c_addr_id", "address", "addr_id")
+	s.MustAddForeignKey("item", "i_a_id", "author", "a_id")
+	s.MustAddForeignKey("orders", "o_c_id", "customer", "c_id")
+	s.MustAddForeignKey("order_line", "ol_o_id", "orders", "o_id")
+	s.MustAddForeignKey("order_line", "ol_i_id", "item", "i_id")
+	s.MustAddForeignKey("cc_xacts", "cx_o_id", "orders", "o_id")
+	s.MustAddForeignKey("shopping_cart_line", "scl_sc_id", "shopping_cart", "sc_id")
+	s.MustAddForeignKey("shopping_cart_line", "scl_i_id", "item", "i_id")
+	return s
+}
+
+func bookstoreApp() *template.App {
+	s := bookstoreSchema()
+	q := func(id, sql string) *template.Template { return template.MustNew(id, s, sql) }
+	return &template.App{
+		Name:   "bookstore",
+		Schema: s,
+		Queries: []*template.Template{
+			// Home.
+			q("Q1", "SELECT c_id, c_fname, c_lname, c_discount FROM customer WHERE c_uname=?"),
+			q("Q2", "SELECT i_id, i_title, i_cost FROM item WHERE i_subject=? ORDER BY i_pub_date DESC LIMIT 5"),
+			// New products.
+			q("Q3", "SELECT i_id, i_title, i_pub_date, i_cost FROM item WHERE i_subject=? ORDER BY i_pub_date DESC LIMIT 50"),
+			// Best sellers (aggregation over order lines).
+			q("Q4", "SELECT ol_i_id, SUM(ol_qty) AS total FROM order_line GROUP BY ol_i_id ORDER BY total DESC LIMIT 50"),
+			// Product detail.
+			q("Q5", "SELECT i_title, i_cost, i_srp, i_stock, i_pub_date, i_subject FROM item WHERE i_id=?"),
+			q("Q6", "SELECT a_fname, a_lname FROM author, item WHERE a_id=i_a_id AND i_id=?"),
+			q("Q7", "SELECT i_related1 FROM item WHERE i_id=?"),
+			// Search.
+			q("Q8", "SELECT i_id, i_title FROM item, author WHERE i_a_id=a_id AND a_lname=? LIMIT 50"),
+			q("Q9", "SELECT i_id, i_cost FROM item WHERE i_title=?"),
+			q("Q10", "SELECT i_id, i_title, i_cost FROM item WHERE i_subject=? ORDER BY i_title LIMIT 50"),
+			// Shopping cart.
+			q("Q11", "SELECT scl_id, scl_i_id, scl_qty FROM shopping_cart_line WHERE scl_sc_id=?"),
+			q("Q12", "SELECT sc_total, sc_time FROM shopping_cart WHERE sc_id=?"),
+			q("Q13", "SELECT i_title, i_cost, i_stock FROM item WHERE i_id=?"),
+			// Buy request / confirm.
+			q("Q14", "SELECT c_fname, c_lname, c_addr_id, c_discount FROM customer WHERE c_id=?"),
+			q("Q15", "SELECT addr_street, addr_city, addr_zip, addr_co_id FROM address WHERE addr_id=?"),
+			q("Q16", "SELECT co_name FROM country WHERE co_id=?"),
+			// Order inquiry / display.
+			q("Q17", "SELECT o_id, o_date, o_total, o_status FROM orders WHERE o_c_id=? ORDER BY o_date DESC LIMIT 1"),
+			q("Q18", "SELECT ol_i_id, ol_qty, ol_discount FROM order_line WHERE ol_o_id=?"),
+			q("Q19", "SELECT cx_type, cx_num, cx_expiry, cx_amount FROM cc_xacts WHERE cx_o_id=?"),
+			// Admin.
+			q("Q20", "SELECT i_id, i_title, i_cost, i_stock FROM item WHERE i_id=?"),
+			// Aggregates and assorted lookups.
+			q("Q21", "SELECT COUNT(*) FROM item WHERE i_subject=?"),
+			q("Q22", "SELECT MAX(o_id) FROM orders"),
+			q("Q23", "SELECT scl_i_id FROM shopping_cart_line WHERE scl_sc_id=? ORDER BY scl_id"),
+			q("Q24", "SELECT AVG(i_cost) FROM item WHERE i_subject=?"),
+			q("Q25", "SELECT c_uname FROM customer WHERE c_id=?"),
+			q("Q26", "SELECT o_total FROM orders WHERE o_id=?"),
+			q("Q27", "SELECT i_stock FROM item WHERE i_id=?"),
+			q("Q28", "SELECT i_title, a_lname FROM item, author WHERE i_a_id=a_id AND i_subject=? ORDER BY i_title LIMIT 10"),
+		},
+		Updates: []*template.Template{
+			template.MustNew("U1", s, "INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname, c_addr_id, c_email, c_discount) VALUES (?, ?, ?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U2", s, "INSERT INTO address (addr_id, addr_street, addr_city, addr_zip, addr_co_id) VALUES (?, ?, ?, ?, ?)"),
+			template.MustNew("U3", s, "INSERT INTO orders (o_id, o_c_id, o_date, o_total, o_status) VALUES (?, ?, ?, ?, ?)"),
+			template.MustNew("U4", s, "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount) VALUES (?, ?, ?, ?, ?)"),
+			template.MustNew("U5", s, "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expiry, cx_amount) VALUES (?, ?, ?, ?, ?, ?)"),
+			template.MustNew("U6", s, "INSERT INTO shopping_cart (sc_id, sc_time, sc_total) VALUES (?, ?, ?)"),
+			template.MustNew("U7", s, "INSERT INTO shopping_cart_line (scl_id, scl_sc_id, scl_i_id, scl_qty) VALUES (?, ?, ?, ?)"),
+			template.MustNew("U8", s, "UPDATE shopping_cart_line SET scl_qty=? WHERE scl_id=?"),
+			template.MustNew("U9", s, "UPDATE item SET i_stock=? WHERE i_id=?"),
+			template.MustNew("U10", s, "UPDATE shopping_cart SET sc_total=?, sc_time=? WHERE sc_id=?"),
+			template.MustNew("U11", s, "DELETE FROM shopping_cart_line WHERE scl_sc_id=?"),
+			template.MustNew("U12", s, "UPDATE customer SET c_discount=? WHERE c_id=?"),
+			template.MustNew("U13", s, "UPDATE item SET i_cost=?, i_pub_date=? WHERE i_id=?"),
+		},
+	}
+}
+
+func (b *Bookstore) subject(n int) string { return fmt.Sprintf("SUBJ%02d", n%b.numSubjects) }
+
+// Populate implements workload.Benchmark.
+func (b *Bookstore) Populate(db *storage.Database, rng *rand.Rand) error {
+	iv, sv := sqlparse.IntVal, sqlparse.StringVal
+	for c := 1; c <= b.numCountries; c++ {
+		if err := db.Insert("country", storage.Row{iv(int64(c)), sv(fmt.Sprintf("Country%d", c))}); err != nil {
+			return err
+		}
+	}
+	for a := 1; a <= b.numAuthors; a++ {
+		if err := db.Insert("author", storage.Row{iv(int64(a)), sv(fmt.Sprintf("AFN%d", a)), sv(fmt.Sprintf("ALN%d", a))}); err != nil {
+			return err
+		}
+	}
+	for it := 1; it <= b.numItems; it++ {
+		if err := db.Insert("item", storage.Row{
+			iv(int64(it)), sv(fmt.Sprintf("Book Title %d", it)), iv(int64(1 + rng.Intn(b.numAuthors))),
+			sv(b.subject(rng.Intn(b.numSubjects))), iv(int64(500 + rng.Intn(4500))), iv(int64(600 + rng.Intn(5000))),
+			iv(int64(10 + rng.Intn(90))), iv(int64(rng.Intn(3650))), iv(int64(1 + rng.Intn(b.numItems))),
+		}); err != nil {
+			return err
+		}
+	}
+	for c := 1; c <= b.numCustomers; c++ {
+		if err := db.Insert("address", storage.Row{
+			iv(int64(c)), sv(fmt.Sprintf("%d Main St", c)), sv("Pittsburgh"),
+			sv(fmt.Sprintf("15%03d", rng.Intn(1000))), iv(int64(1 + rng.Intn(b.numCountries))),
+		}); err != nil {
+			return err
+		}
+		if err := db.Insert("customer", storage.Row{
+			iv(int64(c)), sv(fmt.Sprintf("user%d", c)), sv("secret"), sv(fmt.Sprintf("FN%d", c)),
+			sv(fmt.Sprintf("LN%d", c)), iv(int64(c)), sv(fmt.Sprintf("user%d@example.com", c)), iv(int64(rng.Intn(10))),
+		}); err != nil {
+			return err
+		}
+	}
+	ol := int64(1)
+	for o := 1; o <= b.numOrders; o++ {
+		if err := db.Insert("orders", storage.Row{
+			iv(int64(o)), iv(int64(1 + rng.Intn(b.numCustomers))), iv(int64(rng.Intn(365))),
+			iv(int64(1000 + rng.Intn(20000))), sv("SHIPPED"),
+		}); err != nil {
+			return err
+		}
+		for l := 0; l < 1+rng.Intn(3); l++ {
+			if err := db.Insert("order_line", storage.Row{
+				iv(ol), iv(int64(o)), iv(int64(b.zipf.Sample(rng))), iv(int64(1 + rng.Intn(4))), iv(0),
+			}); err != nil {
+				return err
+			}
+			ol++
+		}
+		if err := db.Insert("cc_xacts", storage.Row{
+			iv(int64(o)), sv("VISA"), sv(fmt.Sprintf("4111-%012d", rng.Int63n(1e12))),
+			sv(fmt.Sprintf("FN%d LN%d", o, o)), iv(int64(rng.Intn(60))), iv(int64(1000 + rng.Intn(20000))),
+		}); err != nil {
+			return err
+		}
+	}
+	// Hot single-column indexes matching the access paths.
+	for tab, cols := range map[string][]string{
+		"item":               {"i_subject", "i_title"},
+		"order_line":         {"ol_o_id"},
+		"orders":             {"o_c_id"},
+		"customer":           {"c_uname"},
+		"shopping_cart_line": {"scl_sc_id"},
+		"author":             {"a_lname"},
+	} {
+		for _, c := range cols {
+			if err := db.Table(tab).CreateIndex(c); err != nil {
+				return err
+			}
+		}
+	}
+	b.nextOrder = int64(b.numOrders)
+	b.nextOrderLine = ol
+	b.nextCart = 0
+	b.nextCartLine = 0
+	b.nextCustomer = int64(b.numCustomers)
+	b.nextAddr = int64(b.numCustomers)
+	return nil
+}
+
+// bookstoreSession emulates one TPC-W user.
+type bookstoreSession struct {
+	b   *Bookstore
+	rng *rand.Rand
+
+	custID    int64
+	cartID    int64   // 0 when no open cart
+	cartLines []int64 // scl_ids in the open cart
+	cartItems []int64
+	lastOrder int64
+}
+
+// NewSession implements workload.Benchmark.
+func (b *Bookstore) NewSession(rng *rand.Rand) workload.Session {
+	return &bookstoreSession{b: b, rng: rng, custID: int64(1 + rng.Intn(b.numCustomers))}
+}
+
+func (s *bookstoreSession) op(id string, params ...interface{}) workload.Op {
+	t := s.b.app.Query(id)
+	if t == nil {
+		t = s.b.app.Update(id)
+	}
+	vals, err := toValues(params)
+	if err != nil {
+		panic(fmt.Sprintf("bookstore %s: %v", id, err))
+	}
+	return workload.Op{Template: t, Params: vals}
+}
+
+func toValues(params []interface{}) ([]sqlparse.Value, error) {
+	vals := make([]sqlparse.Value, len(params))
+	for i, p := range params {
+		switch v := p.(type) {
+		case int:
+			vals[i] = sqlparse.IntVal(int64(v))
+		case int64:
+			vals[i] = sqlparse.IntVal(v)
+		case string:
+			vals[i] = sqlparse.StringVal(v)
+		default:
+			return nil, fmt.Errorf("bad param type %T", p)
+		}
+	}
+	return vals, nil
+}
+
+func (s *bookstoreSession) item() int64 { return int64(s.b.zipf.Sample(s.rng)) }
+
+// NextPage implements workload.Session with a TPC-W-like browsing-heavy
+// interaction mix: pages fetch several related items, so most operations
+// target hot, cacheable data, while cart and order pages touch per-user
+// state that no strategy can cache.
+func (s *bookstoreSession) NextPage() []workload.Op {
+	b, rng := s.b, s.rng
+	subj := b.subject(rng.Intn(b.numSubjects))
+	switch w := rng.Intn(100); {
+	case w < 20: // Home: customer greeting plus promotional items
+		return []workload.Op{
+			s.op("Q1", fmt.Sprintf("user%d", s.custID)),
+			s.op("Q2", subj),
+			s.op("Q5", s.item()), s.op("Q5", s.item()), s.op("Q5", s.item()),
+		}
+	case w < 32: // New products
+		return []workload.Op{s.op("Q3", subj), s.op("Q21", subj), s.op("Q5", s.item()), s.op("Q5", s.item())}
+	case w < 42: // Best sellers
+		return []workload.Op{s.op("Q4"), s.op("Q28", subj), s.op("Q5", s.item()), s.op("Q5", s.item())}
+	case w < 70: // Product detail
+		it := s.item()
+		return []workload.Op{s.op("Q5", it), s.op("Q6", it), s.op("Q7", it), s.op("Q13", it), s.op("Q27", it)}
+	case w < 74: // Search by author
+		return []workload.Op{s.op("Q8", fmt.Sprintf("ALN%d", 1+rng.Intn(b.numAuthors))), s.op("Q5", s.item())}
+	case w < 78: // Search by title
+		return []workload.Op{s.op("Q9", fmt.Sprintf("Book Title %d", s.item())), s.op("Q5", s.item())}
+	case w < 84: // Search by subject
+		return []workload.Op{s.op("Q10", subj), s.op("Q24", subj)}
+	case w < 89: // Shopping cart: add an item
+		ops := []workload.Op{}
+		if s.cartID == 0 {
+			b.nextCart++
+			s.cartID = b.nextCart
+			ops = append(ops, s.op("U6", s.cartID, rng.Intn(100000), 0))
+		}
+		it := s.item()
+		b.nextCartLine++
+		line := b.nextCartLine
+		s.cartLines = append(s.cartLines, line)
+		s.cartItems = append(s.cartItems, it)
+		ops = append(ops,
+			s.op("U7", line, s.cartID, it, 1+rng.Intn(3)),
+			s.op("Q13", it),
+			s.op("Q11", s.cartID),
+			s.op("U10", 100+rng.Intn(10000), rng.Intn(100000), s.cartID),
+			s.op("Q12", s.cartID),
+		)
+		if len(s.cartLines) > 1 && rng.Intn(2) == 0 {
+			// Adjust the quantity of an earlier line.
+			ops = append(ops, s.op("U8", 1+rng.Intn(5), s.cartLines[rng.Intn(len(s.cartLines))]))
+		}
+		return ops
+	case w < 91: // Buy request
+		if s.cartID == 0 {
+			return []workload.Op{s.op("Q14", s.custID), s.op("Q25", s.custID)}
+		}
+		return []workload.Op{
+			s.op("Q14", s.custID), s.op("Q15", s.custID), s.op("Q16", 1+rng.Intn(b.numCountries)),
+			s.op("Q12", s.cartID), s.op("Q23", s.cartID),
+		}
+	case w < 93: // Buy confirm
+		if s.cartID == 0 {
+			return []workload.Op{s.op("Q22")}
+		}
+		b.nextOrder++
+		o := b.nextOrder
+		ops := []workload.Op{
+			s.op("U3", o, s.custID, rng.Intn(3650), 1000+rng.Intn(30000), "PENDING"),
+		}
+		for _, it := range s.cartItems {
+			b.nextOrderLine++
+			ops = append(ops, s.op("U4", b.nextOrderLine, o, it, 1+rng.Intn(3), 0))
+			ops = append(ops, s.op("U9", 10+rng.Intn(90), it))
+		}
+		ops = append(ops,
+			s.op("U5", o, "VISA", fmt.Sprintf("4111-%012d", rng.Int63n(1e12)),
+				fmt.Sprintf("FN%d LN%d", s.custID, s.custID), rng.Intn(60), 1000+rng.Intn(30000)),
+			s.op("U11", s.cartID),
+			s.op("U12", rng.Intn(10), s.custID),
+		)
+		s.lastOrder = o
+		s.cartID, s.cartLines, s.cartItems = 0, nil, nil
+		return ops
+	case w < 97: // Order inquiry
+		o := s.lastOrder
+		if o == 0 {
+			o = int64(1 + rng.Intn(b.numOrders))
+		}
+		return []workload.Op{
+			s.op("Q17", s.custID), s.op("Q18", o), s.op("Q19", o), s.op("Q26", o),
+		}
+	case w < 99: // Customer registration
+		b.nextAddr++
+		b.nextCustomer++
+		return []workload.Op{
+			s.op("U2", b.nextAddr, fmt.Sprintf("%d Oak St", b.nextAddr), "Pittsburgh",
+				fmt.Sprintf("15%03d", rng.Intn(1000)), 1+rng.Intn(b.numCountries)),
+			s.op("U1", b.nextCustomer, fmt.Sprintf("user%d", b.nextCustomer), "secret",
+				fmt.Sprintf("FN%d", b.nextCustomer), fmt.Sprintf("LN%d", b.nextCustomer),
+				b.nextAddr, fmt.Sprintf("user%d@example.com", b.nextCustomer), rng.Intn(10)),
+			s.op("Q27", s.item()),
+		}
+	default: // Admin
+		it := s.item()
+		return []workload.Op{
+			s.op("Q20", it),
+			s.op("U13", 500+rng.Intn(4500), rng.Intn(3650), it),
+		}
+	}
+}

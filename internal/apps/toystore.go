@@ -1,0 +1,69 @@
+// Package apps defines the benchmark applications of the reproduction: the
+// paper's running toystore examples (Tables 1 and 3) and template-faithful
+// rebuilds of the three evaluation applications of §5.1 — auction (RUBiS),
+// bboard (RUBBoS), and bookstore (TPC-W) — including schemas, query/update
+// templates, data generators, and session workload mixes.
+package apps
+
+import (
+	"dssp/internal/schema"
+	"dssp/internal/template"
+)
+
+func toystoreSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAddTable("toys", []schema.Column{
+		{Name: "toy_id", Type: schema.TInt},
+		{Name: "toy_name", Type: schema.TString},
+		{Name: "qty", Type: schema.TInt},
+	}, "toy_id")
+	s.MustAddTable("customers", []schema.Column{
+		{Name: "cust_id", Type: schema.TInt},
+		{Name: "cust_name", Type: schema.TString},
+	}, "cust_id")
+	s.MustAddTable("credit_card", []schema.Column{
+		{Name: "cid", Type: schema.TInt},
+		{Name: "number", Type: schema.TString},
+		{Name: "zip_code", Type: schema.TString},
+	}, "cid")
+	s.MustAddForeignKey("credit_card", "cid", "customers", "cust_id")
+	return s
+}
+
+// SimpleToystore returns the example application of Table 1: three query
+// templates, one update template, and two base relations.
+func SimpleToystore() *template.App {
+	s := toystoreSchema()
+	return &template.App{
+		Name:   "simple-toystore",
+		Schema: s,
+		Queries: []*template.Template{
+			template.MustNew("Q1", s, "SELECT toy_id FROM toys WHERE toy_name=?"),
+			template.MustNew("Q2", s, "SELECT qty FROM toys WHERE toy_id=?"),
+			template.MustNew("Q3", s, "SELECT cust_name FROM customers WHERE cust_id=?"),
+		},
+		Updates: []*template.Template{
+			template.MustNew("U1", s, "DELETE FROM toys WHERE toy_id=?"),
+		},
+	}
+}
+
+// Toystore returns the more elaborate example application of Table 3:
+// three query templates, two update templates, and three base relations
+// with a foreign key credit_card.cid -> customers.cust_id.
+func Toystore() *template.App {
+	s := toystoreSchema()
+	return &template.App{
+		Name:   "toystore",
+		Schema: s,
+		Queries: []*template.Template{
+			template.MustNew("Q1", s, "SELECT toy_id FROM toys WHERE toy_name=?"),
+			template.MustNew("Q2", s, "SELECT qty FROM toys WHERE toy_id=?"),
+			template.MustNew("Q3", s, "SELECT cust_name FROM customers, credit_card WHERE cust_id=cid AND zip_code=?"),
+		},
+		Updates: []*template.Template{
+			template.MustNew("U1", s, "DELETE FROM toys WHERE toy_id=?"),
+			template.MustNew("U2", s, "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)"),
+		},
+	}
+}

@@ -1,0 +1,251 @@
+// Package cache implements the DSSP's store of materialized query results
+// (views). Entries are organized per query template so that invalidation
+// can drop whole template buckets in O(1) at the template-inspection level
+// and visit individual entries only when statement or view inspection is
+// permitted (§2.2–§2.3).
+//
+// Per the §2.1 assumption the static analysis relies on ("no query whose
+// result is subject to invalidation by an insertion or a deletion returns
+// an empty result set"), the cache refuses to store empty results; see
+// Options.CacheEmptyResults.
+package cache
+
+import (
+	"dssp/internal/engine"
+	"dssp/internal/invalidate"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// Entry is one cached query result together with the information the DSSP
+// may inspect when invalidating it.
+type Entry struct {
+	Query  wire.SealedQuery
+	Result wire.SealedResult
+
+	// LRU list hooks, used only when the cache is bounded.
+	prev, next *Entry
+}
+
+// view renders the entry for the invalidator.
+func (e *Entry) view(app *template.App) invalidate.CachedView {
+	var t *template.Template
+	if e.Query.TemplateID != "" {
+		t = app.Query(e.Query.TemplateID)
+	}
+	return invalidate.CachedView{
+		Template: t,
+		Params:   e.Query.Params,
+		Result:   e.Result.Result, // nil unless view exposure
+	}
+}
+
+// Options configures cache behaviour.
+type Options struct {
+	// CacheEmptyResults permits storing empty results. The default
+	// (false) upholds the §2.1 assumption; enabling it is only safe when
+	// the exposure assignment never relies on integrity-constraint-based
+	// A=0 facts.
+	CacheEmptyResults bool
+
+	// Capacity bounds the number of cached entries; the least recently
+	// used entry is evicted when full. 0 means unbounded (the paper's
+	// configuration).
+	Capacity int
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits          int
+	Misses        int
+	Stores        int
+	Invalidations int
+	Evictions     int
+	UpdatesSeen   int
+}
+
+// Cache is the DSSP-side view store.
+type Cache struct {
+	app  *template.App
+	inv  *invalidate.Invalidator
+	opts Options
+
+	byTemplate map[string]map[string]*Entry // template ID -> key -> entry
+	blind      map[string]*Entry            // entries whose template is hidden
+	lru        lruList                      // used only when bounded
+
+	stats Stats
+}
+
+// New creates an empty cache for an application. The invalidator carries
+// the static analysis used at the template-inspection level.
+func New(app *template.App, inv *invalidate.Invalidator, opts Options) *Cache {
+	return &Cache{
+		app:        app,
+		inv:        inv,
+		opts:       opts,
+		byTemplate: make(map[string]map[string]*Entry),
+		blind:      make(map[string]*Entry),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := len(c.blind)
+	for _, b := range c.byTemplate {
+		n += len(b)
+	}
+	return n
+}
+
+// Lookup returns the cached result for a sealed query, if present.
+func (c *Cache) Lookup(q wire.SealedQuery) (wire.SealedResult, bool) {
+	var e *Entry
+	if q.TemplateID == "" {
+		e = c.blind[q.Key]
+	} else if b := c.byTemplate[q.TemplateID]; b != nil {
+		e = b[q.Key]
+	}
+	if e == nil {
+		c.stats.Misses++
+		return wire.SealedResult{}, false
+	}
+	c.stats.Hits++
+	c.touch(e)
+	return e.Result, true
+}
+
+// resultLen returns the number of rows in a sealed result, or -1 when the
+// result is encrypted and its cardinality is unknown to the DSSP.
+func resultLen(r wire.SealedResult) int {
+	if r.Result != nil {
+		return r.Result.Len()
+	}
+	return -1
+}
+
+// Store caches a sealed result fetched from the home server. Empty results
+// are rejected unless configured otherwise; encrypted results (whose
+// cardinality the DSSP cannot see) carry an EmptyHint from the trusted
+// side instead.
+func (c *Cache) Store(q wire.SealedQuery, r wire.SealedResult, empty bool) {
+	if empty && !c.opts.CacheEmptyResults {
+		return
+	}
+	if n := resultLen(r); n == 0 && !c.opts.CacheEmptyResults {
+		return
+	}
+	e := &Entry{Query: q, Result: r}
+	if q.TemplateID == "" {
+		if old := c.blind[q.Key]; old != nil {
+			c.trackRemove(old)
+		}
+		c.blind[q.Key] = e
+	} else {
+		b := c.byTemplate[q.TemplateID]
+		if b == nil {
+			b = make(map[string]*Entry)
+			c.byTemplate[q.TemplateID] = b
+		}
+		if old := b[q.Key]; old != nil {
+			c.trackRemove(old)
+		}
+		b[q.Key] = e
+	}
+	c.trackInsert(e)
+	c.stats.Stores++
+}
+
+// OnUpdate applies the mixed invalidation strategy for a completed update
+// (§2.3): per cached entry, the strategy class follows from the exposure
+// levels of the update and of the entry's query. It returns the number of
+// entries invalidated.
+func (c *Cache) OnUpdate(u wire.SealedUpdate) int {
+	c.stats.UpdatesSeen++
+	dropped := 0
+
+	// Entries with hidden templates can only be handled blindly.
+	if len(c.blind) > 0 {
+		dropped += len(c.blind)
+		for _, e := range c.blind {
+			c.trackRemove(e)
+		}
+		c.blind = make(map[string]*Entry)
+	}
+
+	if u.TemplateID == "" {
+		// Blind update: invalidate everything.
+		for id, b := range c.byTemplate {
+			dropped += len(b)
+			for _, e := range b {
+				c.trackRemove(e)
+			}
+			delete(c.byTemplate, id)
+		}
+		c.stats.Invalidations += dropped
+		return dropped
+	}
+
+	ut := c.app.Update(u.TemplateID)
+	ui := invalidate.UpdateInstance{Template: ut, Params: u.Params}
+	for id, bucket := range c.byTemplate {
+		qt := c.app.Query(id)
+		if qt == nil || len(bucket) == 0 {
+			continue
+		}
+		// All entries in a bucket share a template and hence an exposure.
+		var sample *Entry
+		for _, e := range bucket {
+			sample = e
+			break
+		}
+		class := invalidate.ClassFor(u.Exposure, sample.Query.Exposure)
+		switch class {
+		case invalidate.Blind:
+			dropped += c.dropBucket(id, bucket)
+		case invalidate.TemplateInspection:
+			if c.inv.Decide(class, ui, invalidate.CachedView{Template: qt}) == invalidate.Invalidate {
+				dropped += c.dropBucket(id, bucket)
+			}
+		default: // statement or view inspection: per-entry decisions
+			for key, e := range bucket {
+				if c.inv.Decide(class, ui, e.view(c.app)) == invalidate.Invalidate {
+					delete(bucket, key)
+					c.trackRemove(e)
+					dropped++
+				}
+			}
+		}
+	}
+	c.stats.Invalidations += dropped
+	return dropped
+}
+
+// dropBucket removes a whole template bucket.
+func (c *Cache) dropBucket(id string, bucket map[string]*Entry) int {
+	for _, e := range bucket {
+		c.trackRemove(e)
+	}
+	delete(c.byTemplate, id)
+	return len(bucket)
+}
+
+// Entries calls f for every cached entry (for consistency audits in
+// tests). f must not mutate the cache.
+func (c *Cache) Entries(f func(*Entry)) {
+	for _, e := range c.blind {
+		f(e)
+	}
+	for _, b := range c.byTemplate {
+		for _, e := range b {
+			f(e)
+		}
+	}
+}
+
+// PlaintextResult returns the entry's result when it is stored in the
+// clear (view exposure), and nil otherwise.
+func (e *Entry) PlaintextResult() *engine.Result { return e.Result.Result }

@@ -1,0 +1,93 @@
+package cache
+
+// LRU bookkeeping for bounded caches. A cost-effective DSSP hosts many
+// applications on shared infrastructure (§1), so each application's view
+// store is bounded; when full, the least-recently-used entry is evicted.
+// Capacity 0 (the default) leaves the cache unbounded, which matches the
+// paper's experiments (ten-minute runs never filled memory).
+
+// lruList is an intrusive doubly linked list over cache entries, most
+// recently used at the front.
+type lruList struct {
+	head, tail *Entry
+	len        int
+}
+
+// entry list hooks live on Entry (see cache.go).
+
+func (l *lruList) pushFront(e *Entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.len++
+}
+
+func (l *lruList) remove(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if l.head == e {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if l.tail == e {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.len--
+}
+
+func (l *lruList) moveToFront(e *Entry) {
+	if l.head == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}
+
+// touch marks an entry as recently used.
+func (c *Cache) touch(e *Entry) {
+	if c.opts.Capacity > 0 {
+		c.lru.moveToFront(e)
+	}
+}
+
+// trackInsert registers a new entry and evicts the LRU entry if the cache
+// is over capacity.
+func (c *Cache) trackInsert(e *Entry) {
+	if c.opts.Capacity <= 0 {
+		return
+	}
+	c.lru.pushFront(e)
+	for c.lru.len > c.opts.Capacity {
+		victim := c.lru.tail
+		if victim == nil {
+			return
+		}
+		c.removeEntry(victim)
+		c.stats.Evictions++
+	}
+}
+
+// trackRemove unlinks an entry that is being invalidated.
+func (c *Cache) trackRemove(e *Entry) {
+	if c.opts.Capacity > 0 {
+		c.lru.remove(e)
+	}
+}
+
+// removeEntry deletes an entry from its bucket and the LRU list.
+func (c *Cache) removeEntry(e *Entry) {
+	if e.Query.TemplateID == "" {
+		delete(c.blind, e.Query.Key)
+	} else if b := c.byTemplate[e.Query.TemplateID]; b != nil {
+		delete(b, e.Query.Key)
+	}
+	c.lru.remove(e)
+}

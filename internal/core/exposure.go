@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dssp/internal/template"
+)
+
+// Prob is a symbolic invalidation probability for one pair under a given
+// exposure-level combination, normalized using the pair's IPM
+// characterization. Within a pair, two exposure combinations have the same
+// scalability cost iff they normalize to the same Prob.
+type Prob uint8
+
+// Symbolic probability values, in increasing order. ProbC < ProbB < ProbOne
+// are the strict placeholders C < B < 1 of Figure 6 for pairs with A = 1.
+const (
+	ProbZero Prob = iota
+	ProbC
+	ProbB
+	ProbOne
+)
+
+func (p Prob) String() string {
+	switch p {
+	case ProbZero:
+		return "0"
+	case ProbC:
+		return "C"
+	case ProbB:
+		return "B"
+	case ProbOne:
+		return "1"
+	default:
+		return fmt.Sprintf("Prob(%d)", uint8(p))
+	}
+}
+
+// PairProb evaluates the IPM cell (Figure 6) for one pair under the given
+// exposure levels, normalized with the pair's equality characterization:
+//
+//   - Property 1: either level blind ⇒ probability 1.
+//   - A = 0 ⇒ probability 0 at any non-blind combination.
+//   - A = 1 ⇒ template-level probability is 1; statement level is B
+//     (collapsing to 1 when B = A); view level is C (collapsing upward when
+//     C = B).
+func PairProb(pa PairAnalysis, eu, eq template.Exposure) Prob {
+	if eu == template.ExpBlind || eq == template.ExpBlind {
+		return ProbOne
+	}
+	if pa.AZero {
+		return ProbZero
+	}
+	if eu == template.ExpTemplate || eq == template.ExpTemplate {
+		return ProbOne // A = 1 by Lemma 1
+	}
+	stmtProb := ProbB
+	if pa.BEqualsA {
+		stmtProb = ProbOne
+	}
+	if eq != template.ExpView {
+		return stmtProb
+	}
+	if pa.CEqualsB {
+		return stmtProb
+	}
+	return ProbC
+}
+
+// ExposureAssignment maps template IDs to exposure levels.
+type ExposureAssignment map[string]template.Exposure
+
+// Clone copies the assignment.
+func (e ExposureAssignment) Clone() ExposureAssignment {
+	c := make(ExposureAssignment, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// MaxExposures returns the assignment with every template fully exposed:
+// stmt for updates, view for queries (the Step 1 starting point of §3.1).
+func MaxExposures(app *template.App) ExposureAssignment {
+	e := make(ExposureAssignment, len(app.Queries)+len(app.Updates))
+	for _, q := range app.Queries {
+		e[q.ID] = template.ExpView
+	}
+	for _, u := range app.Updates {
+		e[u.ID] = template.ExpStmt
+	}
+	return e
+}
+
+// ReduceExposures implements Step 2b of §3.1: the greedy algorithm that
+// maximally reduces template exposure levels without changing the
+// invalidation probability of any update/query template pair. It returns a
+// new assignment; initial is not modified. The order in which templates are
+// considered does not affect the outcome (§3.1); reductions are attempted
+// one level at a time until a fixpoint.
+func ReduceExposures(a *Analysis, initial ExposureAssignment) ExposureAssignment {
+	cur := initial.Clone()
+
+	// probChanged reports whether lowering template id to level would
+	// change any pair's probability.
+	probChangedQ := func(qi int, level template.Exposure) bool {
+		q := a.App.Queries[qi]
+		for ui, u := range a.App.Updates {
+			pa := a.Pairs[ui][qi]
+			if PairProb(pa, cur[u.ID], level) != PairProb(pa, cur[u.ID], cur[q.ID]) {
+				return true
+			}
+		}
+		return false
+	}
+	probChangedU := func(ui int, level template.Exposure) bool {
+		u := a.App.Updates[ui]
+		for qi, q := range a.App.Queries {
+			pa := a.Pairs[ui][qi]
+			if PairProb(pa, level, cur[q.ID]) != PairProb(pa, cur[u.ID], cur[q.ID]) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for qi, q := range a.App.Queries {
+			for cur[q.ID] > template.ExpBlind && !probChangedQ(qi, cur[q.ID]-1) {
+				cur[q.ID]--
+				changed = true
+			}
+		}
+		for ui, u := range a.App.Updates {
+			for cur[u.ID] > template.ExpBlind && !probChangedU(ui, cur[u.ID]-1) {
+				cur[u.ID]--
+				changed = true
+			}
+		}
+	}
+	return cur
+}
+
+// Methodology is the three-step scalability-conscious security design
+// methodology of §3.1.
+type Methodology struct {
+	App *template.App
+
+	// Compulsory caps exposure levels for highly sensitive data (Step 1),
+	// e.g. from the California data privacy law: template ID -> maximum
+	// exposure. Templates not listed start fully exposed.
+	Compulsory ExposureAssignment
+
+	Opts Options
+}
+
+// MethodologyResult reports the outcome of running the methodology.
+type MethodologyResult struct {
+	Analysis *Analysis
+
+	// Initial is the Step 1 assignment (maximum exposure capped by the
+	// compulsory-encryption requirements).
+	Initial ExposureAssignment
+
+	// Final is the Step 2b outcome: maximal exposure reduction at zero
+	// scalability cost.
+	Final ExposureAssignment
+}
+
+// Run executes Steps 1–2 of the methodology. Step 3 (weighing the
+// security-scalability tradeoff for the remaining templates) is left to
+// the administrator, operating on the greatly reduced residual set.
+func (m Methodology) Run() *MethodologyResult {
+	initial := MaxExposures(m.App)
+	for id, cap := range m.Compulsory {
+		if cur, ok := initial[id]; ok && cap < cur {
+			initial[id] = cap
+		}
+	}
+	a := Analyze(m.App, m.Opts)
+	return &MethodologyResult{
+		Analysis: a,
+		Initial:  initial,
+		Final:    ReduceExposures(a, initial),
+	}
+}
+
+// EncryptedResultCount returns the number of query templates whose results
+// are encrypted under the assignment — the security metric of Figure 3
+// (results are exposed only at the view level).
+func EncryptedResultCount(app *template.App, e ExposureAssignment) int {
+	n := 0
+	for _, q := range app.Queries {
+		if e[q.ID] < template.ExpView {
+			n++
+		}
+	}
+	return n
+}
+
+// ReductionRow describes one template's exposure before and after the
+// analysis, for Figure 7.
+type ReductionRow struct {
+	ID             string
+	Kind           template.Kind
+	Initial, Final template.Exposure
+}
+
+// Reductions lists per-template exposure levels sorted by increasing final
+// exposure (then initial, then ID), mirroring Figure 7's x-axis ordering.
+func (r *MethodologyResult) Reductions() (queries, updates []ReductionRow) {
+	app := r.Analysis.App
+	for _, q := range app.Queries {
+		queries = append(queries, ReductionRow{q.ID, q.Kind, r.Initial[q.ID], r.Final[q.ID]})
+	}
+	for _, u := range app.Updates {
+		updates = append(updates, ReductionRow{u.ID, u.Kind, r.Initial[u.ID], r.Final[u.ID]})
+	}
+	sortRows := func(rows []ReductionRow) {
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Final != rows[j].Final {
+				return rows[i].Final < rows[j].Final
+			}
+			if rows[i].Initial != rows[j].Initial {
+				return rows[i].Initial < rows[j].Initial
+			}
+			return rows[i].ID < rows[j].ID
+		})
+	}
+	sortRows(queries)
+	sortRows(updates)
+	return queries, updates
+}

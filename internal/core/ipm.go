@@ -1,0 +1,297 @@
+// Package core implements the paper's primary contribution: a static
+// analysis of a Web application's query/update templates that determines
+// which data can be encrypted without impacting scalability (§3–§4), and
+// the scalability-conscious security design methodology built on it.
+//
+// For every update/query template pair the analysis characterizes the
+// Invalidation Probability Matrix (IPM, Figure 6): whether A = 1 (template
+// inspection is no better than blind invalidation), whether B = A
+// (statement inspection is no better than template inspection), and whether
+// C = B (view inspection is no better than statement inspection). Pairs
+// where adjacent probabilities coincide admit exposure reduction — i.e.
+// encryption — at zero scalability cost.
+package core
+
+import (
+	"fmt"
+
+	"dssp/internal/schema"
+	"dssp/internal/sqlparse"
+	"dssp/internal/template"
+)
+
+// PairAnalysis is the IPM characterization of one U^T/Q^T pair (§4).
+type PairAnalysis struct {
+	U, Q *template.Template
+
+	// AZero reports A = 0: the update template can never affect the query
+	// template (Lemma 1, optionally sharpened by integrity constraints,
+	// §4.5). When A = 0, Property 3 forces A = B = C = 0.
+	AZero bool
+
+	// BEqualsA reports B = A: knowledge of statement parameters does not
+	// reduce invalidations relative to template knowledge (§4.3).
+	BEqualsA bool
+
+	// CEqualsB reports C = B: knowledge of the cached query result does
+	// not reduce invalidations relative to statement knowledge (§4.4).
+	CEqualsB bool
+
+	// ByConstraint records that AZero was established by an integrity
+	// constraint (§4.5) rather than by the ignorable test.
+	ByConstraint bool
+
+	// Conservative records that one of the templates violates the §2.1.1
+	// assumptions, so the strict-inequality fallback was applied.
+	Conservative bool
+}
+
+// String renders the characterization in the notation of Table 4.
+func (pa PairAnalysis) String() string {
+	if pa.AZero {
+		return "A=0, B=A, C=B"
+	}
+	b, c := "B<A", "C<B"
+	if pa.BEqualsA {
+		b = "B=A"
+	}
+	if pa.CEqualsB {
+		c = "C=B"
+	}
+	return "A=1, " + b + ", " + c
+}
+
+// Options configures the analysis.
+type Options struct {
+	// UseIntegrityConstraints enables the §4.5 refinement that uses
+	// primary-key and foreign-key constraints to rule out invalidations.
+	// The paper's evaluation (§5) assumes the DSSP knows these
+	// constraints; disabling them is the ablation.
+	UseIntegrityConstraints bool
+}
+
+// DefaultOptions matches the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{UseIntegrityConstraints: true}
+}
+
+// AnalyzePair characterizes the IPM of one update/query template pair.
+func AnalyzePair(sch *schema.Schema, u, q *template.Template, opts Options) PairAnalysis {
+	if !u.Kind.IsUpdate() {
+		panic(fmt.Sprintf("core: %s is not an update template", u.ID))
+	}
+	if q.Kind != template.KQuery {
+		panic(fmt.Sprintf("core: %s is not a query template", q.ID))
+	}
+	pa := PairAnalysis{U: u, Q: q}
+
+	// Lemma 1: A = 0 iff the update template is ignorable with respect to
+	// the query template. The attribute-disjointness test is sound even
+	// for templates outside the §2.1.1 assumptions.
+	pa.AZero = template.IgnorableFor(u, q)
+	if !pa.AZero && opts.UseIntegrityConstraints {
+		if constraintRulesOut(sch, u, q) {
+			pa.AZero = true
+			pa.ByConstraint = true
+		}
+	}
+	if pa.AZero {
+		// Property 3: 1 >= A >= B >= C >= 0, so A = 0 forces B = C = 0.
+		pa.BEqualsA = true
+		pa.CEqualsB = true
+		return pa
+	}
+
+	// Templates violating the simplifying assumptions get the paper's
+	// conservative fallback: no equality is claimed, so no encryption is
+	// recommended for the pair.
+	if u.ViolatesAssumptions || q.ViolatesAssumptions {
+		pa.Conservative = true
+		return pa
+	}
+
+	// §4.3: parameter knowledge cannot reduce invalidations when there is
+	// nothing to compare. Two channels exist: (1) the update's selection
+	// predicate attributes S(U) versus the query's selection attributes
+	// S(Q); (2) for insertions and modifications, whose statements reveal
+	// new attribute values, the modified attributes M(U) versus the
+	// attributes the query compares against parameters. (Channel 2 is why
+	// Table 4 reports B < A for the toystore's credit-card insertion
+	// against Q3, despite S(U) = {} for insertions.)
+	pa.BEqualsA = !u.Sel.Intersects(q.Sel)
+	if u.Kind == template.KInsert || u.Kind == template.KModify {
+		if u.Mod.Intersects(q.ParamSel) {
+			pa.BEqualsA = false
+		}
+	}
+
+	// §4.4: sufficient conditions per update class.
+	switch u.Kind {
+	case template.KInsert:
+		// Insertions: C = B for SPJ queries with equality joins and no
+		// top-k (class E ∩ N). This is the paper's main result.
+		pa.CEqualsB = q.EqJoinsOnly && q.NoTopK
+	case template.KDelete:
+		// Deletions: C = B when the query is result-unhelpful (class H).
+		pa.CEqualsB = template.ResultUnhelpfulFor(u, q)
+	case template.KModify:
+		// Modifications: C = B when the pair is in G ∪ H. G was handled
+		// above (A = 0), so only H remains.
+		pa.CEqualsB = template.ResultUnhelpfulFor(u, q)
+	}
+	return pa
+}
+
+// constraintRulesOut implements the §4.5 integrity-constraint refinement:
+// an insertion into relation R cannot affect a query if every FROM instance
+// of R is shielded either by a parameter-equality predicate on R's primary
+// key (primary-key constraint: the cached result is non-empty, so the key
+// is taken and the insertion cannot duplicate it) or by an equality join of
+// R's primary key with a foreign-key column referencing R (foreign-key
+// constraint: the inserted row's fresh key cannot join any existing child
+// row).
+func constraintRulesOut(sch *schema.Schema, u, q *template.Template) bool {
+	if u.Kind != template.KInsert {
+		return false
+	}
+	sel, ok := q.Stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return false
+	}
+	ins := u.Stmt.(*sqlparse.InsertStmt)
+	target := sch.Table(ins.Table)
+	if target == nil || len(target.PrimaryKey) != 1 {
+		return false
+	}
+	pkCol := target.PrimaryKey[0]
+
+	r, err := schema.NewResolver(sch, sel.From)
+	if err != nil {
+		return false
+	}
+	touches := false
+	for fi, f := range sel.From {
+		if f.Table != ins.Table {
+			continue
+		}
+		touches = true
+		if !instanceShielded(sch, r, sel, fi, ins.Table, pkCol) {
+			return false
+		}
+	}
+	return touches
+}
+
+// instanceShielded reports whether FROM instance fi of relation table is
+// protected from insertions by a PK-parameter equality or a PK/FK equality
+// join.
+func instanceShielded(sch *schema.Schema, r *schema.Resolver, sel *sqlparse.SelectStmt, fi int, table, pkCol string) bool {
+	for _, p := range sel.Where {
+		if p.Op != sqlparse.OpEq {
+			continue
+		}
+		for _, o := range [2][2]sqlparse.Operand{{p.Left, p.Right}, {p.Right, p.Left}} {
+			col, other := o[0], o[1]
+			if col.Kind != sqlparse.OpColumn {
+				continue
+			}
+			rc, err := r.Resolve(col.Col)
+			if err != nil || rc.FromIndex != fi || rc.Attr.Column != pkCol {
+				continue
+			}
+			switch other.Kind {
+			case sqlparse.OpParam:
+				// Primary-key constraint: pk = ?.
+				return true
+			case sqlparse.OpColumn:
+				// Foreign-key constraint: pk joined with a column declared
+				// as a foreign key into this relation.
+				orc, err := r.Resolve(other.Col)
+				if err != nil {
+					continue
+				}
+				for _, fk := range sch.ForeignKeys {
+					if fk.RefTable == table && fk.RefColumn == pkCol &&
+						fk.Table == orc.Attr.Table && fk.Column == orc.Attr.Column {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Analysis is the full IPM characterization of an application: one
+// PairAnalysis per update/query template pair.
+type Analysis struct {
+	App   *template.App
+	Opts  Options
+	Pairs [][]PairAnalysis // indexed [update][query], in App order
+}
+
+// Analyze characterizes every update/query template pair of the app.
+func Analyze(app *template.App, opts Options) *Analysis {
+	a := &Analysis{App: app, Opts: opts}
+	a.Pairs = make([][]PairAnalysis, len(app.Updates))
+	for i, u := range app.Updates {
+		a.Pairs[i] = make([]PairAnalysis, len(app.Queries))
+		for j, q := range app.Queries {
+			a.Pairs[i][j] = AnalyzePair(app.Schema, u, q, opts)
+		}
+	}
+	return a
+}
+
+// Pair returns the characterization for the given template IDs.
+func (a *Analysis) Pair(updateID, queryID string) (PairAnalysis, bool) {
+	for i, u := range a.App.Updates {
+		if u.ID != updateID {
+			continue
+		}
+		for j, q := range a.App.Queries {
+			if q.ID == queryID {
+				return a.Pairs[i][j], true
+			}
+		}
+	}
+	return PairAnalysis{}, false
+}
+
+// Counts aggregates the characterization into the five buckets of Table 7.
+type Counts struct {
+	AllZero int // A = B = C = 0
+
+	// Buckets for pairs with A = 1, split as in Table 7.
+	BLessCLess int // B < A, C < B
+	BLessCEq   int // B < A, C = B
+	BEqCEq     int // B = A, C = B
+	BEqCLess   int // B = A, C < B
+}
+
+// Total returns the number of pairs counted.
+func (c Counts) Total() int {
+	return c.AllZero + c.BLessCLess + c.BLessCEq + c.BEqCEq + c.BEqCLess
+}
+
+// Counts tabulates the analysis as in Table 7 of the paper.
+func (a *Analysis) Counts() Counts {
+	var c Counts
+	for i := range a.Pairs {
+		for _, pa := range a.Pairs[i] {
+			switch {
+			case pa.AZero:
+				c.AllZero++
+			case !pa.BEqualsA && !pa.CEqualsB:
+				c.BLessCLess++
+			case !pa.BEqualsA && pa.CEqualsB:
+				c.BLessCEq++
+			case pa.BEqualsA && pa.CEqualsB:
+				c.BEqCEq++
+			default:
+				c.BEqCLess++
+			}
+		}
+	}
+	return c
+}

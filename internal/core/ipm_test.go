@@ -1,0 +1,394 @@
+package core
+
+import (
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/template"
+)
+
+// TestTable4Reproduction checks the full IPM characterization of the
+// toystore application against Table 4 of the paper.
+func TestTable4Reproduction(t *testing.T) {
+	app := apps.Toystore()
+	a := Analyze(app, DefaultOptions())
+
+	want := map[[2]string]struct {
+		aZero, bEqA, cEqB bool
+	}{
+		// Row U1: A11=1, B11=A11, C11<B11; A12=1, B12<A12, C12=B12; A13=0.
+		{"U1", "Q1"}: {false, true, false},
+		{"U1", "Q2"}: {false, false, true},
+		{"U1", "Q3"}: {true, true, true},
+		// Row U2: A21=0; A22=0; A23=1, B23<A23, C23=B23.
+		{"U2", "Q1"}: {true, true, true},
+		{"U2", "Q2"}: {true, true, true},
+		{"U2", "Q3"}: {false, false, true},
+	}
+	for pair, w := range want {
+		pa, ok := a.Pair(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("pair %v not found", pair)
+		}
+		if pa.AZero != w.aZero || pa.BEqualsA != w.bEqA || pa.CEqualsB != w.cEqB {
+			t.Errorf("%v/%v: got %s, want aZero=%v bEqA=%v cEqB=%v",
+				pair[0], pair[1], pa, w.aZero, w.bEqA, w.cEqB)
+		}
+	}
+}
+
+func TestTable4Counts(t *testing.T) {
+	a := Analyze(apps.Toystore(), DefaultOptions())
+	c := a.Counts()
+	if c.Total() != 6 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c.AllZero != 3 {
+		t.Errorf("AllZero = %d, want 3", c.AllZero)
+	}
+	if c.BEqCLess != 1 { // U1/Q1
+		t.Errorf("BEqCLess = %d, want 1", c.BEqCLess)
+	}
+	if c.BLessCEq != 2 { // U1/Q2, U2/Q3
+		t.Errorf("BLessCEq = %d, want 2", c.BLessCEq)
+	}
+}
+
+// TestSection45PrimaryKeyConstraint reproduces §4.5 example 1: with
+// toy_id the primary key of toys, no insertion into toys affects the
+// cached result of any instance of Q2 (SELECT qty FROM toys WHERE
+// toy_id=?).
+func TestSection45PrimaryKeyConstraint(t *testing.T) {
+	app := apps.Toystore()
+	ins := template.MustNew("U3", app.Schema, "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+	q2 := app.Query("Q2")
+
+	with := AnalyzePair(app.Schema, ins, q2, Options{UseIntegrityConstraints: true})
+	if !with.AZero || !with.ByConstraint {
+		t.Errorf("with constraints: %+v, want A=0 by constraint", with)
+	}
+	without := AnalyzePair(app.Schema, ins, q2, Options{UseIntegrityConstraints: false})
+	if without.AZero {
+		t.Errorf("without constraints A should be 1: %+v", without)
+	}
+}
+
+// TestSection45ForeignKeyConstraint reproduces §4.5 example 2: with
+// credit_card.cid a foreign key into customers, no insertion into
+// customers affects the cached result of any instance of Q3.
+func TestSection45ForeignKeyConstraint(t *testing.T) {
+	app := apps.Toystore()
+	ins := template.MustNew("U4", app.Schema, "INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)")
+	q3 := app.Query("Q3")
+
+	with := AnalyzePair(app.Schema, ins, q3, Options{UseIntegrityConstraints: true})
+	if !with.AZero || !with.ByConstraint {
+		t.Errorf("with constraints: %+v, want A=0 by constraint", with)
+	}
+	without := AnalyzePair(app.Schema, ins, q3, Options{UseIntegrityConstraints: false})
+	if without.AZero {
+		t.Errorf("without constraints A should be 1: %+v", without)
+	}
+}
+
+// TestChildInsertNotShielded: inserting into the child relation
+// (credit_card) is NOT ruled out by the foreign-key constraint — new child
+// rows join existing parents.
+func TestChildInsertNotShielded(t *testing.T) {
+	app := apps.Toystore()
+	pa, _ := Analyze(app, DefaultOptions()).Pair("U2", "Q3")
+	if pa.AZero {
+		t.Error("child insertion wrongly ruled out")
+	}
+}
+
+func TestConservativeFallbackForAssumptionViolations(t *testing.T) {
+	app := apps.Toystore()
+	// Template with an embedded constant violates §2.1.1 assumption 2.
+	q := template.MustNew("QV", app.Schema, "SELECT toy_id FROM toys WHERE qty>100")
+	u := app.Update("U1")
+	pa := AnalyzePair(app.Schema, u, q, DefaultOptions())
+	if pa.AZero {
+		t.Fatal("A should be 1")
+	}
+	if !pa.Conservative {
+		t.Error("Conservative not set")
+	}
+	if pa.BEqualsA || pa.CEqualsB {
+		t.Error("conservative fallback must claim no equalities")
+	}
+	// Ignorable test is still sound under violations.
+	qOther := template.MustNew("QO", app.Schema, "SELECT cust_name FROM customers WHERE cust_id=?")
+	pa2 := AnalyzePair(app.Schema, u, qOther, DefaultOptions())
+	if !pa2.AZero {
+		t.Error("ignorable pair should still get A=0")
+	}
+}
+
+func TestInsertionTopKNotCEqualsB(t *testing.T) {
+	app := apps.Toystore()
+	ins := template.MustNew("U3", app.Schema, "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+	// §4.4 example (b): MAX behaves like top-k, so view inspection can
+	// help for insertions: C may be < B.
+	maxQ := template.MustNew("QM", app.Schema, "SELECT MAX(qty) FROM toys")
+	pa := AnalyzePair(app.Schema, ins, maxQ, DefaultOptions())
+	if pa.AZero {
+		t.Fatal("A should be 1")
+	}
+	if pa.CEqualsB {
+		t.Error("C=B claimed for top-k-like query under insertion")
+	}
+	// Plain equality-join SPJ query: C = B (the paper's main §4.4 result).
+	spj := template.MustNew("QS", app.Schema, "SELECT toy_name FROM toys WHERE qty=?")
+	pa2 := AnalyzePair(app.Schema, ins, spj, DefaultOptions())
+	if pa2.AZero || !pa2.CEqualsB {
+		t.Errorf("SPJ E∩N query should give C=B: %+v", pa2)
+	}
+}
+
+func TestLimitQueryNotCEqualsBUnderInsert(t *testing.T) {
+	app := apps.Toystore()
+	ins := template.MustNew("U3", app.Schema, "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+	topk := template.MustNew("QT", app.Schema, "SELECT toy_id, qty FROM toys WHERE toy_name=? ORDER BY qty DESC LIMIT 10")
+	pa := AnalyzePair(app.Schema, ins, topk, DefaultOptions())
+	if pa.AZero || pa.CEqualsB {
+		t.Errorf("top-k query should give C<B under insertion: %+v", pa)
+	}
+}
+
+func TestModificationGOrH(t *testing.T) {
+	app := apps.Toystore()
+	// §4.4 modification example: precondition not met, C < B.
+	mod := template.MustNew("UM", app.Schema, "UPDATE toys SET qty=? WHERE toy_id=?")
+	q := template.MustNew("QH", app.Schema, "SELECT toy_id FROM toys WHERE qty>?")
+	pa := AnalyzePair(app.Schema, mod, q, DefaultOptions())
+	if pa.AZero || pa.CEqualsB {
+		t.Errorf("modification with preserved selection attr should give C<B: %+v", pa)
+	}
+	// Result-unhelpful query (preserves nothing the update selects on).
+	q2 := template.MustNew("QH2", app.Schema, "SELECT toy_name FROM toys WHERE qty>?")
+	pa2 := AnalyzePair(app.Schema, mod, q2, DefaultOptions())
+	if pa2.AZero {
+		t.Fatal("A should be 1")
+	}
+	if !pa2.CEqualsB {
+		t.Errorf("result-unhelpful modification pair should give C=B: %+v", pa2)
+	}
+}
+
+func TestPairProbGradient(t *testing.T) {
+	app := apps.Toystore()
+	a := Analyze(app, DefaultOptions())
+	exps := []template.Exposure{template.ExpBlind, template.ExpTemplate, template.ExpStmt}
+	for ui := range a.Pairs {
+		for qi, pa := range a.Pairs[ui] {
+			_ = qi
+			for _, eu := range exps {
+				prev := ProbOne
+				for _, eq := range []template.Exposure{template.ExpBlind, template.ExpTemplate, template.ExpStmt, template.ExpView} {
+					p := PairProb(pa, eu, eq)
+					if p > prev {
+						t.Errorf("probability increased with more exposure: %v/%v %v,%v", pa.U.ID, pa.Q.ID, eu, eq)
+					}
+					prev = p
+				}
+				// Property 1: blind on either side gives probability 1.
+				if PairProb(pa, template.ExpBlind, template.ExpView) != ProbOne {
+					t.Error("blind update must give probability 1")
+				}
+				if PairProb(pa, eu, template.ExpBlind) != ProbOne {
+					t.Error("blind query must give probability 1")
+				}
+			}
+		}
+	}
+}
+
+func TestPairProbProperty2(t *testing.T) {
+	// Property 2: probability is the same whenever one level is template
+	// and the other is not blind.
+	app := apps.Toystore()
+	a := Analyze(app, DefaultOptions())
+	for ui := range a.Pairs {
+		for _, pa := range a.Pairs[ui] {
+			base := PairProb(pa, template.ExpTemplate, template.ExpTemplate)
+			combos := [][2]template.Exposure{
+				{template.ExpTemplate, template.ExpStmt},
+				{template.ExpTemplate, template.ExpView},
+				{template.ExpStmt, template.ExpTemplate},
+			}
+			for _, c := range combos {
+				if got := PairProb(pa, c[0], c[1]); got != base {
+					t.Errorf("%v/%v: prob(%v,%v)=%v != prob(template,template)=%v",
+						pa.U.ID, pa.Q.ID, c[0], c[1], got, base)
+				}
+			}
+		}
+	}
+}
+
+// TestSection32Example reproduces the methodology walk-through of §3.2:
+// starting from E(U2) = template (credit-card law), Step 2b reduces Q3
+// from view to template and Q2 from view to stmt, with Q1 and U1 remaining
+// fully exposed.
+func TestSection32Example(t *testing.T) {
+	app := apps.Toystore()
+	m := Methodology{
+		App:        app,
+		Compulsory: ExposureAssignment{"U2": template.ExpTemplate},
+		Opts:       DefaultOptions(),
+	}
+	r := m.Run()
+
+	want := ExposureAssignment{
+		"Q1": template.ExpView,
+		"Q2": template.ExpStmt,
+		"Q3": template.ExpTemplate,
+		"U1": template.ExpStmt,
+		"U2": template.ExpTemplate,
+	}
+	for id, w := range want {
+		if got := r.Final[id]; got != w {
+			t.Errorf("final E(%s) = %v, want %v", id, got, w)
+		}
+	}
+	if r.Initial["U2"] != template.ExpTemplate {
+		t.Errorf("initial E(U2) = %v", r.Initial["U2"])
+	}
+	if r.Initial["Q1"] != template.ExpView {
+		t.Errorf("initial E(Q1) = %v", r.Initial["Q1"])
+	}
+}
+
+// TestReductionNeverChangesProbability: the defining invariant of Step 2b.
+func TestReductionNeverChangesProbability(t *testing.T) {
+	app := apps.Toystore()
+	a := Analyze(app, DefaultOptions())
+	initial := MaxExposures(app)
+	final := ReduceExposures(a, initial)
+	for ui, u := range app.Updates {
+		for qi, q := range app.Queries {
+			pa := a.Pairs[ui][qi]
+			before := PairProb(pa, initial[u.ID], initial[q.ID])
+			after := PairProb(pa, final[u.ID], final[q.ID])
+			if before != after {
+				t.Errorf("%s/%s: prob changed %v -> %v", u.ID, q.ID, before, after)
+			}
+		}
+	}
+}
+
+func TestReduceMonotone(t *testing.T) {
+	app := apps.Toystore()
+	a := Analyze(app, DefaultOptions())
+	initial := MaxExposures(app)
+	final := ReduceExposures(a, initial)
+	for id, e := range final {
+		if e > initial[id] {
+			t.Errorf("exposure of %s increased: %v -> %v", id, initial[id], e)
+		}
+	}
+	// Initial assignment must be untouched.
+	if initial["Q3"] != template.ExpView {
+		t.Error("ReduceExposures mutated its input")
+	}
+}
+
+func TestReduceOrderIndependent(t *testing.T) {
+	// Run the reduction on an app with reversed template order; the final
+	// per-ID levels must match (§3.1: order does not affect the outcome).
+	app1 := apps.Toystore()
+	app2 := apps.Toystore()
+	for i, j := 0, len(app2.Queries)-1; i < j; i, j = i+1, j-1 {
+		app2.Queries[i], app2.Queries[j] = app2.Queries[j], app2.Queries[i]
+	}
+	for i, j := 0, len(app2.Updates)-1; i < j; i, j = i+1, j-1 {
+		app2.Updates[i], app2.Updates[j] = app2.Updates[j], app2.Updates[i]
+	}
+	f1 := ReduceExposures(Analyze(app1, DefaultOptions()), MaxExposures(app1))
+	f2 := ReduceExposures(Analyze(app2, DefaultOptions()), MaxExposures(app2))
+	for id, e := range f1 {
+		if f2[id] != e {
+			t.Errorf("order-dependent result for %s: %v vs %v", id, e, f2[id])
+		}
+	}
+}
+
+func TestEncryptedResultCount(t *testing.T) {
+	app := apps.Toystore()
+	e := MaxExposures(app)
+	if n := EncryptedResultCount(app, e); n != 0 {
+		t.Errorf("max exposure count = %d", n)
+	}
+	e["Q1"] = template.ExpStmt
+	e["Q2"] = template.ExpBlind
+	if n := EncryptedResultCount(app, e); n != 2 {
+		t.Errorf("count = %d, want 2", n)
+	}
+}
+
+func TestSimpleToystoreTable2Analysis(t *testing.T) {
+	// For simple-toystore (Table 1), U1 affects Q1 and Q2 but is ignorable
+	// with respect to Q3 (customers relation untouched), matching the
+	// invalidation behaviour shown in Table 2.
+	app := apps.SimpleToystore()
+	a := Analyze(app, DefaultOptions())
+	pa, _ := a.Pair("U1", "Q1")
+	if pa.AZero {
+		t.Error("U1/Q1 should have A=1")
+	}
+	pa, _ = a.Pair("U1", "Q2")
+	if pa.AZero {
+		t.Error("U1/Q2 should have A=1")
+	}
+	pa, _ = a.Pair("U1", "Q3")
+	if !pa.AZero {
+		t.Error("U1/Q3 should have A=0")
+	}
+}
+
+func TestAnalysisPanicsOnSwappedArgs(t *testing.T) {
+	app := apps.Toystore()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on swapped args")
+		}
+	}()
+	AnalyzePair(app.Schema, app.Queries[0], app.Updates[0], DefaultOptions())
+}
+
+func TestPairLookupMiss(t *testing.T) {
+	a := Analyze(apps.Toystore(), DefaultOptions())
+	if _, ok := a.Pair("U9", "Q1"); ok {
+		t.Error("missing pair found")
+	}
+	if _, ok := a.Pair("U1", "Q9"); ok {
+		t.Error("missing pair found")
+	}
+}
+
+func TestPairAnalysisString(t *testing.T) {
+	pa := PairAnalysis{AZero: true}
+	if pa.String() != "A=0, B=A, C=B" {
+		t.Errorf("got %q", pa.String())
+	}
+	pa = PairAnalysis{BEqualsA: true}
+	if pa.String() != "A=1, B=A, C<B" {
+		t.Errorf("got %q", pa.String())
+	}
+}
+
+func TestReductionsSorted(t *testing.T) {
+	app := apps.Toystore()
+	m := Methodology{App: app, Compulsory: ExposureAssignment{"U2": template.ExpTemplate}, Opts: DefaultOptions()}
+	r := m.Run()
+	qs, us := r.Reductions()
+	if len(qs) != 3 || len(us) != 2 {
+		t.Fatalf("rows: %d queries, %d updates", len(qs), len(us))
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Final < qs[i-1].Final {
+			t.Error("queries not sorted by final exposure")
+		}
+	}
+}

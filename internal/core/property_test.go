@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/template"
+)
+
+// threeApps returns fresh copies of the benchmark applications' template
+// sets for analysis-level property tests.
+func threeApps() []*template.App {
+	// The apps package's benchmark constructors live behind the
+	// workload.Benchmark interface; rebuild plain template apps here to
+	// avoid the dependency.
+	return []*template.App{
+		apps.Toystore(),
+		apps.SimpleToystore(),
+	}
+}
+
+// TestReduceIdempotent: running the reduction twice changes nothing.
+func TestReduceIdempotent(t *testing.T) {
+	for _, app := range threeApps() {
+		a := Analyze(app, DefaultOptions())
+		once := ReduceExposures(a, MaxExposures(app))
+		twice := ReduceExposures(a, once)
+		for id, e := range once {
+			if twice[id] != e {
+				t.Errorf("%s/%s: reduction not idempotent (%v -> %v)", app.Name, id, e, twice[id])
+			}
+		}
+	}
+}
+
+// TestReductionRespectsCompulsoryCaps: Step 2b never raises a template
+// above its Step 1 cap.
+func TestReductionRespectsCompulsoryCaps(t *testing.T) {
+	app := apps.Toystore()
+	m := Methodology{
+		App: app,
+		Compulsory: ExposureAssignment{
+			"U2": template.ExpBlind,
+			"Q3": template.ExpTemplate,
+		},
+		Opts: DefaultOptions(),
+	}
+	r := m.Run()
+	if r.Final["U2"] != template.ExpBlind {
+		t.Errorf("U2 rose above its cap: %v", r.Final["U2"])
+	}
+	if r.Final["Q3"] > template.ExpTemplate {
+		t.Errorf("Q3 rose above its cap: %v", r.Final["Q3"])
+	}
+}
+
+// TestCompulsoryBlindUpdateForcesNothingElse: capping one update at blind
+// forces probability 1 for all its pairs but must not stop other
+// templates' free reductions.
+func TestCompulsoryBlindUpdateForcesNothingElse(t *testing.T) {
+	app := apps.Toystore()
+	m := Methodology{App: app, Compulsory: ExposureAssignment{"U2": template.ExpBlind}, Opts: DefaultOptions()}
+	r := m.Run()
+	// With U2 blind, every query's probability vs U2 is 1 regardless of
+	// the query's own exposure — so Q3 can fall to template. It cannot go
+	// blind: a blind query forces probability 1 even for its ignorable
+	// pair with U1 (Property 1).
+	if r.Final["Q3"] != template.ExpTemplate {
+		t.Errorf("Q3 = %v, want template", r.Final["Q3"])
+	}
+	// Q2 is still constrained by U1 at statement level.
+	if r.Final["Q2"] != template.ExpStmt {
+		t.Errorf("Q2 = %v, want stmt", r.Final["Q2"])
+	}
+}
+
+// TestUnknownCompulsoryIDIgnored: caps on nonexistent templates are
+// harmless.
+func TestUnknownCompulsoryIDIgnored(t *testing.T) {
+	app := apps.Toystore()
+	m := Methodology{App: app, Compulsory: ExposureAssignment{"NOPE": template.ExpBlind}, Opts: DefaultOptions()}
+	r := m.Run()
+	if _, ok := r.Initial["NOPE"]; ok {
+		t.Error("phantom template in assignment")
+	}
+}
+
+// TestAnalysisDeterministic: analyzing the same app twice gives identical
+// characterizations.
+func TestAnalysisDeterministic(t *testing.T) {
+	a1 := Analyze(apps.Toystore(), DefaultOptions())
+	a2 := Analyze(apps.Toystore(), DefaultOptions())
+	for i := range a1.Pairs {
+		for j := range a1.Pairs[i] {
+			p1, p2 := a1.Pairs[i][j], a2.Pairs[i][j]
+			if p1.AZero != p2.AZero || p1.BEqualsA != p2.BEqualsA || p1.CEqualsB != p2.CEqualsB {
+				t.Fatalf("nondeterministic analysis at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+// TestConstraintsOnlyAddZeros: enabling integrity constraints can only
+// turn A=1 pairs into A=0 pairs, never the reverse, and never flips the
+// other relations for surviving pairs.
+func TestConstraintsOnlyAddZeros(t *testing.T) {
+	app := apps.Toystore()
+	with := Analyze(app, Options{UseIntegrityConstraints: true})
+	without := Analyze(app, Options{UseIntegrityConstraints: false})
+	for i := range with.Pairs {
+		for j := range with.Pairs[i] {
+			w, wo := with.Pairs[i][j], without.Pairs[i][j]
+			if wo.AZero && !w.AZero {
+				t.Errorf("constraints removed an A=0 fact for %s/%s", w.U.ID, w.Q.ID)
+			}
+			if !w.AZero && !wo.AZero {
+				if w.BEqualsA != wo.BEqualsA || w.CEqualsB != wo.CEqualsB {
+					t.Errorf("constraints changed B/C relations for %s/%s", w.U.ID, w.Q.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestEncryptedResultCountBounds sanity-checks the Figure 3 metric.
+func TestEncryptedResultCountBounds(t *testing.T) {
+	app := apps.Toystore()
+	all := make(ExposureAssignment)
+	for _, q := range app.Queries {
+		all[q.ID] = template.ExpBlind
+	}
+	if got := EncryptedResultCount(app, all); got != len(app.Queries) {
+		t.Errorf("all-blind count = %d", got)
+	}
+}

@@ -1,0 +1,114 @@
+// Package dssp assembles the Database Scalability Service Provider node of
+// Figure 1/2: the untrusted cache of (possibly encrypted) query results,
+// the mixed invalidation strategy dispatch, and the query/update pathways
+// between clients and the application's home server.
+//
+// The node never holds encryption keys. Everything it learns comes from
+// the exposure levels chosen by the application's administrator; the rest
+// passes through as opaque ciphertext.
+package dssp
+
+import (
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/homeserver"
+	"dssp/internal/invalidate"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// Node is one DSSP node serving a single application.
+type Node struct {
+	App   *template.App
+	Cache *cache.Cache
+}
+
+// NewNode builds a DSSP node using the given static analysis (which
+// determines template-inspection decisions).
+func NewNode(app *template.App, analysis *core.Analysis, opts cache.Options) *Node {
+	inv := invalidate.New(app, analysis)
+	return &Node{App: app, Cache: cache.New(app, inv, opts)}
+}
+
+// HandleQuery serves a sealed query from the cache, reporting whether it
+// was a hit.
+func (n *Node) HandleQuery(q wire.SealedQuery) (wire.SealedResult, bool) {
+	return n.Cache.Lookup(q)
+}
+
+// StoreResult caches a result fetched from the home server on a miss.
+func (n *Node) StoreResult(q wire.SealedQuery, r wire.SealedResult, empty bool) {
+	n.Cache.Store(q, r, empty)
+}
+
+// OnUpdateCompleted runs invalidation after the home server confirms an
+// update, returning the number of cache entries invalidated.
+func (n *Node) OnUpdateCompleted(u wire.SealedUpdate) int {
+	return n.Cache.OnUpdate(u)
+}
+
+// Client is the trusted, application-side driver: it seals statements,
+// routes them through a DSSP node to a home server, and opens results.
+// The simulator and the examples use it as the synchronous (non-simulated)
+// pathway; the discrete-event simulator reimplements the same flow with
+// latencies attached.
+type Client struct {
+	Codec *wire.Codec
+	Node  *Node
+	Home  *homeserver.Server
+}
+
+// QueryOutcome describes how a query was served.
+type QueryOutcome struct {
+	Hit     bool
+	Rows    int
+	Scanned int // base rows scanned at the home server (0 on a hit)
+}
+
+// Query executes one query template instance end to end.
+func (c *Client) Query(t *template.Template, params ...interface{}) (*QueryResult, error) {
+	vals, err := Params(params...)
+	if err != nil {
+		return nil, err
+	}
+	sq, err := c.Codec.SealQuery(t, vals)
+	if err != nil {
+		return nil, err
+	}
+	sealed, hit := c.Node.HandleQuery(sq)
+	outcome := QueryOutcome{Hit: hit}
+	if !hit {
+		var empty bool
+		sealed, empty, outcome.Scanned, err = c.Home.ExecQuery(sq)
+		if err != nil {
+			return nil, err
+		}
+		c.Node.StoreResult(sq, sealed, empty)
+	}
+	res, err := c.Codec.OpenResult(sealed)
+	if err != nil {
+		return nil, err
+	}
+	outcome.Rows = res.Len()
+	return &QueryResult{Result: res, Outcome: outcome}, nil
+}
+
+// Update executes one update template instance end to end: the update is
+// routed (encrypted) via the DSSP to the home server, and the DSSP
+// invalidates after completion (Figure 2).
+func (c *Client) Update(t *template.Template, params ...interface{}) (affected, invalidated int, err error) {
+	vals, err := Params(params...)
+	if err != nil {
+		return 0, 0, err
+	}
+	su, err := c.Codec.SealUpdate(t, vals)
+	if err != nil {
+		return 0, 0, err
+	}
+	affected, err = c.Home.ExecUpdate(su)
+	if err != nil {
+		return 0, 0, err
+	}
+	invalidated = c.Node.OnUpdateCompleted(su)
+	return affected, invalidated, nil
+}

@@ -1,0 +1,309 @@
+package dssp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/encrypt"
+	"dssp/internal/engine"
+	"dssp/internal/homeserver"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+var toyNames = []string{"bear", "truck", "doll", "kite", "ball"}
+
+// richApp extends the toystore with templates covering every update/query
+// interaction class.
+func richApp() *template.App {
+	app := apps.Toystore()
+	s := app.Schema
+	app.Queries = append(app.Queries,
+		template.MustNew("Q4", s, "SELECT toy_id, qty FROM toys WHERE toy_name=?"),
+		template.MustNew("Q5", s, "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 3"),
+		template.MustNew("Q6", s, "SELECT MAX(qty) FROM toys"),
+		template.MustNew("Q7", s, "SELECT toy_name FROM toys WHERE qty>?"),
+	)
+	app.Updates = append(app.Updates,
+		template.MustNew("U3", s, "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"),
+		template.MustNew("U4", s, "UPDATE toys SET qty=? WHERE toy_id=?"),
+		template.MustNew("U5", s, "DELETE FROM toys WHERE qty<?"),
+		template.MustNew("U6", s, "INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)"),
+	)
+	return app
+}
+
+func newStack(t testing.TB, app *template.App, exps map[string]template.Exposure) (*Client, *storage.Database) {
+	t.Helper()
+	master := make([]byte, encrypt.KeySize)
+	for i := range master {
+		master[i] = byte(i * 3)
+	}
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master), exps)
+	db := storage.NewDatabase(app.Schema)
+	node := NewNode(app, core.Analyze(app, core.DefaultOptions()), cache.Options{})
+	home := homeserver.New(db, app, codec)
+	return &Client{Codec: codec, Node: node, Home: home}, db
+}
+
+func seed(t testing.TB, db *storage.Database, rng *rand.Rand) {
+	t.Helper()
+	for i := 1; i <= 8; i++ {
+		if err := db.Insert("toys", storage.Row{
+			sqlparse.IntVal(int64(i)),
+			sqlparse.StringVal(toyNames[rng.Intn(len(toyNames))]),
+			sqlparse.IntVal(int64(rng.Intn(20))),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		if err := db.Insert("customers", storage.Row{sqlparse.IntVal(int64(i)), sqlparse.StringVal(fmt.Sprintf("c%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("credit_card", storage.Row{
+			sqlparse.IntVal(int64(i)), sqlparse.StringVal("4111"), sqlparse.StringVal(fmt.Sprintf("152%02d", i%3)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// exposureScenarios covers the uniform strategies of Figure 8 plus the
+// methodology outcome of §3.2.
+func exposureScenarios(app *template.App) map[string]map[string]template.Exposure {
+	uniform := func(e template.Exposure) map[string]template.Exposure {
+		m := make(map[string]template.Exposure)
+		for _, q := range app.Queries {
+			m[q.ID] = e
+		}
+		for _, u := range app.Updates {
+			eu := e
+			if eu > template.ExpStmt {
+				eu = template.ExpStmt
+			}
+			m[u.ID] = eu
+		}
+		return m
+	}
+	m := core.Methodology{App: app, Compulsory: core.ExposureAssignment{"U2": template.ExpTemplate},
+		Opts: core.DefaultOptions()}
+	reduced := m.Run().Final
+	return map[string]map[string]template.Exposure{
+		"MVIS":        uniform(template.ExpView),
+		"MSIS":        uniform(template.ExpStmt),
+		"MTIS":        uniform(template.ExpTemplate),
+		"MBS":         uniform(template.ExpBlind),
+		"methodology": reduced,
+	}
+}
+
+// TestEndToEndConsistency is the system-level invariant: under any
+// exposure assignment, every query answered by the DSSP (from cache or
+// via the home server) equals direct execution against the master
+// database, across a random interleaving of queries and updates.
+func TestEndToEndConsistency(t *testing.T) {
+	app := richApp()
+	for name, exps := range exposureScenarios(app) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			client, db := newStack(t, app, exps)
+			seed(t, db, rng)
+			st := newGenState()
+
+			hits := 0
+			for step := 0; step < 1500; step++ {
+				if rng.Intn(100) < 80 { // 80% queries
+					q := app.Queries[rng.Intn(len(app.Queries))]
+					params := queryParams(rng, q)
+					got, err := client.Query(q, params...)
+					if err != nil {
+						t.Fatalf("step %d query %s: %v", step, q.ID, err)
+					}
+					if got.Outcome.Hit {
+						hits++
+					}
+					vals, _ := Params(params...)
+					want, err := engine.ExecQuery(db, q.Stmt.(*sqlparse.SelectStmt), vals)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ordered := len(q.Stmt.(*sqlparse.SelectStmt).OrderBy) > 0
+					if got.Result.Fingerprint(ordered) != want.Fingerprint(ordered) {
+						t.Fatalf("step %d: stale answer for %s%v (hit=%v):\n got: %v\nwant: %v",
+							step, q.ID, params, got.Outcome.Hit, got.Result.Rows, want.Rows)
+					}
+				} else {
+					u, params := updateParams(rng, app, app.Updates[rng.Intn(len(app.Updates))], st)
+					if _, _, err := client.Update(u, params...); err != nil {
+						t.Fatalf("step %d update %s%v: %v", step, u.ID, params, err)
+					}
+				}
+			}
+			if hits == 0 {
+				t.Error("cache never hit; pathway broken")
+			}
+			cs := client.Node.Cache.Stats()
+			if cs.Stores == 0 || cs.UpdatesSeen == 0 {
+				t.Errorf("stats implausible: %+v", cs)
+			}
+		})
+	}
+}
+
+func queryParams(rng *rand.Rand, q *template.Template) []interface{} {
+	switch q.ID {
+	case "Q1", "Q4":
+		return []interface{}{toyNames[rng.Intn(len(toyNames))]}
+	case "Q2":
+		return []interface{}{1 + rng.Intn(10)}
+	case "Q3":
+		return []interface{}{fmt.Sprintf("152%02d", rng.Intn(3))}
+	case "Q7":
+		return []interface{}{rng.Intn(20)}
+	default:
+		return nil
+	}
+}
+
+// genState tracks fresh primary keys and customers that do not yet have a
+// credit card (credit_card.cid is both primary key and foreign key, so each
+// customer gets at most one card).
+type genState struct {
+	nextToy, nextCust int64
+	cardless          []int64
+}
+
+func newGenState() *genState { return &genState{nextToy: 100, nextCust: 100} }
+
+// updateParams picks parameters for an update template; it may substitute
+// another template when the chosen one has no valid parameters (e.g. a card
+// insertion with no cardless customer) and returns the template used.
+func updateParams(rng *rand.Rand, app *template.App, u *template.Template, st *genState) (*template.Template, []interface{}) {
+	switch u.ID {
+	case "U1":
+		return u, []interface{}{1 + rng.Intn(12)}
+	case "U2":
+		if len(st.cardless) == 0 {
+			return updateParams(rng, app, app.Update("U6"), st)
+		}
+		cid := st.cardless[len(st.cardless)-1]
+		st.cardless = st.cardless[:len(st.cardless)-1]
+		return u, []interface{}{int(cid), "4111", fmt.Sprintf("152%02d", rng.Intn(3))}
+	case "U3":
+		st.nextToy++
+		return u, []interface{}{int(st.nextToy), toyNames[rng.Intn(len(toyNames))], rng.Intn(25)}
+	case "U4":
+		return u, []interface{}{rng.Intn(25), 1 + rng.Intn(12)}
+	case "U5":
+		return u, []interface{}{rng.Intn(5)}
+	case "U6":
+		st.nextCust++
+		st.cardless = append(st.cardless, st.nextCust)
+		return u, []interface{}{int(st.nextCust), "newbie"}
+	default:
+		return u, nil
+	}
+}
+
+// TestHitRateOrdering: with everything else equal, higher exposure must
+// yield at least as many hits (fewer invalidations) over the same
+// workload — the scalability mechanism of the paper.
+func TestHitRateOrdering(t *testing.T) {
+	app := richApp()
+	scenarios := exposureScenarios(app)
+	order := []string{"MVIS", "MSIS", "MTIS", "MBS"}
+	hitRates := make(map[string]float64)
+	for _, name := range order {
+		rng := rand.New(rand.NewSource(7))
+		client, db := newStack(t, app, scenarios[name])
+		seed(t, db, rng)
+		st := newGenState()
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(100) < 85 {
+				q := app.Queries[rng.Intn(len(app.Queries))]
+				if _, err := client.Query(q, queryParams(rng, q)...); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				u, params := updateParams(rng, app, app.Updates[rng.Intn(len(app.Updates))], st)
+				if _, _, err := client.Update(u, params...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cs := client.Node.Cache.Stats()
+		hitRates[name] = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+	}
+	for i := 1; i < len(order); i++ {
+		if hitRates[order[i-1]] < hitRates[order[i]] {
+			t.Errorf("hit rate ordering violated: %v", hitRates)
+		}
+	}
+	if hitRates["MVIS"] <= hitRates["MBS"] {
+		t.Errorf("view inspection should beat blind: %v", hitRates)
+	}
+}
+
+// TestMethodologyPreservesHitRate: the §3 claim — the reduced-exposure
+// assignment must achieve the same cache behaviour as the Step 1 baseline
+// on the same workload.
+func TestMethodologyPreservesHitRate(t *testing.T) {
+	app := richApp()
+	scenarios := exposureScenarios(app)
+	run := func(exps map[string]template.Exposure) cache.Stats {
+		rng := rand.New(rand.NewSource(11))
+		client, db := newStack(t, app, exps)
+		seed(t, db, rng)
+		st := newGenState()
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(100) < 85 {
+				q := app.Queries[rng.Intn(len(app.Queries))]
+				if _, err := client.Query(q, queryParams(rng, q)...); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				u, params := updateParams(rng, app, app.Updates[rng.Intn(len(app.Updates))], st)
+				if _, _, err := client.Update(u, params...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return client.Node.Cache.Stats()
+	}
+	_ = scenarios
+	m := core.Methodology{App: app, Compulsory: core.ExposureAssignment{"U2": template.ExpTemplate},
+		Opts: core.DefaultOptions()}
+	r := m.Run()
+	// Step 2b must not change cache behaviour relative to the Step 1
+	// baseline (compulsory encryption applied, everything else fully
+	// exposed). Step 1 itself may cost scalability; Step 2b never does.
+	initial := run(r.Initial)
+	final := run(r.Final)
+	if final.Hits != initial.Hits || final.Invalidations != initial.Invalidations {
+		t.Errorf("exposure reduction changed cache behaviour: initial=%+v final=%+v", initial, final)
+	}
+	// And the reduction is real: strictly more templates encrypted.
+	if core.EncryptedResultCount(app, r.Final) <= core.EncryptedResultCount(app, r.Initial) {
+		t.Error("reduction achieved no additional encryption")
+	}
+}
+
+func TestParamsConversion(t *testing.T) {
+	vals, err := Params(1, int64(2), 3.5, "x", sqlparse.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Int != 1 || vals[1].Int != 2 || vals[2].Float != 3.5 || vals[3].Str != "x" || !vals[4].IsNull() {
+		t.Errorf("vals = %v", vals)
+	}
+	if _, err := Params(struct{}{}); err == nil {
+		t.Error("unsupported type accepted")
+	}
+}

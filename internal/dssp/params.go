@@ -1,0 +1,37 @@
+package dssp
+
+import (
+	"fmt"
+
+	"dssp/internal/engine"
+	"dssp/internal/sqlparse"
+)
+
+// QueryResult pairs a plaintext result with how it was served.
+type QueryResult struct {
+	Result  *engine.Result
+	Outcome QueryOutcome
+}
+
+// Params converts Go values to SQL parameter values. Supported types:
+// int, int64, float64, string, and sqlparse.Value (passed through).
+func Params(args ...interface{}) ([]sqlparse.Value, error) {
+	vals := make([]sqlparse.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			vals[i] = sqlparse.IntVal(int64(v))
+		case int64:
+			vals[i] = sqlparse.IntVal(v)
+		case float64:
+			vals[i] = sqlparse.FloatVal(v)
+		case string:
+			vals[i] = sqlparse.StringVal(v)
+		case sqlparse.Value:
+			vals[i] = v
+		default:
+			return nil, fmt.Errorf("dssp: unsupported parameter type %T", a)
+		}
+	}
+	return vals, nil
+}

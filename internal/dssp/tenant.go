@@ -1,0 +1,110 @@
+package dssp
+
+import (
+	"fmt"
+	"sort"
+
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// MultiNode is a shared DSSP node hosting many applications, the
+// cost-effectiveness premise of §1: a DSSP must cache data from the home
+// servers of many applications on common infrastructure — which is exactly
+// why its administrators are untrusted and encryption matters.
+//
+// Isolation is structural: every tenant has its own cache, its own static
+// analysis, and (on the trusted side) its own keyring; a sealed message is
+// routed by tenant name and can never be answered from another tenant's
+// entries. Cross-tenant reads are impossible by construction, and the
+// deterministic ciphertexts of different tenants never collide because
+// their keyrings differ.
+type MultiNode struct {
+	tenants map[string]*Node
+
+	// Capacity, when positive, is the total entry budget shared by all
+	// tenants; it is divided evenly among them at registration.
+	capacity int
+}
+
+// NewMultiNode creates an empty shared node. totalCapacity <= 0 leaves all
+// tenant caches unbounded.
+func NewMultiNode(totalCapacity int) *MultiNode {
+	return &MultiNode{tenants: make(map[string]*Node), capacity: totalCapacity}
+}
+
+// Register adds an application as a tenant. The application's name is its
+// tenant identity and must be unique on the node.
+func (m *MultiNode) Register(app *template.App, analysis *core.Analysis) (*Node, error) {
+	if _, dup := m.tenants[app.Name]; dup {
+		return nil, fmt.Errorf("dssp: tenant %q already registered", app.Name)
+	}
+	opts := cache.Options{}
+	m.tenants[app.Name] = nil // reserve before re-dividing capacity
+	if m.capacity > 0 {
+		opts.Capacity = m.capacity / len(m.tenants)
+		if opts.Capacity < 1 {
+			opts.Capacity = 1
+		}
+	}
+	n := NewNode(app, analysis, opts)
+	m.tenants[app.Name] = n
+	return n, nil
+}
+
+// Tenant returns the node serving the named application, or nil.
+func (m *MultiNode) Tenant(app string) *Node { return m.tenants[app] }
+
+// Tenants lists tenant names in sorted order.
+func (m *MultiNode) Tenants() []string {
+	out := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HandleQuery routes a sealed query to its tenant's cache.
+func (m *MultiNode) HandleQuery(tenant string, q wire.SealedQuery) (wire.SealedResult, bool, error) {
+	n := m.tenants[tenant]
+	if n == nil {
+		return wire.SealedResult{}, false, fmt.Errorf("dssp: unknown tenant %q", tenant)
+	}
+	r, hit := n.HandleQuery(q)
+	return r, hit, nil
+}
+
+// StoreResult stores a fetched result in the tenant's cache.
+func (m *MultiNode) StoreResult(tenant string, q wire.SealedQuery, r wire.SealedResult, empty bool) error {
+	n := m.tenants[tenant]
+	if n == nil {
+		return fmt.Errorf("dssp: unknown tenant %q", tenant)
+	}
+	n.StoreResult(q, r, empty)
+	return nil
+}
+
+// OnUpdateCompleted runs invalidation for the tenant that issued the
+// update. Other tenants' caches are untouched: applications interact with
+// disjoint home databases.
+func (m *MultiNode) OnUpdateCompleted(tenant string, u wire.SealedUpdate) (int, error) {
+	n := m.tenants[tenant]
+	if n == nil {
+		return 0, fmt.Errorf("dssp: unknown tenant %q", tenant)
+	}
+	return n.OnUpdateCompleted(u), nil
+}
+
+// TotalEntries returns the number of cached entries across all tenants.
+func (m *MultiNode) TotalEntries() int {
+	n := 0
+	for _, t := range m.tenants {
+		if t != nil {
+			n += t.Cache.Len()
+		}
+	}
+	return n
+}

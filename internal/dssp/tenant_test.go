@@ -1,0 +1,134 @@
+package dssp
+
+import (
+	"bytes"
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/core"
+	"dssp/internal/encrypt"
+	"dssp/internal/engine"
+	"dssp/internal/sqlparse"
+	"dssp/internal/wire"
+)
+
+// tenantStack builds a tenant with its own keyring.
+func tenantStack(t *testing.T, keyByte byte) (*wire.Codec, *core.Analysis) {
+	t.Helper()
+	app := apps.Toystore()
+	key := bytes.Repeat([]byte{keyByte}, encrypt.KeySize)
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(key), nil)
+	return codec, core.Analyze(app, core.DefaultOptions())
+}
+
+func TestMultiNodeRouting(t *testing.T) {
+	m := NewMultiNode(0)
+	appA := apps.Toystore()
+	appA.Name = "tenant-a"
+	appB := apps.Toystore()
+	appB.Name = "tenant-b"
+	codecA := wire.NewCodec(appA, encrypt.MustNewKeyring(bytes.Repeat([]byte{1}, encrypt.KeySize)), nil)
+	codecB := wire.NewCodec(appB, encrypt.MustNewKeyring(bytes.Repeat([]byte{2}, encrypt.KeySize)), nil)
+	if _, err := m.Register(appA, core.Analyze(appA, core.DefaultOptions())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(appB, core.Analyze(appB, core.DefaultOptions())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(appA, nil); err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+	if got := m.Tenants(); len(got) != 2 || got[0] != "tenant-a" {
+		t.Errorf("Tenants = %v", got)
+	}
+
+	res := &engine.Result{Columns: []string{"qty"}, Rows: [][]sqlparse.Value{{sqlparse.IntVal(25)}}}
+	sqA, _ := codecA.SealQuery(appA.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
+	if err := m.StoreResult("tenant-a", sqA, codecA.SealResult(appA.Query("Q2"), res), false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant A hits its own entry.
+	if _, hit, err := m.HandleQuery("tenant-a", sqA); err != nil || !hit {
+		t.Errorf("tenant-a lookup: hit=%v err=%v", hit, err)
+	}
+	// Tenant B, asking the same logical question, cannot see tenant A's
+	// entry: its sealed query carries B's key material.
+	sqB, _ := codecB.SealQuery(appB.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
+	if _, hit, err := m.HandleQuery("tenant-b", sqB); err != nil || hit {
+		t.Errorf("cross-tenant hit: hit=%v err=%v", hit, err)
+	}
+	// Even replaying A's sealed bytes at B's tenant misses (different
+	// cache) — and B could not decrypt the result anyway.
+	if _, hit, _ := m.HandleQuery("tenant-b", sqA); hit {
+		t.Error("replayed sealed query hit another tenant's cache")
+	}
+
+	// Unknown tenants are rejected.
+	if _, _, err := m.HandleQuery("nope", sqA); err == nil {
+		t.Error("unknown tenant accepted")
+	}
+	if err := m.StoreResult("nope", sqA, wire.SealedResult{}, false); err == nil {
+		t.Error("unknown tenant store accepted")
+	}
+	if _, err := m.OnUpdateCompleted("nope", wire.SealedUpdate{}); err == nil {
+		t.Error("unknown tenant update accepted")
+	}
+}
+
+func TestMultiNodeUpdateIsolation(t *testing.T) {
+	m := NewMultiNode(0)
+	appA := apps.Toystore()
+	appA.Name = "a"
+	appB := apps.Toystore()
+	appB.Name = "b"
+	codecA := wire.NewCodec(appA, encrypt.MustNewKeyring(bytes.Repeat([]byte{1}, encrypt.KeySize)), nil)
+	codecB := wire.NewCodec(appB, encrypt.MustNewKeyring(bytes.Repeat([]byte{2}, encrypt.KeySize)), nil)
+	_, _ = m.Register(appA, core.Analyze(appA, core.DefaultOptions()))
+	_, _ = m.Register(appB, core.Analyze(appB, core.DefaultOptions()))
+
+	res := &engine.Result{Columns: []string{"qty"}, Rows: [][]sqlparse.Value{{sqlparse.IntVal(25)}}}
+	sqA, _ := codecA.SealQuery(appA.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
+	sqB, _ := codecB.SealQuery(appB.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
+	_ = m.StoreResult("a", sqA, codecA.SealResult(appA.Query("Q2"), res), false)
+	_ = m.StoreResult("b", sqB, codecB.SealResult(appB.Query("Q2"), res), false)
+	if m.TotalEntries() != 2 {
+		t.Fatalf("entries = %d", m.TotalEntries())
+	}
+
+	// An update in tenant A must not invalidate tenant B's cache.
+	suA, _ := codecA.SealUpdate(appA.Update("U1"), []sqlparse.Value{sqlparse.IntVal(5)})
+	n, err := m.OnUpdateCompleted("a", suA)
+	if err != nil || n != 1 {
+		t.Fatalf("invalidated %d, err %v", n, err)
+	}
+	if _, hit, _ := m.HandleQuery("b", sqB); !hit {
+		t.Error("tenant B's entry lost to tenant A's update")
+	}
+}
+
+func TestMultiNodeCapacitySplit(t *testing.T) {
+	m := NewMultiNode(10)
+	appA := apps.Toystore()
+	appA.Name = "a"
+	appB := apps.Toystore()
+	appB.Name = "b"
+	nodeA, err := m.Register(appA, core.Analyze(appA, core.DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(appB, core.Analyze(appB, core.DefaultOptions())); err != nil {
+		t.Fatal(err)
+	}
+	codecA, _ := tenantStack(t, 1)
+	res := &engine.Result{Columns: []string{"qty"}, Rows: [][]sqlparse.Value{{sqlparse.IntVal(1)}}}
+	for i := int64(0); i < 30; i++ {
+		sq, _ := codecA.SealQuery(appA.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(i)})
+		nodeA.StoreResult(sq, codecA.SealResult(appA.Query("Q2"), res), false)
+	}
+	// Tenant A was registered first (capacity 10 at the time), but the
+	// division happens at registration; what matters is the bound holds.
+	if got := nodeA.Cache.Len(); got > 10 {
+		t.Errorf("tenant cache exceeded its budget: %d", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package encrypt provides the deterministic authenticated encryption the
+// DSSP architecture requires. Per §2.3 (footnote 3) of the paper, caching
+// mechanics need *deterministic* encryption: the DSSP looks cached results
+// up by (possibly encrypted) query statements or parameters, so equal
+// plaintexts must produce equal ciphertexts under the same key.
+//
+// The construction is SIV-style, built from the Go standard library only:
+// the IV is an HMAC-SHA-256 PRF of the plaintext (truncated to the AES
+// block size) and the body is AES-CTR under an independent key. Decryption
+// recomputes the PRF and rejects tampered ciphertexts. Deterministic
+// encryption necessarily reveals plaintext equality — exactly the property
+// the DSSP cache exploits — and nothing else.
+package encrypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the size of a Keyring's master key in bytes.
+const KeySize = 32
+
+// ivSize is the SIV length: one AES block.
+const ivSize = aes.BlockSize
+
+// ErrTampered is returned when a ciphertext fails authentication.
+var ErrTampered = errors.New("encrypt: ciphertext authentication failed")
+
+// Keyring holds an application's encryption keys. The application's home
+// organization owns the keyring; the DSSP never sees it.
+type Keyring struct {
+	macKey []byte // PRF key for the synthetic IV
+	encKey []byte // AES key for the body
+}
+
+// NewKeyring derives a keyring from a master key. The two internal keys
+// are derived with domain-separated HMACs so a single secret suffices.
+func NewKeyring(master []byte) (*Keyring, error) {
+	if len(master) != KeySize {
+		return nil, fmt.Errorf("encrypt: master key must be %d bytes, got %d", KeySize, len(master))
+	}
+	derive := func(label string) []byte {
+		m := hmac.New(sha256.New, master)
+		m.Write([]byte(label))
+		return m.Sum(nil)
+	}
+	return &Keyring{
+		macKey: derive("dssp-siv-mac"),
+		encKey: derive("dssp-siv-enc")[:32],
+	}, nil
+}
+
+// MustNewKeyring is NewKeyring for statically known keys; it panics on
+// error.
+func MustNewKeyring(master []byte) *Keyring {
+	k, err := NewKeyring(master)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Seal deterministically encrypts plaintext under the keyring with the
+// given domain label (distinct labels produce unrelated ciphertexts for
+// equal plaintexts, so e.g. statements and results never collide).
+func (k *Keyring) Seal(domain string, plaintext []byte) []byte {
+	iv := k.siv(domain, plaintext)
+	block, err := aes.NewCipher(k.encKey)
+	if err != nil {
+		panic(err) // key size fixed at construction
+	}
+	out := make([]byte, ivSize+len(plaintext))
+	copy(out, iv)
+	cipher.NewCTR(block, iv).XORKeyStream(out[ivSize:], plaintext)
+	return out
+}
+
+// Open decrypts and authenticates a ciphertext produced by Seal with the
+// same domain label.
+func (k *Keyring) Open(domain string, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < ivSize {
+		return nil, ErrTampered
+	}
+	iv := ciphertext[:ivSize]
+	block, err := aes.NewCipher(k.encKey)
+	if err != nil {
+		panic(err)
+	}
+	plaintext := make([]byte, len(ciphertext)-ivSize)
+	cipher.NewCTR(block, iv).XORKeyStream(plaintext, ciphertext[ivSize:])
+	if !hmac.Equal(iv, k.siv(domain, plaintext)) {
+		return nil, ErrTampered
+	}
+	return plaintext, nil
+}
+
+// siv computes the synthetic IV: a keyed PRF of domain and plaintext.
+func (k *Keyring) siv(domain string, plaintext []byte) []byte {
+	m := hmac.New(sha256.New, k.macKey)
+	m.Write([]byte(domain))
+	m.Write([]byte{0})
+	m.Write(plaintext)
+	return m.Sum(nil)[:ivSize]
+}
+
+// Token returns a deterministic opaque token for the plaintext: the PRF
+// output alone, with no decryption capability. The DSSP uses tokens as
+// cache lookup keys for encrypted statements and parameters.
+func (k *Keyring) Token(domain string, plaintext []byte) string {
+	m := hmac.New(sha256.New, k.macKey)
+	m.Write([]byte(domain))
+	m.Write([]byte{1})
+	m.Write(plaintext)
+	return string(m.Sum(nil))
+}

@@ -1,0 +1,139 @@
+package encrypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testKeyring(t testing.TB) *Keyring {
+	t.Helper()
+	master := make([]byte, KeySize)
+	for i := range master {
+		master[i] = byte(i * 7)
+	}
+	k, err := NewKeyring(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRoundTrip(t *testing.T) {
+	k := testKeyring(t)
+	msgs := [][]byte{nil, {}, []byte("x"), []byte("SELECT qty FROM toys WHERE toy_id=?"), bytes.Repeat([]byte{0xAA}, 4096)}
+	for _, m := range msgs {
+		ct := k.Seal("stmt", m)
+		pt, err := k.Open("stmt", ct)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(pt, m) {
+			t.Errorf("round trip changed %q -> %q", m, pt)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	k := testKeyring(t)
+	a := k.Seal("stmt", []byte("hello"))
+	b := k.Seal("stmt", []byte("hello"))
+	if !bytes.Equal(a, b) {
+		t.Error("encryption not deterministic")
+	}
+	c := k.Seal("stmt", []byte("hellp"))
+	if bytes.Equal(a, c) {
+		t.Error("distinct plaintexts collided")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	k := testKeyring(t)
+	a := k.Seal("stmt", []byte("hello"))
+	b := k.Seal("result", []byte("hello"))
+	if bytes.Equal(a, b) {
+		t.Error("domains not separated")
+	}
+	if _, err := k.Open("result", a); err != ErrTampered {
+		t.Error("cross-domain decryption accepted")
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	k := testKeyring(t)
+	ct := k.Seal("stmt", []byte("sensitive"))
+	for i := range ct {
+		bad := bytes.Clone(ct)
+		bad[i] ^= 0x01
+		if _, err := k.Open("stmt", bad); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	if _, err := k.Open("stmt", ct[:4]); err != ErrTampered {
+		t.Error("truncated ciphertext accepted")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	k1 := testKeyring(t)
+	other := make([]byte, KeySize)
+	other[0] = 1
+	k2 := MustNewKeyring(other)
+	ct := k1.Seal("stmt", []byte("hello"))
+	if _, err := k2.Open("stmt", ct); err == nil {
+		t.Error("foreign-key decryption accepted")
+	}
+	if k1.Token("d", []byte("x")) == k2.Token("d", []byte("x")) {
+		t.Error("tokens collide across keys")
+	}
+}
+
+func TestTokenDeterministicAndSeparated(t *testing.T) {
+	k := testKeyring(t)
+	if k.Token("a", []byte("x")) != k.Token("a", []byte("x")) {
+		t.Error("token not deterministic")
+	}
+	if k.Token("a", []byte("x")) == k.Token("b", []byte("x")) {
+		t.Error("token domains not separated")
+	}
+	if k.Token("a", []byte("x")) == k.Token("a", []byte("y")) {
+		t.Error("distinct plaintext tokens collide")
+	}
+	// Token and Seal outputs never relate trivially.
+	if k.Token("a", []byte("x"))[:16] == string(k.Seal("a", []byte("x"))[:16]) {
+		t.Error("token prefix equals SIV")
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := NewKeyring([]byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewKeyring did not panic")
+		}
+	}()
+	MustNewKeyring(nil)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	k := testKeyring(t)
+	f := func(msg []byte, domain string) bool {
+		pt, err := k.Open(domain, k.Seal(domain, msg))
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	// The ciphertext body must not contain the plaintext verbatim.
+	k := testKeyring(t)
+	msg := []byte("this-is-a-credit-card-number-4111111111111111")
+	ct := k.Seal("stmt", msg)
+	if bytes.Contains(ct, msg[:8]) {
+		t.Error("plaintext fragment visible in ciphertext")
+	}
+}

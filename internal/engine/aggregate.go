@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"dssp/internal/sqlparse"
+)
+
+// aggregate evaluates aggregation/GROUP BY queries over the joined tuples.
+// Output columns follow the SELECT list: group-by columns pass through and
+// aggregates are computed per group. Without GROUP BY the whole input is a
+// single group (COUNT of an empty input is 0; other aggregates are NULL).
+// ORDER BY may reference group-by columns or aggregate aliases.
+func (ex *queryExec) aggregate(tuples []tuple) (*Result, error) {
+	type outCol struct {
+		agg     sqlparse.AggFunc
+		star    bool
+		sel     colSel // source column (unused for COUNT(*))
+		name    string
+		isGroup bool // passes through the group key
+	}
+	var outs []outCol
+	groupSels := make([]colSel, 0, len(ex.q.GroupBy))
+	for _, g := range ex.q.GroupBy {
+		rc, err := ex.res.Resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		groupSels = append(groupSels, colSel{rc.FromIndex, rc.ColIndex})
+	}
+	isGroupCol := func(s colSel) bool {
+		for _, g := range groupSels {
+			if g == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range ex.q.Select {
+		name := e.Alias
+		if name == "" {
+			if e.Star {
+				name = "count"
+			} else {
+				name = e.Col.Column
+			}
+		}
+		oc := outCol{agg: e.Agg, star: e.Star, name: name}
+		if !e.Star {
+			rc, err := ex.res.Resolve(e.Col)
+			if err != nil {
+				return nil, err
+			}
+			oc.sel = colSel{rc.FromIndex, rc.ColIndex}
+		}
+		if e.Agg == sqlparse.AggNone {
+			if e.Star {
+				return nil, fmt.Errorf("engine: bare * cannot appear in an aggregate query")
+			}
+			if !isGroupCol(oc.sel) {
+				return nil, fmt.Errorf("engine: non-aggregated column %s must appear in GROUP BY", e.Col)
+			}
+			oc.isGroup = true
+		}
+		outs = append(outs, oc)
+	}
+
+	// Group tuples. Without GROUP BY all tuples form one group keyed "".
+	type group struct {
+		key    []sqlparse.Value
+		tuples []tuple
+	}
+	order := make([]string, 0)
+	groups := make(map[string]*group)
+	for _, t := range tuples {
+		keyVals := make([]sqlparse.Value, len(groupSels))
+		for i, g := range groupSels {
+			keyVals[i] = t[g.fromIndex][g.colIndex]
+		}
+		k := fingerprintVals(keyVals)
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{key: keyVals}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.tuples = append(gr.tuples, t)
+	}
+	if len(groupSels) == 0 && len(groups) == 0 {
+		k := ""
+		groups[k] = &group{}
+		order = append(order, k)
+	}
+
+	out := &Result{}
+	for _, oc := range outs {
+		out.Columns = append(out.Columns, oc.name)
+	}
+	for _, k := range order {
+		gr := groups[k]
+		row := make([]sqlparse.Value, len(outs))
+		for i, oc := range outs {
+			if oc.isGroup {
+				row[i] = gr.tuples[0][oc.sel.fromIndex][oc.sel.colIndex]
+				continue
+			}
+			row[i] = computeAgg(oc.agg, oc.star, oc.sel, gr.tuples)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	if len(ex.q.OrderBy) > 0 {
+		keys, err := ex.aggOrderKeys(out)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(out.Rows, func(a, b int) bool {
+			for _, k := range keys {
+				c := out.Rows[a][k.col].Compare(out.Rows[b][k.col])
+				if c != 0 {
+					if k.desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			// Canonical tie-break on the full output row (see plain()).
+			for i := range out.Rows[a] {
+				if c := out.Rows[a][i].Compare(out.Rows[b][i]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	return out, nil
+}
+
+type aggOrderKey struct {
+	col  int
+	desc bool
+}
+
+// aggOrderKeys resolves ORDER BY keys of an aggregate query against the
+// output columns (group-by column names or aggregate aliases).
+func (ex *queryExec) aggOrderKeys(out *Result) ([]aggOrderKey, error) {
+	keys := make([]aggOrderKey, 0, len(ex.q.OrderBy))
+	for _, k := range ex.q.OrderBy {
+		ci := out.ColumnIndex(k.Col.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: ORDER BY %s must name an output column of the aggregate query", k.Col)
+		}
+		keys = append(keys, aggOrderKey{ci, k.Desc})
+	}
+	return keys, nil
+}
+
+func computeAgg(agg sqlparse.AggFunc, star bool, sel colSel, tuples []tuple) sqlparse.Value {
+	if agg == sqlparse.AggCount {
+		if star {
+			return sqlparse.IntVal(int64(len(tuples)))
+		}
+		n := int64(0)
+		for _, t := range tuples {
+			if !t[sel.fromIndex][sel.colIndex].IsNull() {
+				n++
+			}
+		}
+		return sqlparse.IntVal(n)
+	}
+	var acc sqlparse.Value // NULL until a non-null input is seen
+	n := int64(0)
+	var sum float64
+	allInt := true
+	for _, t := range tuples {
+		v := t[sel.fromIndex][sel.colIndex]
+		if v.IsNull() {
+			continue
+		}
+		n++
+		switch agg {
+		case sqlparse.AggMin:
+			if acc.IsNull() || v.Compare(acc) < 0 {
+				acc = v
+			}
+		case sqlparse.AggMax:
+			if acc.IsNull() || v.Compare(acc) > 0 {
+				acc = v
+			}
+		case sqlparse.AggSum, sqlparse.AggAvg:
+			if v.Kind != sqlparse.KindInt {
+				allInt = false
+			}
+			sum += v.AsFloat()
+			acc = sqlparse.IntVal(0) // mark non-empty
+		}
+	}
+	switch agg {
+	case sqlparse.AggMin, sqlparse.AggMax:
+		return acc
+	case sqlparse.AggSum:
+		if n == 0 {
+			return sqlparse.Null()
+		}
+		if allInt {
+			return sqlparse.IntVal(int64(sum))
+		}
+		return sqlparse.FloatVal(sum)
+	case sqlparse.AggAvg:
+		if n == 0 {
+			return sqlparse.Null()
+		}
+		return sqlparse.FloatVal(sum / float64(n))
+	default:
+		return sqlparse.Null()
+	}
+}
+
+func fingerprintVals(vals []sqlparse.Value) string {
+	r := Result{Rows: [][]sqlparse.Value{vals}}
+	return r.Fingerprint(true)
+}

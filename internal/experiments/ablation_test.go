@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationConstraints(t *testing.T) {
+	r := AblationConstraints()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Constraints can only add A=0 facts.
+		if row.AZeroWith < row.AZeroWithout {
+			t.Errorf("%s: constraints removed A=0 facts (%d < %d)", row.App, row.AZeroWith, row.AZeroWithout)
+		}
+		if row.EncryptableWith < row.EncryptableWithout {
+			t.Errorf("%s: constraints reduced encryptability (%d < %d)", row.App, row.EncryptableWith, row.EncryptableWithout)
+		}
+	}
+	// The refinement must matter somewhere: every app has PK-keyed lookup
+	// queries shielded from insertions.
+	helped := 0
+	for _, row := range r.Rows {
+		if row.AZeroWith > row.AZeroWithout {
+			helped++
+		}
+	}
+	if helped == 0 {
+		t.Error("integrity constraints never helped")
+	}
+	if !strings.Contains(r.Format(), "Ablation") {
+		t.Error("Format missing header")
+	}
+}

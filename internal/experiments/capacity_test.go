@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCapacitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	opts := DefaultRunOptions()
+	// Keep it light: short run, modest load.
+	r, err := CapacitySweep("bboard", 40, []int{20, 200, 0}, quickOptsForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = opts
+	if len(r.Points) != 3 {
+		t.Fatalf("points: %d", len(r.Points))
+	}
+	tiny, big, unbounded := r.Points[0], r.Points[1], r.Points[2]
+	if tiny.HitRate >= unbounded.HitRate {
+		t.Errorf("tiny cache should hit less: %.3f vs %.3f", tiny.HitRate, unbounded.HitRate)
+	}
+	if tiny.Evictions == 0 {
+		t.Error("tiny cache never evicted")
+	}
+	if unbounded.Evictions != 0 {
+		t.Error("unbounded cache evicted")
+	}
+	if big.HitRate < tiny.HitRate {
+		t.Errorf("bigger cache should not hit less: %.3f vs %.3f", big.HitRate, tiny.HitRate)
+	}
+	if !strings.Contains(r.Format(), "unbounded") {
+		t.Error("Format missing unbounded label")
+	}
+}
+
+// quickOptsForTest shrinks the simulated duration for unit-test speed.
+func quickOptsForTest() RunOptions {
+	o := DefaultRunOptions()
+	o.MaxUsers = 100
+	return o
+}
+
+func TestNodeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r, err := NodeSweep("bboard", 60, []int{1, 4}, quickOptsForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, four := r.Points[0], r.Points[1]
+	// Splitting the cache across nodes cannot raise the aggregate hit
+	// rate, and the update fan-out multiplies invalidation work.
+	if four.HitRate > one.HitRate+0.02 {
+		t.Errorf("fragmented cache hit rate rose: %.3f vs %.3f", four.HitRate, one.HitRate)
+	}
+	if four.Invalidations < one.Invalidations {
+		t.Errorf("invalidation fan-out missing: %d vs %d", four.Invalidations, one.Invalidations)
+	}
+	if !strings.Contains(r.Format(), "node-count") {
+		t.Error("Format missing header")
+	}
+}

@@ -1,0 +1,78 @@
+// Package homeserver implements the application's home organization: the
+// master database plus the trusted execution endpoint behind the DSSP
+// (Figure 1). It opens sealed statements forwarded by the DSSP, executes
+// them against the master database, and seals query results according to
+// each query template's exposure level.
+//
+// Consistency follows the paper's design: the DSSP caches read-only
+// copies; all updates are applied to master copies here, and the DSSP
+// invalidates cached results by monitoring completed updates.
+package homeserver
+
+import (
+	"fmt"
+
+	"dssp/internal/engine"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// Server is the home organization's database endpoint.
+type Server struct {
+	DB    *storage.Database
+	App   *template.App
+	Codec *wire.Codec
+
+	queries int
+	updates int
+}
+
+// New builds a home server over a populated master database.
+func New(db *storage.Database, app *template.App, codec *wire.Codec) *Server {
+	return &Server{DB: db, App: app, Codec: codec}
+}
+
+// QueriesServed and UpdatesApplied report load counters for the
+// experiments.
+func (s *Server) QueriesServed() int  { return s.queries }
+func (s *Server) UpdatesApplied() int { return s.updates }
+
+// ExecQuery opens a sealed query, executes it, and returns the sealed
+// result plus an emptiness hint (the trusted side reveals cardinality
+// zero so the DSSP can uphold the no-empty-results caching policy) and the
+// number of base rows scanned (the simulator's cost model input).
+func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bool, scanned int, err error) {
+	t, params, err := s.Codec.OpenPayload(sq.Opaque)
+	if err != nil {
+		return wire.SealedResult{}, false, 0, err
+	}
+	if t.Kind != template.KQuery {
+		return wire.SealedResult{}, false, 0, fmt.Errorf("homeserver: payload %s is not a query", t.ID)
+	}
+	r, err := engine.ExecQuery(s.DB, t.Stmt.(*sqlparse.SelectStmt), params)
+	if err != nil {
+		return wire.SealedResult{}, false, 0, err
+	}
+	s.queries++
+	return s.Codec.SealResult(t, r), r.Len() == 0, r.RowsScanned, nil
+}
+
+// ExecUpdate opens a sealed update and applies it to the master database.
+// It returns the number of rows affected.
+func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
+	t, params, err := s.Codec.OpenPayload(su.Opaque)
+	if err != nil {
+		return 0, err
+	}
+	if !t.Kind.IsUpdate() {
+		return 0, fmt.Errorf("homeserver: payload %s is not an update", t.ID)
+	}
+	n, err := engine.ExecUpdate(s.DB, t.Stmt, params)
+	if err != nil {
+		return 0, err
+	}
+	s.updates++
+	return n, nil
+}

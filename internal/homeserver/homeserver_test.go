@@ -1,0 +1,100 @@
+package homeserver
+
+import (
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/encrypt"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+func testServer(t *testing.T) (*Server, *wire.Codec, *template.App) {
+	t.Helper()
+	app := apps.Toystore()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	if err := db.Insert("toys", storage.Row{sqlparse.IntVal(5), sqlparse.StringVal("kite"), sqlparse.IntVal(25)}); err != nil {
+		t.Fatal(err)
+	}
+	return New(db, app, codec), codec, app
+}
+
+func TestExecQuery(t *testing.T) {
+	s, codec, app := testServer(t)
+	sq, err := codec.SealQuery(app.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, empty, scanned, err := s.ExecQuery(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty || scanned != 1 {
+		t.Errorf("empty=%v scanned=%d", empty, scanned)
+	}
+	plain, err := codec.OpenResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Rows[0][0].Int != 25 {
+		t.Errorf("result %v", plain.Rows)
+	}
+	if s.QueriesServed() != 1 {
+		t.Errorf("QueriesServed = %d", s.QueriesServed())
+	}
+}
+
+func TestExecQueryEmptyHint(t *testing.T) {
+	s, codec, app := testServer(t)
+	sq, _ := codec.SealQuery(app.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(404)})
+	_, empty, _, err := s.ExecQuery(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Error("empty hint not set")
+	}
+}
+
+func TestExecUpdate(t *testing.T) {
+	s, codec, app := testServer(t)
+	su, err := codec.SealUpdate(app.Update("U1"), []sqlparse.Value{sqlparse.IntVal(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.ExecUpdate(su)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if s.UpdatesApplied() != 1 {
+		t.Errorf("UpdatesApplied = %d", s.UpdatesApplied())
+	}
+	if s.DB.Table("toys").Len() != 0 {
+		t.Error("row not deleted")
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	s, codec, app := testServer(t)
+	sq, _ := codec.SealQuery(app.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
+	if _, err := s.ExecUpdate(wire.SealedUpdate{Opaque: sq.Opaque}); err == nil {
+		t.Error("query payload accepted as update")
+	}
+	su, _ := codec.SealUpdate(app.Update("U1"), []sqlparse.Value{sqlparse.IntVal(5)})
+	if _, _, _, err := s.ExecQuery(wire.SealedQuery{Opaque: su.Opaque}); err == nil {
+		t.Error("update payload accepted as query")
+	}
+}
+
+func TestTamperedPayloadRejected(t *testing.T) {
+	s, codec, app := testServer(t)
+	sq, _ := codec.SealQuery(app.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
+	bad := append([]byte{}, sq.Opaque...)
+	bad[len(bad)-1] ^= 1
+	if _, _, _, err := s.ExecQuery(wire.SealedQuery{Opaque: bad}); err == nil {
+		t.Error("tampered payload accepted")
+	}
+}

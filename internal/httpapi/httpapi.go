@@ -1,0 +1,238 @@
+// Package httpapi provides a network deployment of the DSSP architecture:
+// the caching node and the home server as HTTP services, and a client that
+// seals statements locally and talks to a node. The paper's Figure 1
+// topology — clients near a DSSP node, the node far from the home server —
+// becomes three processes connected by HTTP.
+//
+// Messages are the sealed types of package wire, gob-encoded. The node
+// never holds keys: it receives sealed queries, serves them from its cache
+// or forwards the opaque payload to the home server, and monitors
+// completed updates for invalidation, exactly as in the in-process
+// pathway.
+package httpapi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dssp/internal/dssp"
+	"dssp/internal/homeserver"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// Paths of the HTTP API.
+const (
+	PathQuery      = "/v1/query"       // node: sealed query -> sealed result
+	PathUpdate     = "/v1/update"      // node: sealed update -> ack
+	PathStats      = "/v1/stats"       // node: cache statistics
+	PathExecQuery  = "/v1/exec/query"  // home: sealed query -> sealed result
+	PathExecUpdate = "/v1/exec/update" // home: sealed update -> ack
+)
+
+// QueryResponse is the node's answer to a sealed query.
+type QueryResponse struct {
+	Result wire.SealedResult
+	Hit    bool
+}
+
+// UpdateResponse is the node's answer to a sealed update.
+type UpdateResponse struct {
+	Affected    int
+	Invalidated int
+}
+
+// ExecQueryResponse is the home server's answer to a forwarded query.
+type ExecQueryResponse struct {
+	Result  wire.SealedResult
+	Empty   bool
+	Scanned int
+}
+
+// ExecUpdateResponse is the home server's answer to a forwarded update.
+type ExecUpdateResponse struct {
+	Affected int
+}
+
+func writeGob(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func readGob(r io.Reader, v any) error {
+	return gob.NewDecoder(r).Decode(v)
+}
+
+// post sends one gob request and decodes the gob response.
+func post(client *http.Client, url string, req, resp any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return err
+	}
+	r, err := client.Post(url, "application/x-gob", &buf)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		return fmt.Errorf("httpapi: %s: %s: %s", url, r.Status, bytes.TrimSpace(body))
+	}
+	return readGob(r.Body, resp)
+}
+
+// HomeHandler exposes a home server over HTTP.
+func HomeHandler(home *homeserver.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathExecQuery, func(w http.ResponseWriter, r *http.Request) {
+		var sq wire.SealedQuery
+		if err := readGob(r.Body, &sq); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, empty, scanned, err := home.ExecQuery(sq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeGob(w, ExecQueryResponse{Result: res, Empty: empty, Scanned: scanned})
+	})
+	mux.HandleFunc("POST "+PathExecUpdate, func(w http.ResponseWriter, r *http.Request) {
+		var su wire.SealedUpdate
+		if err := readGob(r.Body, &su); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, err := home.ExecUpdate(su)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeGob(w, ExecUpdateResponse{Affected: n})
+	})
+	return mux
+}
+
+// NodeServer serves an application's traffic from a DSSP node, forwarding
+// misses and updates to the home server.
+type NodeServer struct {
+	Node    *dssp.Node
+	HomeURL string
+	Client  *http.Client
+}
+
+// NewNodeServer wires a node to its home server endpoint.
+func NewNodeServer(node *dssp.Node, homeURL string, client *http.Client) *NodeServer {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &NodeServer{Node: node, HomeURL: homeURL, Client: client}
+}
+
+// Handler returns the node's HTTP API.
+func (s *NodeServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathQuery, s.handleQuery)
+	mux.HandleFunc("POST "+PathUpdate, s.handleUpdate)
+	mux.HandleFunc("GET "+PathStats, func(w http.ResponseWriter, r *http.Request) {
+		writeGob(w, s.Node.Cache.Stats())
+	})
+	return mux
+}
+
+func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var sq wire.SealedQuery
+	if err := readGob(r.Body, &sq); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if res, hit := s.Node.HandleQuery(sq); hit {
+		writeGob(w, QueryResponse{Result: res, Hit: true})
+		return
+	}
+	var exec ExecQueryResponse
+	if err := post(s.Client, s.HomeURL+PathExecQuery, sq, &exec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	s.Node.StoreResult(sq, exec.Result, exec.Empty)
+	writeGob(w, QueryResponse{Result: exec.Result})
+}
+
+func (s *NodeServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var su wire.SealedUpdate
+	if err := readGob(r.Body, &su); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var exec ExecUpdateResponse
+	if err := post(s.Client, s.HomeURL+PathExecUpdate, su, &exec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	invalidated := s.Node.OnUpdateCompleted(su)
+	writeGob(w, UpdateResponse{Affected: exec.Affected, Invalidated: invalidated})
+}
+
+// Client is the trusted application side talking to a remote DSSP node:
+// it seals statements with the application's keyring, sends them to the
+// node, and opens the (possibly encrypted) results.
+type Client struct {
+	Codec   *wire.Codec
+	NodeURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a remote client.
+func NewClient(codec *wire.Codec, nodeURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{Codec: codec, NodeURL: nodeURL, HTTP: httpClient}
+}
+
+// Query runs one query template instance through the remote node.
+func (c *Client) Query(t *template.Template, params ...interface{}) (*dssp.QueryResult, error) {
+	vals, err := dssp.Params(params...)
+	if err != nil {
+		return nil, err
+	}
+	sq, err := c.Codec.SealQuery(t, vals)
+	if err != nil {
+		return nil, err
+	}
+	var resp QueryResponse
+	if err := post(c.HTTP, c.NodeURL+PathQuery, sq, &resp); err != nil {
+		return nil, err
+	}
+	res, err := c.Codec.OpenResult(resp.Result)
+	if err != nil {
+		return nil, err
+	}
+	return &dssp.QueryResult{Result: res, Outcome: dssp.QueryOutcome{Hit: resp.Hit, Rows: res.Len()}}, nil
+}
+
+// Update routes one update through the remote node.
+func (c *Client) Update(t *template.Template, params ...interface{}) (affected, invalidated int, err error) {
+	vals, err := dssp.Params(params...)
+	if err != nil {
+		return 0, 0, err
+	}
+	su, err := c.Codec.SealUpdate(t, vals)
+	if err != nil {
+		return 0, 0, err
+	}
+	var resp UpdateResponse
+	if err := post(c.HTTP, c.NodeURL+PathUpdate, su, &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Affected, resp.Invalidated, nil
+}

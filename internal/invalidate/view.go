@@ -1,0 +1,246 @@
+package invalidate
+
+import (
+	"dssp/internal/schema"
+	"dssp/internal/sqlparse"
+)
+
+// viewDecide is the minimal view-inspection strategy beyond the statement
+// level: it inspects the cached result itself. It is invoked only after
+// statement inspection has decided to invalidate, and may overturn that
+// decision when the result proves the update cannot change it.
+func (iv *Invalidator) viewDecide(u UpdateInstance, q CachedView) Decision {
+	if q.Result == nil {
+		return Invalidate
+	}
+	qi := infoFor(iv.app.Schema, q.Template)
+	if qi.evalErr {
+		return Invalidate
+	}
+	switch s := u.Template.Stmt.(type) {
+	case *sqlparse.DeleteStmt:
+		return iv.viewDelete(qi, s, u.Params, q)
+	case *sqlparse.InsertStmt:
+		return iv.viewInsert(qi, s, u.Params, q)
+	case *sqlparse.UpdateStmt:
+		return iv.viewModify(qi, s, u.Params, q)
+	default:
+		return Invalidate
+	}
+}
+
+// viewDelete: SPJ results are monotone in deletions — a deletion changes
+// the cached result only if it removes a contributing base row, and every
+// contributing row's relevant attribute values appear in the result when
+// they are preserved. If the deletion predicate can be evaluated over the
+// preserved attributes and no result row satisfies it, the result is
+// untouched (this also holds under ORDER BY and LIMIT: removing rows at or
+// beyond the cutoff never changes the top k... removing rows beyond the
+// cutoff; removals at the cutoff are caught because those rows are in the
+// result).
+func (iv *Invalidator) viewDelete(qi *queryInfo, s *sqlparse.DeleteStmt, params []sqlparse.Value, q CachedView) Decision {
+	if q.Template.HasAggregate || q.Template.InstanceCount(s.Table) != 1 {
+		return Invalidate
+	}
+	// Map every attribute the deletion predicate references to a result
+	// column.
+	colOf := func(col sqlparse.ColumnRef) (int, bool) {
+		a := schema.Attr{Table: s.Table, Column: col.Column}
+		i, ok := qi.outIdx[a]
+		return i, ok
+	}
+	for _, row := range q.Result.Rows {
+		matches := true
+		for _, p := range s.Where {
+			lv, ok := predSide(p.Left, params, row, colOf)
+			if !ok {
+				return Invalidate
+			}
+			rv, ok := predSide(p.Right, params, row, colOf)
+			if !ok {
+				return Invalidate
+			}
+			if lv.IsNull() || rv.IsNull() || !p.Op.Holds(lv.Compare(rv)) {
+				matches = false
+				break
+			}
+		}
+		if matches {
+			return Invalidate
+		}
+	}
+	return DNI
+}
+
+// predSide evaluates one predicate operand against a result row, using the
+// preserved-attribute mapping for columns.
+func predSide(o sqlparse.Operand, params []sqlparse.Value, row []sqlparse.Value,
+	colOf func(sqlparse.ColumnRef) (int, bool)) (sqlparse.Value, bool) {
+	if o.Kind == sqlparse.OpColumn {
+		i, ok := colOf(o.Col)
+		if !ok {
+			return sqlparse.Value{}, false
+		}
+		return row[i], true
+	}
+	return bindVal(o, params)
+}
+
+// viewInsert handles the two §4.4 cases where view inspection beats
+// statement inspection for insertions: top-k queries and MIN/MAX
+// aggregates over a single relation. The inserted row is fully known and —
+// for single-relation queries — already known to satisfy the selection
+// predicates (statement inspection would otherwise have excluded it).
+func (iv *Invalidator) viewInsert(qi *queryInfo, s *sqlparse.InsertStmt, params []sqlparse.Value, q CachedView) Decision {
+	t := q.Template
+	if len(qi.sel.From) != 1 || qi.sel.From[0].Table != s.Table || t.HasGroupBy {
+		return Invalidate
+	}
+	row := insertedRow(iv.app.Schema, s, params)
+	if row == nil {
+		return Invalidate
+	}
+	meta := iv.app.Schema.Table(s.Table)
+
+	// MIN/MAX aggregate: compare the inserted value against the cached
+	// extremum (§4.4 example b).
+	if t.HasAggregate {
+		if len(qi.sel.Select) != 1 {
+			return Invalidate
+		}
+		e := qi.sel.Select[0]
+		if e.Star || (e.Agg != sqlparse.AggMin && e.Agg != sqlparse.AggMax) {
+			return Invalidate
+		}
+		if q.Result.Len() != 1 {
+			return Invalidate
+		}
+		cached := q.Result.Rows[0][0]
+		if cached.IsNull() {
+			return Invalidate // empty input: the new row defines the extremum
+		}
+		ci := meta.ColumnIndex(e.Col.Column)
+		if ci < 0 {
+			return Invalidate
+		}
+		nv := row[ci]
+		if nv.IsNull() {
+			return DNI // NULLs do not participate in aggregates
+		}
+		if e.Agg == sqlparse.AggMax && nv.Compare(cached) <= 0 {
+			return DNI
+		}
+		if e.Agg == sqlparse.AggMin && nv.Compare(cached) >= 0 {
+			return DNI
+		}
+		return Invalidate
+	}
+
+	// Top-k: if the result already holds k rows and the new row sorts
+	// strictly after the last cached row, the first k rows are unchanged.
+	// Full-key ties are conservative: the engine breaks ties on tuple
+	// content, which the view may not preserve, so the new row could sort
+	// either side of the cutoff.
+	if qi.sel.Limit < 0 || len(qi.sel.OrderBy) == 0 {
+		return Invalidate
+	}
+	if q.Result.Len() < qi.sel.Limit {
+		return Invalidate // room below the cutoff: the row enters
+	}
+	if q.Result.Len() == 0 {
+		return Invalidate // LIMIT 0 never caches anything useful
+	}
+	last := q.Result.Rows[q.Result.Len()-1]
+	for _, k := range qi.sel.OrderBy {
+		ci := meta.ColumnIndex(k.Col.Column)
+		oi, ok := qi.outIdx[schema.Attr{Table: s.Table, Column: k.Col.Column}]
+		if ci < 0 || !ok {
+			return Invalidate // order key not preserved in the result
+		}
+		nv, lv := row[ci], last[oi]
+		if nv.IsNull() || lv.IsNull() {
+			return Invalidate
+		}
+		c := nv.Compare(lv)
+		if k.Desc {
+			c = -c
+		}
+		if c < 0 {
+			return Invalidate // sorts before the cutoff row
+		}
+		if c > 0 {
+			return DNI
+		}
+		// Equal on this key: compare the next one.
+	}
+	return Invalidate // tied on every key: cutoff position unknown
+}
+
+// viewModify: if the result preserves the relation's primary key, the
+// modified row is identifiable. When it is absent from the result and its
+// post-image cannot satisfy the query predicates, the result is unchanged
+// (§4.4 modification example).
+func (iv *Invalidator) viewModify(qi *queryInfo, s *sqlparse.UpdateStmt, params []sqlparse.Value, q CachedView) Decision {
+	t := q.Template
+	if t.HasAggregate || t.InstanceCount(s.Table) != 1 {
+		return Invalidate
+	}
+	meta := iv.app.Schema.Table(s.Table)
+	if meta == nil || len(meta.PrimaryKey) != 1 {
+		return Invalidate
+	}
+	pk := meta.PrimaryKey[0]
+	oi, ok := qi.outIdx[schema.Attr{Table: s.Table, Column: pk}]
+	if !ok {
+		return Invalidate // key not preserved: rows not identifiable
+	}
+	var keyVal sqlparse.Value
+	found := false
+	for _, p := range s.Where {
+		col, other := p.Left, p.Right
+		if col.Kind != sqlparse.OpColumn {
+			col, other = p.Right, p.Left
+		}
+		if col.Kind == sqlparse.OpColumn && col.Col.Column == pk {
+			v, ok := bindVal(other, params)
+			if !ok {
+				return Invalidate
+			}
+			keyVal, found = v, true
+		}
+	}
+	if !found {
+		return Invalidate
+	}
+	for _, row := range q.Result.Rows {
+		if row[oi].Equal(keyVal) {
+			return Invalidate // the modified row is in the cached result
+		}
+	}
+	// Not in the result. Statement inspection decided to invalidate, so the
+	// post-image may satisfy the predicates; re-test just the post-image.
+	after := map[string]*rangeCons{pk: {}}
+	after[pk].add(sqlparse.OpEq, keyVal)
+	for _, a := range s.Set {
+		v, ok := bindVal(a.Value, params)
+		if !ok {
+			return Invalidate
+		}
+		rc := &rangeCons{}
+		rc.add(sqlparse.OpEq, v)
+		after[a.Column] = rc
+	}
+	fi := -1
+	for i, f := range qi.sel.From {
+		if f.Table == s.Table {
+			fi = i
+		}
+	}
+	if fi < 0 {
+		return Invalidate
+	}
+	if combinedSatMap(after, qi.instPreds[fi], q.Params) {
+		return Invalidate
+	}
+	return DNI
+}

@@ -1,0 +1,297 @@
+// Package simrun assembles and executes the paper's §5.2 experiment: a
+// population of emulated clients driving a benchmark application through a
+// DSSP node and a home server over simulated network links, in virtual
+// time. It lives apart from package workload so benchmark definitions do
+// not depend on the full DSSP stack.
+package simrun
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/dssp"
+	"dssp/internal/encrypt"
+	"dssp/internal/homeserver"
+	"dssp/internal/metrics"
+	"dssp/internal/sim"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+	"dssp/internal/workload"
+)
+
+// Config parameterizes one simulated run.
+type Config struct {
+	Benchmark workload.Benchmark
+
+	// Exposures assigns exposure levels per template ID. Missing entries
+	// default to full exposure.
+	Exposures map[string]template.Exposure
+
+	Users     int
+	Duration  time.Duration // virtual run length (paper: 10 minutes)
+	Warmup    time.Duration // samples before this offset are discarded
+	ThinkMean time.Duration // exponential think time mean (paper: 7 s)
+	Seed      int64
+
+	Network workload.NetworkModel
+	Costs   workload.CostModel
+
+	// Nodes is the number of DSSP nodes (Figure 1 shows several; the
+	// paper's prototype used one). Clients are spread round-robin across
+	// nodes; every node monitors completed updates for invalidation, the
+	// non-issuing nodes one home-link latency later. More nodes add DSSP
+	// CPU but fragment the cache.
+	Nodes int
+
+	// AnalysisOpts controls the static analysis the DSSP's
+	// template-inspection level uses (integrity constraints on/off).
+	AnalysisOpts core.Options
+
+	CacheOpts cache.Options
+}
+
+// DefaultConfig fills in the paper's §5.2 parameters for a benchmark.
+func DefaultConfig(b workload.Benchmark, users int) Config {
+	return Config{
+		Benchmark:    b,
+		Users:        users,
+		Duration:     10 * time.Minute,
+		ThinkMean:    7 * time.Second,
+		Seed:         1,
+		Network:      workload.DefaultNetwork(),
+		Costs:        workload.DefaultCosts(),
+		AnalysisOpts: core.DefaultOptions(),
+	}
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	Users         int
+	Pages         int // completed page requests
+	Ops           int // completed DB operations
+	Response      metrics.Sample
+	Cache         cache.Stats
+	HomeQueries   int
+	HomeUpdates   int
+	HomeBusyFrac  float64
+	HitRate       float64
+	Invalidations int
+}
+
+// Simulate executes one run and returns its measurements. The run is
+// fully deterministic for a given Config.
+func Simulate(cfg Config) (*Result, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: Users must be positive")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Minute
+	}
+	if cfg.ThinkMean <= 0 {
+		cfg.ThinkMean = 7 * time.Second
+	}
+
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	app := cfg.Benchmark.App()
+
+	// Build the stack: master DB at the home server, cold cache at the
+	// DSSP (§5.2: every experiment starts with a cold cache).
+	db := storage.NewDatabase(app.Schema)
+	if err := cfg.Benchmark.Populate(db, rng); err != nil {
+		return nil, fmt.Errorf("workload: populate: %w", err)
+	}
+	master := make([]byte, encrypt.KeySize)
+	rng.Read(master)
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master), cfg.Exposures)
+	analysis := core.Analyze(app, cfg.AnalysisOpts)
+	nodes := make([]*dssp.Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = dssp.NewNode(app, analysis, cfg.CacheOpts)
+	}
+	home := homeserver.New(db, app, codec)
+
+	var world sim.Sim
+	nodeCPUs := make([]*sim.Server, cfg.Nodes)
+	for i := range nodeCPUs {
+		nodeCPUs[i] = sim.NewServer(&world, cfg.Costs.DSSPCapacity)
+	}
+	homeCPU := sim.NewServer(&world, cfg.Costs.HomeCapacity)
+	toHome := sim.NewLink(&world, cfg.Network.HomeLatency, cfg.Network.HomeBitsPS)
+	fromHome := sim.NewLink(&world, cfg.Network.HomeLatency, cfg.Network.HomeBitsPS)
+
+	res := &Result{Users: cfg.Users}
+
+	// clientDelay models the per-client duplex access link (no cross-
+	// client contention: each client has its own link, §5.2).
+	clientDelay := func(size int, fn func()) {
+		d := cfg.Network.ClientLatency
+		if cfg.Network.ClientBitsPS > 0 {
+			d += time.Duration(float64(size) / (cfg.Network.ClientBitsPS / 8) * float64(time.Second))
+		}
+		world.After(d, fn)
+	}
+
+	// runOp performs one DB operation against the given node and calls
+	// done at the client when the op's response arrives.
+	var runOp func(ni int, op workload.Op, done func())
+	runOp = func(ni int, op workload.Op, done func()) {
+		node, dsspCPU := nodes[ni], nodeCPUs[ni]
+		clientDelay(cfg.Costs.RequestBytes, func() {
+			dsspCPU.Submit(cfg.Costs.DSSPOpCost, func() {
+				if op.Template.Kind == template.KQuery {
+					sq, err := codec.SealQuery(op.Template, op.Params)
+					if err != nil {
+						panic(err)
+					}
+					if sealed, hit := node.HandleQuery(sq); hit {
+						res.Ops++
+						clientDelay(sealed.Size(), done)
+						return
+					}
+					// Miss: forward to the home server.
+					toHome.Send(cfg.Costs.RequestBytes+len(sq.Opaque), func() {
+						sealed, empty, scanned, err := home.ExecQuery(sq)
+						if err != nil {
+							panic(err)
+						}
+						service := cfg.Costs.HomeQueryBase + time.Duration(scanned)*cfg.Costs.HomeQueryPerRow
+						homeCPU.Submit(service, func() {
+							res.HomeQueries++
+							fromHome.Send(sealed.Size(), func() {
+								node.StoreResult(sq, sealed, empty)
+								res.Ops++
+								clientDelay(sealed.Size(), done)
+							})
+						})
+					})
+					return
+				}
+				// Update: route to the home server; the DSSP monitors the
+				// completed update and invalidates (Figure 2).
+				su, err := codec.SealUpdate(op.Template, op.Params)
+				if err != nil {
+					panic(err)
+				}
+				toHome.Send(cfg.Costs.RequestBytes+len(su.Opaque), func() {
+					homeCPU.Submit(cfg.Costs.HomeUpdateCost, func() {
+						if _, err := home.ExecUpdate(su); err != nil {
+							panic(fmt.Sprintf("update %s%v: %v", op.Template.ID, op.Params, err))
+						}
+						res.HomeUpdates++
+						// Every node monitors the completed update; the
+						// non-issuing nodes learn of it one home-link
+						// propagation later.
+						for oi, other := range nodes {
+							if oi == ni {
+								continue
+							}
+							other := other
+							world.After(cfg.Network.HomeLatency, func() {
+								res.Invalidations += other.OnUpdateCompleted(su)
+							})
+						}
+						fromHome.Send(64, func() {
+							res.Invalidations += node.OnUpdateCompleted(su)
+							res.Ops++
+							clientDelay(64, done)
+						})
+					})
+				})
+			})
+		})
+	}
+
+	// Each user: think, request a page (its ops run sequentially plus one
+	// page-execution charge at the DSSP), repeat. Users stick to one node
+	// (CDNs route clients to their nearest node).
+	var startUser func(ni int, s workload.Session)
+	startUser = func(ni int, s workload.Session) {
+		think := time.Duration(rng.ExpFloat64() * float64(cfg.ThinkMean))
+		world.After(think, func() {
+			ops := s.NextPage()
+			pageStart := world.Now()
+			var step func(i int)
+			step = func(i int) {
+				if i == len(ops) {
+					nodeCPUs[ni].Submit(cfg.Costs.DSSPPageCost, func() {
+						if pageStart >= cfg.Warmup {
+							res.Response.Add(world.Now() - pageStart)
+							res.Pages++
+						}
+						startUser(ni, s)
+					})
+					return
+				}
+				runOp(ni, ops[i], func() { step(i + 1) })
+			}
+			step(0)
+		})
+	}
+	for i := 0; i < cfg.Users; i++ {
+		startUser(i%cfg.Nodes, cfg.Benchmark.NewSession(rng))
+	}
+
+	world.Run(cfg.Duration)
+
+	for _, n := range nodes {
+		st := n.Cache.Stats()
+		res.Cache.Hits += st.Hits
+		res.Cache.Misses += st.Misses
+		res.Cache.Stores += st.Stores
+		res.Cache.Invalidations += st.Invalidations
+		res.Cache.Evictions += st.Evictions
+		res.Cache.UpdatesSeen += st.UpdatesSeen
+	}
+	if t := res.Cache.Hits + res.Cache.Misses; t > 0 {
+		res.HitRate = float64(res.Cache.Hits) / float64(t)
+	}
+	elapsed := world.Now()
+	if elapsed > 0 {
+		res.HomeBusyFrac = float64(homeCPU.BusyTime()) / float64(elapsed*time.Duration(cfg.Costs.HomeCapacity))
+	}
+	return res, nil
+}
+
+// UniformExposures assigns one exposure level to every template (capped at
+// stmt for updates): the coarse-grain configurations of Figure 8.
+func UniformExposures(app *template.App, e template.Exposure) map[string]template.Exposure {
+	m := make(map[string]template.Exposure, len(app.Queries)+len(app.Updates))
+	for _, q := range app.Queries {
+		m[q.ID] = e
+	}
+	for _, u := range app.Updates {
+		eu := e
+		if eu > template.ExpStmt {
+			eu = template.ExpStmt
+		}
+		m[u.ID] = eu
+	}
+	return m
+}
+
+// MaxUsers measures scalability: the largest number of concurrent users
+// (up to maxUsers) for which the run meets the SLA. cfg.Users is ignored.
+func MaxUsers(cfg Config, sla metrics.SLA, maxUsers int) (int, error) {
+	var trialErr error
+	n := metrics.SearchMaxUsers(maxUsers, func(users int) bool {
+		if trialErr != nil {
+			return false
+		}
+		c := cfg
+		c.Users = users
+		r, err := Simulate(c)
+		if err != nil {
+			trialErr = err
+			return false
+		}
+		return sla.Met(&r.Response)
+	})
+	return n, trialErr
+}

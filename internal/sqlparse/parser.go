@@ -1,0 +1,489 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a statement of the subset grammar:
+//
+//	SELECT exprs FROM tables [WHERE conj] [GROUP BY cols] [ORDER BY keys] [LIMIT k]
+//	INSERT INTO table (cols) VALUES (operands)
+//	DELETE FROM table [WHERE conj]
+//	UPDATE table SET assignments WHERE conj
+//
+// Keywords are case-insensitive; `?` placeholders are numbered left to
+// right starting at zero.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse for statically known statements; it panics on error.
+// It is intended for package-level template tables in application
+// definitions and tests.
+func MustParse(src string) Statement {
+	stmt, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+}
+
+type parser struct {
+	toks      []token
+	pos       int
+	src       string
+	numParams int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: %s (in %q)", fmt.Sprintf(format, args...), p.src)
+}
+
+// keyword consumes the next token if it is the given keyword
+// (case-insensitive) and reports whether it did.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return token{}, p.errorf("expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.keyword("SELECT"):
+		return p.parseSelect()
+	case p.keyword("INSERT"):
+		return p.parseInsert()
+	case p.keyword("DELETE"):
+		return p.parseDelete()
+	case p.keyword("UPDATE"):
+		return p.parseUpdate()
+	default:
+		return nil, p.errorf("expected SELECT, INSERT, DELETE, or UPDATE, got %s", p.peek())
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	s := &SelectStmt{Limit: -1}
+	for {
+		e, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Select = append(s.Select, e)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent, "table name")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: t.text}
+		if p.keyword("AS") {
+			a, err := p.expect(tokIdent, "table alias")
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a.text
+		} else if p.peek().kind == tokIdent && !isClauseKeyword(p.peek().text) {
+			ref.Alias = p.next().text
+		}
+		s.From = append(s.From, ref)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	var err error
+	if s.Where, err = p.parseOptionalWhere(); err != nil {
+		return nil, err
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, c)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Col: c}
+			if p.keyword("DESC") {
+				k.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, k)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword("LIMIT") {
+		t, err := p.expect(tokNumber, "LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT count %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	if p.peek().kind == tokStar {
+		p.next()
+		return SelectExpr{Star: true}, nil
+	}
+	t := p.peek()
+	if t.kind == tokIdent {
+		if agg := aggFuncByName(t.text); agg != AggNone && p.toks[p.pos+1].kind == tokLParen {
+			p.pos += 2 // consume name and '('
+			e := SelectExpr{Agg: agg}
+			if p.peek().kind == tokStar {
+				p.next()
+				e.Star = true
+			} else {
+				c, err := p.parseColumnRef()
+				if err != nil {
+					return SelectExpr{}, err
+				}
+				e.Col = c
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return SelectExpr{}, err
+			}
+			if e.Star && agg != AggCount {
+				return SelectExpr{}, p.errorf("%s(*) is not valid; only COUNT(*) may aggregate over *", agg)
+			}
+			return p.parseAlias(e)
+		}
+	}
+	c, err := p.parseColumnRef()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	return p.parseAlias(SelectExpr{Col: c})
+}
+
+func (p *parser) parseAlias(e SelectExpr) (SelectExpr, error) {
+	if p.keyword("AS") {
+		a, err := p.expect(tokIdent, "column alias")
+		if err != nil {
+			return SelectExpr{}, err
+		}
+		e.Alias = a.text
+	}
+	return e, nil
+}
+
+func aggFuncByName(name string) AggFunc {
+	switch strings.ToUpper(name) {
+	case "MIN":
+		return AggMin
+	case "MAX":
+		return AggMax
+	case "COUNT":
+		return AggCount
+	case "SUM":
+		return AggSum
+	case "AVG":
+		return AggAvg
+	default:
+		return AggNone
+	}
+}
+
+func isClauseKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "WHERE", "GROUP", "ORDER", "LIMIT", "AS", "SET", "VALUES":
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.peek().kind == tokDot {
+		p.next()
+		c, err := p.expect(tokIdent, "column name after '.'")
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: t.text, Column: c.text}, nil
+	}
+	return ColumnRef{Column: t.text}, nil
+}
+
+func (p *parser) parseOptionalWhere() ([]Predicate, error) {
+	if !p.keyword("WHERE") {
+		return nil, nil
+	}
+	var preds []Predicate
+	for {
+		pr, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pr)
+		if !p.keyword("AND") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return Predicate{}, err
+	}
+	t, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return Predicate{}, err
+	}
+	var op CompareOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return Predicate{}, p.errorf("unsupported operator %q", t.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokParam:
+		p.next()
+		o := Operand{Kind: OpParam, Param: p.numParams}
+		p.numParams++
+		return o, nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Operand{}, p.errorf("invalid number %q", t.text)
+			}
+			return Operand{Kind: OpConst, Const: FloatVal(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Operand{}, p.errorf("invalid number %q", t.text)
+		}
+		return Operand{Kind: OpConst, Const: IntVal(n)}, nil
+	case tokString:
+		p.next()
+		return Operand{Kind: OpConst, Const: StringVal(t.text)}, nil
+	case tokIdent:
+		if strings.EqualFold(t.text, "NULL") {
+			p.next()
+			return Operand{Kind: OpConst, Const: Null()}, nil
+		}
+		c, err := p.parseColumnRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Kind: OpColumn, Col: c}, nil
+	default:
+		return Operand{}, p.errorf("expected operand, got %s", t)
+	}
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	s := &InsertStmt{Table: t.text}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expect(tokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		s.Columns = append(s.Columns, c.text)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	for {
+		o, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if o.Kind == OpColumn {
+			return nil, p.errorf("column reference %s is not a valid inserted value", o.Col)
+		}
+		s.Values = append(s.Values, o)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if len(s.Columns) != len(s.Values) {
+		return nil, p.errorf("INSERT has %d columns but %d values", len(s.Columns), len(s.Values))
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseOptionalWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Table: t.text, Where: where}, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	t, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	s := &UpdateStmt{Table: t.text}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expect(tokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.expect(tokOp, "=")
+		if err != nil {
+			return nil, err
+		}
+		if op.text != "=" {
+			return nil, p.errorf("expected = in SET clause, got %q", op.text)
+		}
+		v, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind == OpColumn {
+			return nil, p.errorf("column reference %s is not a valid SET value", v.Col)
+		}
+		s.Set = append(s.Set, Assignment{Column: c.text, Value: v})
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if s.Where, err = p.parseOptionalWhere(); err != nil {
+		return nil, err
+	}
+	if len(s.Where) == 0 {
+		return nil, p.errorf("UPDATE requires a WHERE clause over the primary key")
+	}
+	return s, nil
+}

@@ -1,0 +1,153 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSelect generates a random statement of the subset grammar.
+func randomSelect(rng *rand.Rand) *SelectStmt {
+	tables := []string{"alpha", "beta", "gamma"}
+	cols := []string{"a", "b", "c", "d"}
+	nFrom := 1 + rng.Intn(2)
+	s := &SelectStmt{Limit: -1}
+	for i := 0; i < nFrom; i++ {
+		ref := TableRef{Table: tables[i]}
+		if rng.Intn(2) == 0 {
+			ref.Alias = "t" + string(rune('0'+i))
+		}
+		s.From = append(s.From, ref)
+	}
+	colRef := func() ColumnRef {
+		f := s.From[rng.Intn(len(s.From))]
+		return ColumnRef{Table: f.Name(), Column: cols[rng.Intn(len(cols))]}
+	}
+	// Projections.
+	if rng.Intn(8) == 0 {
+		s.Select = []SelectExpr{{Star: true}}
+	} else {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			e := SelectExpr{Col: colRef()}
+			if rng.Intn(6) == 0 {
+				e.Agg = []AggFunc{AggMin, AggMax, AggCount, AggSum, AggAvg}[rng.Intn(5)]
+			}
+			if rng.Intn(4) == 0 {
+				e.Alias = "out" + string(rune('0'+i))
+			}
+			s.Select = append(s.Select, e)
+		}
+	}
+	// Predicates.
+	param := 0
+	ops := []CompareOp{OpEq, OpLt, OpLe, OpGt, OpGe}
+	for i := 0; i < rng.Intn(4); i++ {
+		p := Predicate{Left: Operand{Kind: OpColumn, Col: colRef()}, Op: ops[rng.Intn(len(ops))]}
+		switch rng.Intn(3) {
+		case 0:
+			p.Right = Operand{Kind: OpParam, Param: param}
+			param++
+		case 1:
+			p.Right = Operand{Kind: OpConst, Const: IntVal(int64(rng.Intn(100)))}
+		default:
+			p.Right = Operand{Kind: OpColumn, Col: colRef()}
+		}
+		s.Where = append(s.Where, p)
+	}
+	// Order by and limit.
+	for i := 0; i < rng.Intn(3); i++ {
+		s.OrderBy = append(s.OrderBy, OrderKey{Col: colRef(), Desc: rng.Intn(2) == 0})
+	}
+	if rng.Intn(3) == 0 {
+		s.Limit = rng.Intn(100)
+	}
+	return s
+}
+
+// TestGeneratedSelectRoundTrip: String() of a generated AST re-parses to a
+// statement with the identical String() — the canonical form is a fixed
+// point, which the cache keying relies on.
+func TestGeneratedSelectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		s := randomSelect(rng)
+		src := s.String()
+		re, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse of %q failed: %v", trial, src, err)
+		}
+		if re.String() != src {
+			t.Fatalf("trial %d: canonical form not a fixed point:\n  %q\n  %q", trial, src, re.String())
+		}
+	}
+}
+
+// TestGeneratedSelectStructuralRoundTrip: re-parsing preserves structural
+// features the analysis depends on (predicate count, limit, aggregates).
+func TestGeneratedSelectStructuralRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		s := randomSelect(rng)
+		re, err := Parse(s.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := re.(*SelectStmt)
+		if len(rs.Where) != len(s.Where) || rs.Limit != s.Limit ||
+			len(rs.From) != len(s.From) || rs.HasAggregate() != s.HasAggregate() ||
+			len(rs.OrderBy) != len(s.OrderBy) {
+			t.Fatalf("trial %d: structure changed:\n%#v\n%#v", trial, s, rs)
+		}
+		if NumParams(rs) != NumParams(s) {
+			t.Fatalf("trial %d: params changed", trial)
+		}
+	}
+}
+
+// TestUpdateRoundTrips covers the three update kinds with generated
+// parameter positions.
+func TestUpdateRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cols := []string{"a", "b", "c"}
+	for trial := 0; trial < 500; trial++ {
+		var stmt Statement
+		switch rng.Intn(3) {
+		case 0:
+			ins := &InsertStmt{Table: "alpha"}
+			for i, c := range cols {
+				ins.Columns = append(ins.Columns, c)
+				if rng.Intn(2) == 0 {
+					ins.Values = append(ins.Values, Operand{Kind: OpParam, Param: i})
+				} else {
+					ins.Values = append(ins.Values, Operand{Kind: OpConst, Const: StringVal("v")})
+				}
+			}
+			stmt = ins
+		case 1:
+			stmt = &DeleteStmt{Table: "alpha", Where: []Predicate{{
+				Left:  Operand{Kind: OpColumn, Col: ColumnRef{Column: "a"}},
+				Op:    OpLt,
+				Right: Operand{Kind: OpParam},
+			}}}
+		default:
+			stmt = &UpdateStmt{Table: "alpha",
+				Set: []Assignment{{Column: "b", Value: Operand{Kind: OpParam, Param: 0}}},
+				Where: []Predicate{{
+					Left:  Operand{Kind: OpColumn, Col: ColumnRef{Column: "a"}},
+					Op:    OpEq,
+					Right: Operand{Kind: OpParam, Param: 1},
+				}}}
+		}
+		src := stmt.String()
+		re, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %q: %v", trial, src, err)
+		}
+		if re.String() != src {
+			t.Fatalf("trial %d: %q != %q", trial, src, re.String())
+		}
+		if reflect.TypeOf(re) != reflect.TypeOf(stmt) {
+			t.Fatalf("trial %d: kind changed", trial)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package wire defines the messages that flow between the application's
+// trusted side (clients/home organization, which hold the encryption keys)
+// and the untrusted DSSP (Figure 2 of the paper): queries, updates, and
+// query results, each sealed according to the exposure level of its
+// template.
+//
+// Exposure levels determine what the DSSP can see (§2.3):
+//
+//	blind:    nothing — the lookup key is a deterministic token of the
+//	          whole statement.
+//	template: the template identity — parameters are replaced by a
+//	          deterministic token.
+//	stmt:     template and parameters in the clear; results encrypted.
+//	view:     statement and result in the clear (queries only).
+//
+// Every message also carries an opaque, strongly encrypted payload that
+// only the home organization can open; the DSSP forwards it verbatim on
+// cache misses and for updates.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dssp/internal/encrypt"
+	"dssp/internal/engine"
+	"dssp/internal/sqlparse"
+	"dssp/internal/template"
+)
+
+// Domain labels for deterministic encryption, separating statement,
+// parameter, and result spaces.
+const (
+	domStmt   = "stmt"
+	domParams = "params"
+	domResult = "result"
+	domOpaque = "opaque"
+)
+
+// SealedQuery is a query as the DSSP sees it.
+type SealedQuery struct {
+	Exposure template.Exposure
+
+	// TemplateID is exposed at template exposure and above.
+	TemplateID string
+
+	// Params are exposed at stmt exposure and above.
+	Params []sqlparse.Value
+
+	// Key is the deterministic cache lookup key (§2.3 footnote 3).
+	Key string
+
+	// Opaque is the encrypted statement payload for the home server.
+	Opaque []byte
+}
+
+// SealedUpdate is an update as the DSSP sees it. Updates have no view
+// level.
+type SealedUpdate struct {
+	Exposure   template.Exposure
+	TemplateID string
+	Params     []sqlparse.Value
+	Opaque     []byte
+}
+
+// SealedResult is a query result as cached by the DSSP: plaintext at view
+// exposure, ciphertext otherwise.
+type SealedResult struct {
+	Result *engine.Result // non-nil iff the query's exposure is view
+	Cipher []byte
+}
+
+// payload is the gob-encoded content of an Opaque field.
+type payload struct {
+	TemplateID string
+	Params     []sqlparse.Value
+}
+
+// Codec seals and opens messages. It lives on the trusted side: clients
+// seal queries and updates; the home server opens them and seals results.
+type Codec struct {
+	app  *template.App
+	kr   *encrypt.Keyring
+	exps map[string]template.Exposure
+}
+
+// NewCodec builds a codec for an application under an exposure assignment
+// (template ID -> exposure level). Templates missing from the assignment
+// default to full exposure.
+func NewCodec(app *template.App, kr *encrypt.Keyring, exps map[string]template.Exposure) *Codec {
+	return &Codec{app: app, kr: kr, exps: exps}
+}
+
+// ExposureOf returns the configured exposure of a template.
+func (c *Codec) ExposureOf(t *template.Template) template.Exposure {
+	if e, ok := c.exps[t.ID]; ok {
+		return e
+	}
+	return template.MaxExposure(t.Kind)
+}
+
+func encodePayload(p payload) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		panic(fmt.Sprintf("wire: gob encode: %v", err)) // in-memory encode of plain data
+	}
+	return buf.Bytes()
+}
+
+func decodePayload(b []byte) (payload, error) {
+	var p payload
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return payload{}, fmt.Errorf("wire: gob decode: %w", err)
+	}
+	return p, nil
+}
+
+// encodeParams deterministically encodes parameter values.
+func encodeParams(params []sqlparse.Value) []byte {
+	var buf bytes.Buffer
+	for _, v := range params {
+		buf.WriteString(v.String())
+		buf.WriteByte('\x00')
+	}
+	return buf.Bytes()
+}
+
+// SealQuery prepares a query instance for the DSSP.
+func (c *Codec) SealQuery(t *template.Template, params []sqlparse.Value) (SealedQuery, error) {
+	if t.Kind != template.KQuery {
+		return SealedQuery{}, fmt.Errorf("wire: %s is not a query template", t.ID)
+	}
+	exp := c.ExposureOf(t)
+	opaque := c.kr.Seal(domOpaque, encodePayload(payload{TemplateID: t.ID, Params: params}))
+	sq := SealedQuery{Exposure: exp, Opaque: opaque}
+	switch exp {
+	case template.ExpBlind:
+		// The encrypted statement is the lookup key.
+		sq.Key = c.kr.Token(domStmt, append([]byte(t.SQL+"\x00"), encodeParams(params)...))
+	case template.ExpTemplate:
+		sq.TemplateID = t.ID
+		sq.Key = t.ID + "\x00" + c.kr.Token(domParams, encodeParams(params))
+	default: // stmt or view
+		sq.TemplateID = t.ID
+		sq.Params = params
+		sq.Key = t.ID + "\x00" + string(encodeParams(params))
+	}
+	return sq, nil
+}
+
+// SealUpdate prepares an update instance for the DSSP.
+func (c *Codec) SealUpdate(t *template.Template, params []sqlparse.Value) (SealedUpdate, error) {
+	if !t.Kind.IsUpdate() {
+		return SealedUpdate{}, fmt.Errorf("wire: %s is not an update template", t.ID)
+	}
+	exp := c.ExposureOf(t)
+	if exp > template.ExpStmt {
+		exp = template.ExpStmt
+	}
+	su := SealedUpdate{
+		Exposure: exp,
+		Opaque:   c.kr.Seal(domOpaque, encodePayload(payload{TemplateID: t.ID, Params: params})),
+	}
+	if exp >= template.ExpTemplate {
+		su.TemplateID = t.ID
+	}
+	if exp >= template.ExpStmt {
+		su.Params = params
+	}
+	return su, nil
+}
+
+// OpenPayload decrypts an opaque statement payload (home-server side) and
+// resolves its template.
+func (c *Codec) OpenPayload(opaque []byte) (*template.Template, []sqlparse.Value, error) {
+	b, err := c.kr.Open(domOpaque, opaque)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := decodePayload(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := c.app.Query(p.TemplateID)
+	if t == nil {
+		t = c.app.Update(p.TemplateID)
+	}
+	if t == nil {
+		return nil, nil, fmt.Errorf("wire: unknown template %q in payload", p.TemplateID)
+	}
+	return t, p.Params, nil
+}
+
+// SealResult seals a query result according to the query's exposure: view
+// exposure keeps it in the clear, anything lower encrypts it.
+func (c *Codec) SealResult(t *template.Template, res *engine.Result) SealedResult {
+	if c.ExposureOf(t) == template.ExpView {
+		return SealedResult{Result: res}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		panic(fmt.Sprintf("wire: gob encode result: %v", err))
+	}
+	return SealedResult{Cipher: c.kr.Seal(domResult, buf.Bytes())}
+}
+
+// OpenResult recovers the plaintext result from a sealed result
+// (client side).
+func (c *Codec) OpenResult(sr SealedResult) (*engine.Result, error) {
+	if sr.Result != nil {
+		return sr.Result, nil
+	}
+	b, err := c.kr.Open(domResult, sr.Cipher)
+	if err != nil {
+		return nil, err
+	}
+	var res engine.Result
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("wire: gob decode result: %w", err)
+	}
+	return &res, nil
+}
+
+// Size estimates the wire size of a sealed result in bytes, for the
+// simulator's bandwidth model.
+func (sr SealedResult) Size() int {
+	if sr.Cipher != nil {
+		return len(sr.Cipher)
+	}
+	n := 64
+	for _, c := range sr.Result.Columns {
+		n += len(c) + 4
+	}
+	for _, row := range sr.Result.Rows {
+		for _, v := range row {
+			n += 10
+			if v.Kind == sqlparse.KindString {
+				n += len(v.Str)
+			}
+		}
+	}
+	return n
+}
