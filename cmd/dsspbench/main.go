@@ -13,6 +13,7 @@
 //	dsspbench -exp figure7                # exposure reduction per template
 //	dsspbench -exp figure8                # scalability per invalidation strategy
 //	dsspbench -exp security               # §5.4 security-enhancement summary
+//	dsspbench -exp obs -app bboard        # short run's metrics snapshot (-format json|prom)
 //	dsspbench -exp all                    # everything (simulations included)
 //
 // Simulation-based experiments (figure3, figure8) accept -full for the
@@ -21,23 +22,27 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dssp/internal/apps"
 	"dssp/internal/experiments"
+	"dssp/internal/simrun"
 	"dssp/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|security|ablation|capacity|nodes|all")
-	app := flag.String("app", "bboard", "application for figure4: auction|bboard|bookstore")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|security|ablation|capacity|nodes|obs|all")
+	app := flag.String("app", "bboard", "application for figure4/obs: auction|bboard|bookstore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
 	maxUsers := flag.Int("maxusers", 4000, "cap for the scalability search")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	format := flag.String("format", "prom", "output format for -exp obs: prom|json")
 	flag.Parse()
 
 	opts := experiments.DefaultRunOptions()
@@ -45,9 +50,45 @@ func main() {
 	opts.MaxUsers = *maxUsers
 	opts.Seed = *seed
 
+	if *exp == "obs" {
+		if err := runObs(*app, *format, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "dsspbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *app, *pair, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dsspbench:", err)
 		os.Exit(1)
+	}
+}
+
+// runObs runs one short simulation and prints its metrics snapshot — the
+// same names and labels a deployed node's /v1/metrics serves.
+func runObs(app, format string, opts experiments.RunOptions) error {
+	b, err := benchmark(app)
+	if err != nil {
+		return err
+	}
+	cfg := simrun.DefaultConfig(b, 50)
+	cfg.Seed = opts.Seed
+	cfg.Duration = 60 * time.Second
+	if opts.Full {
+		cfg.Duration = 10 * time.Minute
+	}
+	res, err := simrun.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.Metrics)
+	case "prom", "prometheus":
+		return res.Metrics.WritePrometheus(os.Stdout)
+	default:
+		return fmt.Errorf("unknown -format %q (want prom or json)", format)
 	}
 }
 

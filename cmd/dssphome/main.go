@@ -3,6 +3,10 @@
 // (Figure 1). The demo key is derived from -key; in production the key
 // never leaves the home organization.
 //
+// The server exposes GET /v1/metrics (JSON, or Prometheus text with
+// ?format=prom): per-template execution counts and home_exec latency
+// histograms.
+//
 // Usage:
 //
 //	dssphome -app toystore -addr :8401 -key secret
@@ -49,8 +53,8 @@ func main() {
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), nil)
 	home := homeserver.New(db, app, codec)
 
-	log.Printf("home server for %q on %s (%d query templates, %d update templates)",
-		app.Name, *addr, len(app.Queries), len(app.Updates))
+	log.Printf("home server for %q on %s (%d query templates, %d update templates, metrics: GET %s)",
+		app.Name, *addr, len(app.Queries), len(app.Updates), httpapi.PathMetrics)
 	log.Fatal(http.ListenAndServe(*addr, httpapi.HomeHandler(home)))
 }
 

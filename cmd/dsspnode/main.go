@@ -4,6 +4,10 @@
 // The node holds no keys — it only ever sees what the application's
 // exposure assignment reveals.
 //
+// The node exposes GET /v1/metrics: per-template cache hit/miss and
+// invalidation counters plus per-stage latency histograms, as JSON or
+// (with ?format=prom) the Prometheus text format.
+//
 // Usage:
 //
 //	dsspnode -app toystore -addr :8400 -home http://localhost:8401
@@ -42,7 +46,8 @@ func main() {
 	node := dssp.NewNode(app, analysis, cache.Options{Capacity: *capacity})
 	srv := httpapi.NewNodeServer(node, *home, nil)
 
-	log.Printf("DSSP node for %q on %s (home: %s, capacity: %d)", app.Name, *addr, *home, *capacity)
+	log.Printf("DSSP node for %q on %s (home: %s, capacity: %d, metrics: GET %s)",
+		app.Name, *addr, *home, *capacity, httpapi.PathMetrics)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

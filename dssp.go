@@ -38,6 +38,7 @@ import (
 	"dssp/internal/engine"
 	"dssp/internal/homeserver"
 	"dssp/internal/metrics"
+	"dssp/internal/obs"
 	"dssp/internal/schema"
 	"dssp/internal/simrun"
 	"dssp/internal/sqlparse"
@@ -86,6 +87,9 @@ type (
 	SimResult = simrun.Result
 	// SLA is the responsiveness criterion for scalability measurements.
 	SLA = metrics.SLA
+	// MetricsSnapshot is a point-in-time view of every counter, gauge, and
+	// latency histogram a system (or simulated run) has recorded.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Exposure levels, least exposed (most encrypted) first.
@@ -155,13 +159,25 @@ func NewSystem(app *App, masterKey []byte, exposures ExposureAssignment) (*Syste
 	}
 	codec := wire.NewCodec(app, kr, exposures)
 	db := storage.NewDatabase(app.Schema)
-	node := dssp.NewNode(app, Analyze(app), cache.Options{})
+	// One registry spans the whole in-process deployment: cache counters,
+	// client stage spans, and home-server execution all land in a single
+	// snapshot, mirroring what a scrape of every process would merge to.
+	reg := obs.NewRegistry()
+	node := dssp.NewNode(app, Analyze(app), cache.Options{Obs: reg})
 	home := homeserver.New(db, app, codec)
+	home.SetObs(reg, obs.WallClock())
 	return &System{
 		App:    app,
-		Client: &dssp.Client{Codec: codec, Node: node, Home: home},
+		Client: &dssp.Client{Codec: codec, Node: node, Home: home, Tracer: obs.NewTracer(reg, obs.WallClock())},
 		DB:     db,
 	}, nil
+}
+
+// Metrics returns a snapshot of the system's observability registry:
+// per-template cache hit/miss/invalidation counters, per-stage latency
+// histograms, and home-server execution counts.
+func (s *System) Metrics() MetricsSnapshot {
+	return s.Client.Node.Cache.Obs().Snapshot()
 }
 
 // Query runs a query template end to end (cache, then home server on a

@@ -8,11 +8,18 @@
 // result is subject to invalidation by an insertion or a deletion returns
 // an empty result set"), the cache refuses to store empty results; see
 // Options.CacheEmptyResults.
+//
+// The cache is safe for concurrent use: the HTTP deployment serves
+// queries and updates from concurrent handlers. A single mutex guards the
+// maps and LRU list; the observability instruments it feeds are atomic.
 package cache
 
 import (
+	"sync"
+
 	"dssp/internal/engine"
 	"dssp/internal/invalidate"
+	"dssp/internal/obs"
 	"dssp/internal/template"
 	"dssp/internal/wire"
 )
@@ -52,6 +59,16 @@ type Options struct {
 	// used entry is evicted when full. 0 means unbounded (the paper's
 	// configuration).
 	Capacity int
+
+	// Obs is the registry the cache's instruments live in. nil creates a
+	// private registry (always retrievable via Cache.Obs), so metrics are
+	// always on; pass a shared registry to aggregate several components
+	// (node + home server, or several simulated nodes).
+	Obs *obs.Registry
+
+	// Tenant, when non-empty, labels every cache metric with the tenant
+	// name — used by the shared multi-application node.
+	Tenant string
 }
 
 // Stats counts cache activity.
@@ -64,36 +81,159 @@ type Stats struct {
 	UpdatesSeen   int
 }
 
+// Decision is one entry of the invalidation-decision log: which update
+// template was applied against which query template's entries, under
+// which strategy class, and how many entries it killed (0 = inspected and
+// kept). Trace is the update's trace ID.
+type Decision struct {
+	Trace          string
+	UpdateTemplate string // obs.BlindTemplate when hidden
+	QueryTemplate  string // obs.BlindTemplate when hidden
+	Class          string
+	Dropped        int
+}
+
+// DecisionLogSize bounds the in-memory invalidation-decision log.
+const DecisionLogSize = 256
+
+// tmplInstruments caches the per-template counter handles so hot lookups
+// pay one map access under the cache lock instead of a registry lookup.
+type tmplInstruments struct {
+	hits, misses *obs.Counter
+}
+
 // Cache is the DSSP-side view store.
 type Cache struct {
 	app  *template.App
 	inv  *invalidate.Invalidator
 	opts Options
 
+	mu         sync.Mutex
 	byTemplate map[string]map[string]*Entry // template ID -> key -> entry
 	blind      map[string]*Entry            // entries whose template is hidden
 	lru        lruList                      // used only when bounded
 
 	stats Stats
+
+	reg       *obs.Registry
+	tenant    []obs.Label
+	perTmpl   map[string]*tmplInstruments
+	stores    *obs.Counter
+	evictions *obs.Counter
+	updates   *obs.Counter
+	entries   *obs.Gauge
+	lastLen   int
+
+	decisions []Decision
+	decNext   int
+	decFull   bool
 }
 
 // New creates an empty cache for an application. The invalidator carries
 // the static analysis used at the template-inspection level.
 func New(app *template.App, inv *invalidate.Invalidator, opts Options) *Cache {
-	return &Cache{
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var tenant []obs.Label
+	if opts.Tenant != "" {
+		tenant = []obs.Label{obs.L(obs.LTenant, opts.Tenant)}
+	}
+	c := &Cache{
 		app:        app,
 		inv:        inv,
 		opts:       opts,
 		byTemplate: make(map[string]map[string]*Entry),
 		blind:      make(map[string]*Entry),
+		reg:        reg,
+		tenant:     tenant,
+		perTmpl:    make(map[string]*tmplInstruments),
+		stores:     reg.Counter(obs.MCacheStores, tenant...),
+		evictions:  reg.Counter(obs.MCacheEvictions, tenant...),
+		updates:    reg.Counter(obs.MCacheUpdatesSeen, tenant...),
+		entries:    reg.Gauge(obs.MCacheEntries, tenant...),
+		decisions:  make([]Decision, DecisionLogSize),
+	}
+	return c
+}
+
+// Obs returns the registry the cache's instruments live in.
+func (c *Cache) Obs() *obs.Registry { return c.reg }
+
+// labels appends the tenant label (if any) to the given labels.
+func (c *Cache) labels(ls ...obs.Label) []obs.Label {
+	return append(ls, c.tenant...)
+}
+
+// tmpl returns the cached per-template instruments. Called under c.mu.
+func (c *Cache) tmpl(id string) *tmplInstruments {
+	ti := c.perTmpl[id]
+	if ti == nil {
+		ti = &tmplInstruments{
+			hits:   c.reg.Counter(obs.MCacheHits, c.labels(obs.L(obs.LTemplate, id))...),
+			misses: c.reg.Counter(obs.MCacheMisses, c.labels(obs.L(obs.LTemplate, id))...),
+		}
+		c.perTmpl[id] = ti
+	}
+	return ti
+}
+
+// record appends one invalidation decision to the bounded log and bumps
+// the invalidation counter for its label combination. Called under c.mu.
+func (c *Cache) record(d Decision) {
+	c.stats.Invalidations += d.Dropped
+	c.reg.Counter(obs.MCacheInvalidations, c.labels(
+		obs.L(obs.LTemplate, d.QueryTemplate),
+		obs.L(obs.LUpdateTemplate, d.UpdateTemplate),
+		obs.L(obs.LClass, d.Class),
+	)...).Add(int64(d.Dropped))
+	c.decisions[c.decNext] = d
+	c.decNext++
+	if c.decNext == len(c.decisions) {
+		c.decNext = 0
+		c.decFull = true
+	}
+}
+
+// Decisions returns a copy of the invalidation-decision log, oldest
+// first.
+func (c *Cache) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Decision
+	if c.decFull {
+		out = append(out, c.decisions[c.decNext:]...)
+	}
+	out = append(out, c.decisions[:c.decNext]...)
+	return out
+}
+
+// syncEntries reconciles the entry-count gauge after a mutation. Called
+// under c.mu.
+func (c *Cache) syncEntries() {
+	n := c.lenLocked()
+	if n != c.lastLen {
+		c.entries.Add(int64(n - c.lastLen))
+		c.lastLen = n
 	}
 }
 
 // Stats returns a snapshot of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lenLocked()
+}
+
+func (c *Cache) lenLocked() int {
 	n := len(c.blind)
 	for _, b := range c.byTemplate {
 		n += len(b)
@@ -103,6 +243,9 @@ func (c *Cache) Len() int {
 
 // Lookup returns the cached result for a sealed query, if present.
 func (c *Cache) Lookup(q wire.SealedQuery) (wire.SealedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ti := c.tmpl(obs.Tmpl(q.TemplateID))
 	var e *Entry
 	if q.TemplateID == "" {
 		e = c.blind[q.Key]
@@ -111,9 +254,11 @@ func (c *Cache) Lookup(q wire.SealedQuery) (wire.SealedResult, bool) {
 	}
 	if e == nil {
 		c.stats.Misses++
+		ti.misses.Inc()
 		return wire.SealedResult{}, false
 	}
 	c.stats.Hits++
+	ti.hits.Inc()
 	c.touch(e)
 	return e.Result, true
 }
@@ -138,6 +283,8 @@ func (c *Cache) Store(q wire.SealedQuery, r wire.SealedResult, empty bool) {
 	if n := resultLen(r); n == 0 && !c.opts.CacheEmptyResults {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := &Entry{Query: q, Result: r}
 	if q.TemplateID == "" {
 		if old := c.blind[q.Key]; old != nil {
@@ -157,35 +304,46 @@ func (c *Cache) Store(q wire.SealedQuery, r wire.SealedResult, empty bool) {
 	}
 	c.trackInsert(e)
 	c.stats.Stores++
+	c.stores.Inc()
+	c.syncEntries()
 }
 
 // OnUpdate applies the mixed invalidation strategy for a completed update
 // (§2.3): per cached entry, the strategy class follows from the exposure
 // levels of the update and of the entry's query. It returns the number of
-// entries invalidated.
+// entries invalidated. Every per-bucket decision — including "inspected
+// and kept" — lands in the decision log and the invalidation counters.
 func (c *Cache) OnUpdate(u wire.SealedUpdate) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.stats.UpdatesSeen++
+	c.updates.Inc()
+	uLbl := obs.Tmpl(u.TemplateID)
 	dropped := 0
 
 	// Entries with hidden templates can only be handled blindly.
 	if len(c.blind) > 0 {
-		dropped += len(c.blind)
+		n := len(c.blind)
 		for _, e := range c.blind {
 			c.trackRemove(e)
 		}
 		c.blind = make(map[string]*Entry)
+		c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: obs.BlindTemplate, Class: invalidate.Blind.String(), Dropped: n})
+		dropped += n
 	}
 
 	if u.TemplateID == "" {
 		// Blind update: invalidate everything.
 		for id, b := range c.byTemplate {
-			dropped += len(b)
+			n := len(b)
 			for _, e := range b {
 				c.trackRemove(e)
 			}
 			delete(c.byTemplate, id)
+			c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: id, Class: invalidate.Blind.String(), Dropped: n})
+			dropped += n
 		}
-		c.stats.Invalidations += dropped
+		c.syncEntries()
 		return dropped
 	}
 
@@ -203,24 +361,27 @@ func (c *Cache) OnUpdate(u wire.SealedUpdate) int {
 			break
 		}
 		class := invalidate.ClassFor(u.Exposure, sample.Query.Exposure)
+		bucketDropped := 0
 		switch class {
 		case invalidate.Blind:
-			dropped += c.dropBucket(id, bucket)
+			bucketDropped = c.dropBucket(id, bucket)
 		case invalidate.TemplateInspection:
 			if c.inv.Decide(class, ui, invalidate.CachedView{Template: qt}) == invalidate.Invalidate {
-				dropped += c.dropBucket(id, bucket)
+				bucketDropped = c.dropBucket(id, bucket)
 			}
 		default: // statement or view inspection: per-entry decisions
 			for key, e := range bucket {
 				if c.inv.Decide(class, ui, e.view(c.app)) == invalidate.Invalidate {
 					delete(bucket, key)
 					c.trackRemove(e)
-					dropped++
+					bucketDropped++
 				}
 			}
 		}
+		c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: id, Class: class.String(), Dropped: bucketDropped})
+		dropped += bucketDropped
 	}
-	c.stats.Invalidations += dropped
+	c.syncEntries()
 	return dropped
 }
 
@@ -234,8 +395,10 @@ func (c *Cache) dropBucket(id string, bucket map[string]*Entry) int {
 }
 
 // Entries calls f for every cached entry (for consistency audits in
-// tests). f must not mutate the cache.
+// tests). f must not mutate the cache or call back into it.
 func (c *Cache) Entries(f func(*Entry)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, e := range c.blind {
 		f(e)
 	}

@@ -72,6 +72,7 @@ func (c *Cache) trackInsert(e *Entry) {
 		}
 		c.removeEntry(victim)
 		c.stats.Evictions++
+		c.evictions.Inc()
 	}
 }
 

@@ -9,10 +9,13 @@
 package dssp
 
 import (
+	"time"
+
 	"dssp/internal/cache"
 	"dssp/internal/core"
 	"dssp/internal/homeserver"
 	"dssp/internal/invalidate"
+	"dssp/internal/obs"
 	"dssp/internal/template"
 	"dssp/internal/wire"
 )
@@ -56,6 +59,18 @@ type Client struct {
 	Codec *wire.Codec
 	Node  *Node
 	Home  *homeserver.Server
+
+	// Tracer, when set, records per-stage spans (seal, cache_lookup,
+	// network, invalidate, open) and the end-to-end request histogram for
+	// every statement routed through the client. nil disables tracing.
+	Tracer *obs.Tracer
+}
+
+// request records the end-to-end request histogram sample.
+func (c *Client) request(kind, tmpl string, start time.Duration) {
+	if reg := c.Tracer.Registry(); reg != nil {
+		reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, kind), obs.L(obs.LTemplate, tmpl)).Observe(c.Tracer.Now() - start)
+	}
 }
 
 // QueryOutcome describes how a query was served.
@@ -71,24 +86,34 @@ func (c *Client) Query(t *template.Template, params ...interface{}) (*QueryResul
 	if err != nil {
 		return nil, err
 	}
+	start := c.Tracer.Now()
 	sq, err := c.Codec.SealQuery(t, vals)
 	if err != nil {
 		return nil, err
 	}
+	c.Tracer.Observe(sq.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
+	nodeTmpl := obs.Tmpl(sq.TemplateID)
+	lk := c.Tracer.Start(sq.TraceID, obs.StageLookup, nodeTmpl)
 	sealed, hit := c.Node.HandleQuery(sq)
+	lk.End()
 	outcome := QueryOutcome{Hit: hit}
 	if !hit {
 		var empty bool
+		net := c.Tracer.Start(sq.TraceID, obs.StageNetwork, nodeTmpl)
 		sealed, empty, outcome.Scanned, err = c.Home.ExecQuery(sq)
 		if err != nil {
 			return nil, err
 		}
 		c.Node.StoreResult(sq, sealed, empty)
+		net.End()
 	}
+	op := c.Tracer.Start(sq.TraceID, obs.StageOpen, t.ID)
 	res, err := c.Codec.OpenResult(sealed)
 	if err != nil {
 		return nil, err
 	}
+	op.End()
+	c.request(obs.KindQuery, nodeTmpl, start)
 	outcome.Rows = res.Len()
 	return &QueryResult{Result: res, Outcome: outcome}, nil
 }
@@ -101,14 +126,22 @@ func (c *Client) Update(t *template.Template, params ...interface{}) (affected, 
 	if err != nil {
 		return 0, 0, err
 	}
+	start := c.Tracer.Now()
 	su, err := c.Codec.SealUpdate(t, vals)
 	if err != nil {
 		return 0, 0, err
 	}
+	c.Tracer.Observe(su.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
+	nodeTmpl := obs.Tmpl(su.TemplateID)
+	net := c.Tracer.Start(su.TraceID, obs.StageNetwork, nodeTmpl)
 	affected, err = c.Home.ExecUpdate(su)
 	if err != nil {
 		return 0, 0, err
 	}
+	net.End()
+	inv := c.Tracer.Start(su.TraceID, obs.StageInvalidate, nodeTmpl)
 	invalidated = c.Node.OnUpdateCompleted(su)
+	inv.End()
+	c.request(obs.KindUpdate, nodeTmpl, start)
 	return affected, invalidated, nil
 }

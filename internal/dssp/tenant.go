@@ -3,9 +3,11 @@ package dssp
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dssp/internal/cache"
 	"dssp/internal/core"
+	"dssp/internal/obs"
 	"dssp/internal/template"
 	"dssp/internal/wire"
 )
@@ -22,26 +24,38 @@ import (
 // deterministic ciphertexts of different tenants never collide because
 // their keyrings differ.
 type MultiNode struct {
+	mu      sync.RWMutex
 	tenants map[string]*Node
 
 	// Capacity, when positive, is the total entry budget shared by all
 	// tenants; it is divided evenly among them at registration.
 	capacity int
+
+	// reg aggregates every tenant's cache instruments; each tenant's
+	// metrics carry a tenant label, so the shared node exposes one
+	// snapshot with per-tenant breakdowns.
+	reg *obs.Registry
 }
 
 // NewMultiNode creates an empty shared node. totalCapacity <= 0 leaves all
 // tenant caches unbounded.
 func NewMultiNode(totalCapacity int) *MultiNode {
-	return &MultiNode{tenants: make(map[string]*Node), capacity: totalCapacity}
+	return &MultiNode{tenants: make(map[string]*Node), capacity: totalCapacity, reg: obs.NewRegistry()}
 }
+
+// Obs returns the shared node's registry: every tenant's cache metrics,
+// labeled by tenant.
+func (m *MultiNode) Obs() *obs.Registry { return m.reg }
 
 // Register adds an application as a tenant. The application's name is its
 // tenant identity and must be unique on the node.
 func (m *MultiNode) Register(app *template.App, analysis *core.Analysis) (*Node, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.tenants[app.Name]; dup {
 		return nil, fmt.Errorf("dssp: tenant %q already registered", app.Name)
 	}
-	opts := cache.Options{}
+	opts := cache.Options{Obs: m.reg, Tenant: app.Name}
 	m.tenants[app.Name] = nil // reserve before re-dividing capacity
 	if m.capacity > 0 {
 		opts.Capacity = m.capacity / len(m.tenants)
@@ -55,10 +69,16 @@ func (m *MultiNode) Register(app *template.App, analysis *core.Analysis) (*Node,
 }
 
 // Tenant returns the node serving the named application, or nil.
-func (m *MultiNode) Tenant(app string) *Node { return m.tenants[app] }
+func (m *MultiNode) Tenant(app string) *Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tenants[app]
+}
 
 // Tenants lists tenant names in sorted order.
 func (m *MultiNode) Tenants() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.tenants))
 	for name := range m.tenants {
 		out = append(out, name)
@@ -69,7 +89,7 @@ func (m *MultiNode) Tenants() []string {
 
 // HandleQuery routes a sealed query to its tenant's cache.
 func (m *MultiNode) HandleQuery(tenant string, q wire.SealedQuery) (wire.SealedResult, bool, error) {
-	n := m.tenants[tenant]
+	n := m.Tenant(tenant)
 	if n == nil {
 		return wire.SealedResult{}, false, fmt.Errorf("dssp: unknown tenant %q", tenant)
 	}
@@ -79,7 +99,7 @@ func (m *MultiNode) HandleQuery(tenant string, q wire.SealedQuery) (wire.SealedR
 
 // StoreResult stores a fetched result in the tenant's cache.
 func (m *MultiNode) StoreResult(tenant string, q wire.SealedQuery, r wire.SealedResult, empty bool) error {
-	n := m.tenants[tenant]
+	n := m.Tenant(tenant)
 	if n == nil {
 		return fmt.Errorf("dssp: unknown tenant %q", tenant)
 	}
@@ -91,7 +111,7 @@ func (m *MultiNode) StoreResult(tenant string, q wire.SealedQuery, r wire.Sealed
 // update. Other tenants' caches are untouched: applications interact with
 // disjoint home databases.
 func (m *MultiNode) OnUpdateCompleted(tenant string, u wire.SealedUpdate) (int, error) {
-	n := m.tenants[tenant]
+	n := m.Tenant(tenant)
 	if n == nil {
 		return 0, fmt.Errorf("dssp: unknown tenant %q", tenant)
 	}
@@ -100,6 +120,8 @@ func (m *MultiNode) OnUpdateCompleted(tenant string, u wire.SealedUpdate) (int, 
 
 // TotalEntries returns the number of cached entries across all tenants.
 func (m *MultiNode) TotalEntries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	n := 0
 	for _, t := range m.tenants {
 		if t != nil {

@@ -7,12 +7,19 @@
 // Consistency follows the paper's design: the DSSP caches read-only
 // copies; all updates are applied to master copies here, and the DSSP
 // invalidates cached results by monitoring completed updates.
+//
+// The server is safe for concurrent use (the HTTP deployment executes
+// forwarded statements from concurrent handlers): queries share a read
+// lock on the master database, updates take the write lock.
 package homeserver
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dssp/internal/engine"
+	"dssp/internal/obs"
 	"dssp/internal/sqlparse"
 	"dssp/internal/storage"
 	"dssp/internal/template"
@@ -25,19 +32,40 @@ type Server struct {
 	App   *template.App
 	Codec *wire.Codec
 
-	queries int
-	updates int
+	mu sync.RWMutex // guards DB during statement execution
+
+	queries atomic.Int64
+	updates atomic.Int64
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
-// New builds a home server over a populated master database.
+// New builds a home server over a populated master database. Metrics are
+// always on: the server starts with a private registry and a wall clock;
+// use SetObs to share a registry (and, in the simulator, a virtual
+// clock).
 func New(db *storage.Database, app *template.App, codec *wire.Codec) *Server {
-	return &Server{DB: db, App: app, Codec: codec}
+	s := &Server{DB: db, App: app, Codec: codec}
+	s.SetObs(obs.NewRegistry(), obs.WallClock())
+	return s
 }
+
+// SetObs redirects the server's instruments to the given registry and
+// clock. The home-server side of each trace — the home_exec stage span
+// and per-template load counters — is recorded there.
+func (s *Server) SetObs(reg *obs.Registry, clock obs.Clock) {
+	s.reg = reg
+	s.tracer = obs.NewTracer(reg, clock)
+}
+
+// Obs returns the registry the server's instruments live in.
+func (s *Server) Obs() *obs.Registry { return s.reg }
 
 // QueriesServed and UpdatesApplied report load counters for the
 // experiments.
-func (s *Server) QueriesServed() int  { return s.queries }
-func (s *Server) UpdatesApplied() int { return s.updates }
+func (s *Server) QueriesServed() int  { return int(s.queries.Load()) }
+func (s *Server) UpdatesApplied() int { return int(s.updates.Load()) }
 
 // ExecQuery opens a sealed query, executes it, and returns the sealed
 // result plus an emptiness hint (the trusted side reveals cardinality
@@ -51,11 +79,16 @@ func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bo
 	if t.Kind != template.KQuery {
 		return wire.SealedResult{}, false, 0, fmt.Errorf("homeserver: payload %s is not a query", t.ID)
 	}
-	r, err := engine.ExecQuery(s.DB, t.Stmt.(*sqlparse.SelectStmt), params)
-	if err != nil {
-		return wire.SealedResult{}, false, 0, err
+	sp := s.tracer.Start(sq.TraceID, obs.StageHomeExec, t.ID)
+	s.mu.RLock()
+	r, execErr := engine.ExecQuery(s.DB, t.Stmt.(*sqlparse.SelectStmt), params)
+	s.mu.RUnlock()
+	sp.End()
+	if execErr != nil {
+		return wire.SealedResult{}, false, 0, execErr
 	}
-	s.queries++
+	s.queries.Add(1)
+	s.reg.Counter(obs.MHomeQueries, obs.L(obs.LTemplate, t.ID)).Inc()
 	return s.Codec.SealResult(t, r), r.Len() == 0, r.RowsScanned, nil
 }
 
@@ -69,10 +102,15 @@ func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
 	if !t.Kind.IsUpdate() {
 		return 0, fmt.Errorf("homeserver: payload %s is not an update", t.ID)
 	}
-	n, err := engine.ExecUpdate(s.DB, t.Stmt, params)
-	if err != nil {
-		return 0, err
+	sp := s.tracer.Start(su.TraceID, obs.StageHomeExec, t.ID)
+	s.mu.Lock()
+	n, execErr := engine.ExecUpdate(s.DB, t.Stmt, params)
+	s.mu.Unlock()
+	sp.End()
+	if execErr != nil {
+		return 0, execErr
 	}
-	s.updates++
+	s.updates.Add(1)
+	s.reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, t.ID)).Inc()
 	return n, nil
 }

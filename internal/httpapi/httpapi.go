@@ -9,17 +9,27 @@
 // or forwards the opaque payload to the home server, and monitors
 // completed updates for invalidation, exactly as in the in-process
 // pathway.
+//
+// Every process exposes GET /v1/metrics — a snapshot of its obs.Registry
+// in JSON (default) or the Prometheus text exposition format
+// (?format=prom, or Accept: text/plain). Requests carry their wire-level
+// trace ID in the X-DSSP-Trace header, so one statement can be followed
+// from client through node to home server.
 package httpapi
 
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"dssp/internal/dssp"
 	"dssp/internal/homeserver"
+	"dssp/internal/obs"
 	"dssp/internal/template"
 	"dssp/internal/wire"
 )
@@ -28,10 +38,13 @@ import (
 const (
 	PathQuery      = "/v1/query"       // node: sealed query -> sealed result
 	PathUpdate     = "/v1/update"      // node: sealed update -> ack
-	PathStats      = "/v1/stats"       // node: cache statistics
+	PathMetrics    = "/v1/metrics"     // node and home: metrics snapshot (JSON or Prometheus text)
 	PathExecQuery  = "/v1/exec/query"  // home: sealed query -> sealed result
 	PathExecUpdate = "/v1/exec/update" // home: sealed update -> ack
 )
+
+// TraceHeader carries the request's trace ID between processes.
+const TraceHeader = "X-DSSP-Trace"
 
 // QueryResponse is the node's answer to a sealed query.
 type QueryResponse struct {
@@ -71,13 +84,22 @@ func readGob(r io.Reader, v any) error {
 	return gob.NewDecoder(r).Decode(v)
 }
 
-// post sends one gob request and decodes the gob response.
-func post(client *http.Client, url string, req, resp any) error {
+// post sends one gob request with the trace ID attached and decodes the
+// gob response.
+func post(client *http.Client, url, trace string, req, resp any) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
 		return err
 	}
-	r, err := client.Post(url, "application/x-gob", &buf)
+	hreq, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/x-gob")
+	if trace != "" {
+		hreq.Header.Set(TraceHeader, trace)
+	}
+	r, err := client.Do(hreq)
 	if err != nil {
 		return err
 	}
@@ -89,9 +111,47 @@ func post(client *http.Client, url string, req, resp any) error {
 	return readGob(r.Body, resp)
 }
 
-// HomeHandler exposes a home server over HTTP.
+// MetricsHandler serves a registry snapshot: JSON by default, Prometheus
+// text exposition format when ?format=prom is given or the Accept header
+// asks for text/plain.
+func MetricsHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		format := r.URL.Query().Get("format")
+		accept := r.Header.Get("Accept")
+		if format == "prom" || format == "prometheus" ||
+			(format == "" && (strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics"))) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = snap.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+}
+
+// FetchMetrics retrieves a process's /v1/metrics snapshot as JSON.
+func FetchMetrics(client *http.Client, baseURL string) (obs.Snapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var snap obs.Snapshot
+	resp, err := client.Get(baseURL + PathMetrics)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("httpapi: %s%s: %s", baseURL, PathMetrics, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+// HomeHandler exposes a home server over HTTP, including its metrics.
 func HomeHandler(home *homeserver.Server) http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("GET "+PathMetrics, MetricsHandler(home.Obs()))
 	mux.HandleFunc("POST "+PathExecQuery, func(w http.ResponseWriter, r *http.Request) {
 		var sq wire.SealedQuery
 		if err := readGob(r.Body, &sq); err != nil {
@@ -127,14 +187,29 @@ type NodeServer struct {
 	Node    *dssp.Node
 	HomeURL string
 	Client  *http.Client
+
+	// Reg is the node's registry — shared with the node's cache — and
+	// Tracer records the node-side stages (cache_lookup, network,
+	// invalidate) against wall time.
+	Reg    *obs.Registry
+	Tracer *obs.Tracer
 }
 
-// NewNodeServer wires a node to its home server endpoint.
+// NewNodeServer wires a node to its home server endpoint. The server
+// adopts the node cache's registry so cache counters and node-side stage
+// histograms appear in one /v1/metrics snapshot.
 func NewNodeServer(node *dssp.Node, homeURL string, client *http.Client) *NodeServer {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &NodeServer{Node: node, HomeURL: homeURL, Client: client}
+	reg := node.Cache.Obs()
+	return &NodeServer{
+		Node:    node,
+		HomeURL: homeURL,
+		Client:  client,
+		Reg:     reg,
+		Tracer:  obs.NewTracer(reg, obs.WallClock()),
+	}
 }
 
 // Handler returns the node's HTTP API.
@@ -142,10 +217,23 @@ func (s *NodeServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathQuery, s.handleQuery)
 	mux.HandleFunc("POST "+PathUpdate, s.handleUpdate)
-	mux.HandleFunc("GET "+PathStats, func(w http.ResponseWriter, r *http.Request) {
-		writeGob(w, s.Node.Cache.Stats())
-	})
+	mux.Handle("GET "+PathMetrics, MetricsHandler(s.Reg))
 	return mux
+}
+
+// trace picks the request's trace ID: the sealed message's, or the HTTP
+// header when the message predates tracing.
+func trace(sealed string, r *http.Request) string {
+	if sealed != "" {
+		return sealed
+	}
+	return r.Header.Get(TraceHeader)
+}
+
+// request records the node's end-to-end request histogram sample.
+func (s *NodeServer) request(kind, tmpl string, start time.Duration) {
+	s.Reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, kind), obs.L(obs.LTemplate, tmpl)).
+		Observe(s.Tracer.Now() - start)
 }
 
 func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -154,16 +242,26 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if res, hit := s.Node.HandleQuery(sq); hit {
+	tr := trace(sq.TraceID, r)
+	tmpl := obs.Tmpl(sq.TemplateID)
+	start := s.Tracer.Now()
+	lk := s.Tracer.Start(tr, obs.StageLookup, tmpl)
+	res, hit := s.Node.HandleQuery(sq)
+	lk.End()
+	if hit {
+		s.request(obs.KindQuery, tmpl, start)
 		writeGob(w, QueryResponse{Result: res, Hit: true})
 		return
 	}
+	net := s.Tracer.Start(tr, obs.StageNetwork, tmpl)
 	var exec ExecQueryResponse
-	if err := post(s.Client, s.HomeURL+PathExecQuery, sq, &exec); err != nil {
+	if err := post(s.Client, s.HomeURL+PathExecQuery, tr, sq, &exec); err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
+	net.End()
 	s.Node.StoreResult(sq, exec.Result, exec.Empty)
+	s.request(obs.KindQuery, tmpl, start)
 	writeGob(w, QueryResponse{Result: exec.Result})
 }
 
@@ -173,12 +271,20 @@ func (s *NodeServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tr := trace(su.TraceID, r)
+	tmpl := obs.Tmpl(su.TemplateID)
+	start := s.Tracer.Now()
+	net := s.Tracer.Start(tr, obs.StageNetwork, tmpl)
 	var exec ExecUpdateResponse
-	if err := post(s.Client, s.HomeURL+PathExecUpdate, su, &exec); err != nil {
+	if err := post(s.Client, s.HomeURL+PathExecUpdate, tr, su, &exec); err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
+	net.End()
+	inv := s.Tracer.Start(tr, obs.StageInvalidate, tmpl)
 	invalidated := s.Node.OnUpdateCompleted(su)
+	inv.End()
+	s.request(obs.KindUpdate, tmpl, start)
 	writeGob(w, UpdateResponse{Affected: exec.Affected, Invalidated: invalidated})
 }
 
@@ -189,6 +295,11 @@ type Client struct {
 	Codec   *wire.Codec
 	NodeURL string
 	HTTP    *http.Client
+
+	// Tracer, when set, records the trusted-side stages (seal, open) of
+	// every statement. nil disables client-side tracing; the node and
+	// home server instrument their own sides regardless.
+	Tracer *obs.Tracer
 }
 
 // NewClient builds a remote client.
@@ -205,18 +316,22 @@ func (c *Client) Query(t *template.Template, params ...interface{}) (*dssp.Query
 	if err != nil {
 		return nil, err
 	}
+	start := c.Tracer.Now()
 	sq, err := c.Codec.SealQuery(t, vals)
 	if err != nil {
 		return nil, err
 	}
+	c.Tracer.Observe(sq.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
 	var resp QueryResponse
-	if err := post(c.HTTP, c.NodeURL+PathQuery, sq, &resp); err != nil {
+	if err := post(c.HTTP, c.NodeURL+PathQuery, sq.TraceID, sq, &resp); err != nil {
 		return nil, err
 	}
+	op := c.Tracer.Start(sq.TraceID, obs.StageOpen, t.ID)
 	res, err := c.Codec.OpenResult(resp.Result)
 	if err != nil {
 		return nil, err
 	}
+	op.End()
 	return &dssp.QueryResult{Result: res, Outcome: dssp.QueryOutcome{Hit: resp.Hit, Rows: res.Len()}}, nil
 }
 
@@ -226,12 +341,14 @@ func (c *Client) Update(t *template.Template, params ...interface{}) (affected, 
 	if err != nil {
 		return 0, 0, err
 	}
+	start := c.Tracer.Now()
 	su, err := c.Codec.SealUpdate(t, vals)
 	if err != nil {
 		return 0, 0, err
 	}
+	c.Tracer.Observe(su.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
 	var resp UpdateResponse
-	if err := post(c.HTTP, c.NodeURL+PathUpdate, su, &resp); err != nil {
+	if err := post(c.HTTP, c.NodeURL+PathUpdate, su.TraceID, su, &resp); err != nil {
 		return 0, 0, err
 	}
 	return resp.Affected, resp.Invalidated, nil

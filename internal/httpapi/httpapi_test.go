@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"dssp/internal/encrypt"
 	"dssp/internal/engine"
 	"dssp/internal/homeserver"
+	"dssp/internal/obs"
 	"dssp/internal/sqlparse"
 	"dssp/internal/storage"
 	"dssp/internal/template"
@@ -185,7 +187,7 @@ func TestNodeRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestStatsEndpoint(t *testing.T) {
+func TestMetricsEndpointReplacesStats(t *testing.T) {
 	client, db, done := stack(t, nil)
 	defer done()
 	seedToys(t, db)
@@ -193,16 +195,29 @@ func TestStatsEndpoint(t *testing.T) {
 	if _, err := client.Query(app.Query("Q2"), 5); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get(client.NodeURL + PathStats)
+	// The gob stats endpoint is gone.
+	resp, err := http.Get(client.NodeURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/v1/stats should no longer exist")
+	}
+	// Its replacement serves a JSON registry snapshot.
+	resp, err = http.Get(client.NodeURL + PathMetrics)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st cache.Stats
-	if err := readGob(resp.Body, &st); err != nil {
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if st.Misses != 1 || st.Stores != 1 {
-		t.Errorf("stats: %+v", st)
+	if m := snap.Find(obs.MCacheMisses, map[string]string{obs.LTemplate: "Q2"}); m == nil || m.Value != 1 {
+		t.Errorf("misses metric = %+v", m)
+	}
+	if m := snap.Find(obs.MCacheStores, nil); m == nil || m.Value != 1 {
+		t.Errorf("stores metric = %+v", m)
 	}
 }

@@ -1,0 +1,82 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"dssp/internal/apps"
+)
+
+// TestConcurrentNodeTraffic hammers one node with parallel queries,
+// updates, and metrics scrapes. Under `go test -race` this is the
+// regression test for the seed's unguarded cache maps and home-server
+// counters: every HTTP handler runs on its own goroutine, so cache
+// lookups, stores, invalidations, and the storage engine race unless the
+// cache and home server serialize access themselves.
+func TestConcurrentNodeTraffic(t *testing.T) {
+	client, db, done := stack(t, nil)
+	defer done()
+	seedToys(t, db)
+	app := apps.Toystore()
+
+	const (
+		workers = 8
+		rounds  = 30
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch w % 4 {
+				case 0: // point query, cacheable
+					if _, err := client.Query(app.Query("Q2"), 1+i%8); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1: // name query on another template
+					if _, err := client.Query(app.Query("Q1"), "bear"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2: // deletes drive invalidation concurrently with lookups
+					if _, _, err := client.Update(app.Update("U1"), 100+w*rounds+i); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3: // metrics scrapes read the registry while it mutates
+					resp, err := http.Get(client.NodeURL + PathMetrics)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The run must also have produced coherent counters.
+	snap, err := FetchMetrics(http.DefaultClient, client.NodeURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := int64(0), int64(0)
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "dssp_cache_hits_total":
+			hits += m.Value
+		case "dssp_cache_misses_total":
+			misses += m.Value
+		}
+	}
+	if hits+misses == 0 {
+		t.Error("no lookups recorded after concurrent run")
+	}
+}

@@ -95,7 +95,21 @@ func (sla SLA) Met(s *Sample) bool {
 // trial must be monotone in spirit (more users, slower responses); the
 // search tolerates mild non-monotonicity by trusting the boundary it
 // converges to. It returns 0 if even one user fails.
+//
+// Each trial is a full simulated run (minutes of virtual time), so
+// results are memoized: trial is invoked at most once per user count no
+// matter how the doubling and bisection phases revisit a boundary.
 func SearchMaxUsers(max int, trial func(users int) bool) int {
+	memo := make(map[int]bool)
+	raw := trial
+	trial = func(users int) bool {
+		if met, ok := memo[users]; ok {
+			return met
+		}
+		met := raw(users)
+		memo[users] = met
+		return met
+	}
 	if max < 1 || !trial(1) {
 		return 0
 	}

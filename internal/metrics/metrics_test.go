@@ -122,3 +122,31 @@ func TestSearchMaxUsers(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchMaxUsersNeverRepeatsTrials pins the memoization contract: a
+// trial is a full simulated run, so no user count may ever be evaluated
+// twice — in particular not the max/boundary counts the doubling phase
+// and the final clamp both land on.
+func TestSearchMaxUsersNeverRepeatsTrials(t *testing.T) {
+	for limit := 0; limit <= 70; limit++ {
+		for _, max := range []int{1, 2, 7, 16, 17, 63, 64, 65, 100} {
+			seen := map[int]int{}
+			want := limit
+			if want > max {
+				want = max
+			}
+			got := SearchMaxUsers(max, func(u int) bool {
+				seen[u]++
+				return u <= limit
+			})
+			if got != want {
+				t.Fatalf("limit=%d max=%d: got %d, want %d", limit, max, got, want)
+			}
+			for u, n := range seen {
+				if n > 1 {
+					t.Fatalf("limit=%d max=%d: trial(%d) executed %d times", limit, max, u, n)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package obs
+
+import "time"
+
+// Clock supplies the time base spans are measured against. The HTTP
+// deployment uses wall time; the discrete-event simulator plugs in its
+// virtual time, so both produce metric snapshots of identical shape.
+type Clock interface {
+	// Now returns the elapsed time since the clock's epoch (process start
+	// for wall clocks, t=0 for the simulator).
+	Now() time.Duration
+}
+
+// ClockFunc adapts a function to the Clock interface — e.g.
+// obs.ClockFunc(world.Now) for a simulator.
+type ClockFunc func() time.Duration
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Duration { return f() }
+
+type wallClock struct{ epoch time.Time }
+
+func (w wallClock) Now() time.Duration { return time.Since(w.epoch) }
+
+// WallClock returns a monotonic wall clock with its epoch at the call.
+func WallClock() Clock { return wallClock{epoch: time.Now()} }

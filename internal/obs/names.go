@@ -1,0 +1,68 @@
+package obs
+
+// Metric names shared by the simulator and the HTTP deployment. Keeping
+// them in one place is what makes the two pathways produce snapshots with
+// identical names and labels.
+const (
+	// Cache instruments (labels: template, and tenant on multi-tenant
+	// nodes; invalidations additionally update_template and class).
+	MCacheHits          = "dssp_cache_hits_total"
+	MCacheMisses        = "dssp_cache_misses_total"
+	MCacheStores        = "dssp_cache_stores_total"
+	MCacheInvalidations = "dssp_cache_invalidations_total"
+	MCacheEvictions     = "dssp_cache_evictions_total"
+	MCacheUpdatesSeen   = "dssp_cache_updates_seen_total"
+	MCacheEntries       = "dssp_cache_entries" // gauge
+
+	// Per-stage latency histogram (labels: stage, template).
+	MStageSeconds = "dssp_stage_seconds"
+
+	// End-to-end request latency at the node (labels: kind, template).
+	MRequestSeconds = "dssp_request_seconds"
+
+	// Home-server load counters (labels: template — always the real
+	// template ID, since the home server holds the keys).
+	MHomeQueries = "dssp_home_queries_total"
+	MHomeUpdates = "dssp_home_updates_total"
+)
+
+// Label keys.
+const (
+	LTemplate       = "template"
+	LUpdateTemplate = "update_template"
+	LStage          = "stage"
+	LTenant         = "tenant"
+	LClass          = "class"
+	LKind           = "kind"
+)
+
+// Pipeline stages of one request, in flow order. Seal and open run on the
+// trusted side; cache_lookup, network (the full upstream round trip a
+// cache miss or update pays, home execution included), and invalidate on
+// the DSSP node; home_exec at the home server.
+const (
+	StageSeal       = "seal"
+	StageLookup     = "cache_lookup"
+	StageNetwork    = "network"
+	StageHomeExec   = "home_exec"
+	StageInvalidate = "invalidate"
+	StageOpen       = "open"
+)
+
+// Request kinds.
+const (
+	KindQuery  = "query"
+	KindUpdate = "update"
+)
+
+// BlindTemplate is the template label value used when the template
+// identity is hidden from the observer (blind exposure).
+const BlindTemplate = "(blind)"
+
+// Tmpl maps a possibly-hidden template ID to its metric label value.
+func Tmpl(id string) string {
+	if id == "" {
+		return BlindTemplate
+	}
+	return id
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(MCacheHits, L(LTemplate, "Q1"))
+	c.Inc()
+	c.Add(2)
+	if r.Counter(MCacheHits, L(LTemplate, "Q1")).Value() != 3 {
+		t.Fatal("counter handle not shared")
+	}
+	if r.Counter(MCacheHits, L(LTemplate, "Q2")).Value() != 0 {
+		t.Fatal("different labels must be a different counter")
+	}
+	g := r.Gauge(MCacheEntries)
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestLabelOrderIrrelevant(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("a", "1"), L("b", "2"))
+	b := r.Counter("m", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order must not matter")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Millisecond, 10}, // 1024µs > 2^9µs, <= 2^10µs
+		{time.Second, 20},      // 1e6µs <= 2^20µs
+		{1000 * time.Second, NumBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+		h.Observe(c.d)
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d", h.Count())
+	}
+	bounds := BucketBounds()
+	for i := 0; i < NumBuckets-1; i++ {
+		if bounds[i+1] != 2*bounds[i] {
+			t.Fatalf("bounds not log-spaced at %d", i)
+		}
+	}
+}
+
+func TestSnapshotMergeAndJSON(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter(MCacheHits, L(LTemplate, "Q1")).Add(2)
+	r2.Counter(MCacheHits, L(LTemplate, "Q1")).Add(3)
+	r2.Counter(MCacheMisses, L(LTemplate, "Q1")).Add(1)
+	r1.Histogram(MStageSeconds, L(LStage, StageSeal), L(LTemplate, "Q1")).Observe(time.Millisecond)
+	r2.Histogram(MStageSeconds, L(LStage, StageSeal), L(LTemplate, "Q1")).Observe(3 * time.Millisecond)
+
+	m := Merge(r1.Snapshot(), r2.Snapshot())
+	if got := m.Find(MCacheHits, map[string]string{LTemplate: "Q1"}); got == nil || got.Value != 5 {
+		t.Fatalf("merged hits = %+v", got)
+	}
+	hist := m.Find(MStageSeconds, map[string]string{LStage: StageSeal, LTemplate: "Q1"})
+	if hist == nil || hist.Count != 2 || time.Duration(hist.SumNanos) != 4*time.Millisecond {
+		t.Fatalf("merged histogram = %+v", hist)
+	}
+
+	// JSON round trip preserves identity and values.
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Metrics) != len(m.Metrics) {
+		t.Fatalf("round trip lost metrics: %d != %d", len(back.Metrics), len(m.Metrics))
+	}
+	for i := range back.Metrics {
+		if back.Metrics[i].ID() != m.Metrics[i].ID() {
+			t.Fatalf("identity changed: %s != %s", back.Metrics[i].ID(), m.Metrics[i].ID())
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MCacheHits, L(LTemplate, "Q1")).Add(4)
+	r.Gauge(MCacheEntries).Set(2)
+	r.Histogram(MRequestSeconds, L(LKind, KindQuery), L(LTemplate, "Q1")).Observe(5 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dssp_cache_hits_total counter",
+		`dssp_cache_hits_total{template="Q1"} 4`,
+		"# TYPE dssp_cache_entries gauge",
+		"dssp_cache_entries 2",
+		"# TYPE dssp_request_seconds histogram",
+		`dssp_request_seconds_bucket{kind="query",template="Q1",le="+Inf"} 1`,
+		`dssp_request_seconds_count{kind="query",template="Q1"} 1`,
+		`dssp_request_seconds_sum{kind="query",template="Q1"} 0.005`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	r := NewRegistry()
+	var now time.Duration
+	tr := NewTracer(r, ClockFunc(func() time.Duration { return now }))
+
+	id := NewTraceID()
+	sp := tr.Start(id, StageLookup, "Q1")
+	now = 3 * time.Millisecond
+	sp.End()
+	tr.Observe(id, StageHomeExec, "Q1", now, 7*time.Millisecond)
+
+	spans := tr.Spans(id)
+	if len(spans) != 2 || spans[0].Stage != StageLookup || spans[0].Duration != 3*time.Millisecond {
+		t.Fatalf("spans = %+v", spans)
+	}
+	h := r.Snapshot().Find(MStageSeconds, map[string]string{LStage: StageHomeExec, LTemplate: "Q1"})
+	if h == nil || h.Count != 1 || time.Duration(h.SumNanos) != 7*time.Millisecond {
+		t.Fatalf("stage histogram = %+v", h)
+	}
+
+	// Nil tracers are inert.
+	var nilTr *Tracer
+	nilTr.Observe("x", StageSeal, "Q1", 0, 0)
+	nilTr.Start("x", StageSeal, "Q1").End()
+	if nilTr.Now() != 0 || nilTr.Registry() != nil || nilTr.Recent(10) != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, WallClock())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter(MCacheHits, L(LTemplate, "Q1")).Inc()
+				r.Histogram(MStageSeconds, L(LStage, StageSeal), L(LTemplate, "Q1")).Observe(time.Duration(i))
+				tr.Observe(NewTraceID(), StageOpen, "Q1", 0, time.Duration(w))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = tr.Recent(16)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter(MCacheHits, L(LTemplate, "Q1")).Value(); got != 4000 {
+		t.Fatalf("lost increments: %d", got)
+	}
+}

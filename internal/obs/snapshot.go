@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metric is one instrument's state inside a Snapshot. Counter and gauge
+// values live in Value; histograms carry per-bucket counts (aligned with
+// BucketBounds, last entry overflow), the observation count, and the sum
+// in nanoseconds.
+type Metric struct {
+	Name     string            `json:"name"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Type     string            `json:"type"`
+	Value    int64             `json:"value,omitempty"`
+	Count    int64             `json:"count,omitempty"`
+	SumNanos int64             `json:"sum_ns,omitempty"`
+	Buckets  []int64           `json:"buckets,omitempty"`
+}
+
+// ID renders the metric's identity — name plus sorted labels — in the
+// conventional name{k="v",...} form. Two metrics with equal IDs measure
+// the same thing and may be merged.
+func (m Metric) ID() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(m.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, m.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snapshot is a point-in-time copy of a Registry, serializable to JSON
+// and to the Prometheus text exposition format. Snapshots from different
+// registries (e.g. a node's and a home server's, or several simulated
+// nodes') merge bucket by bucket because all histograms share the fixed
+// BucketBounds.
+type Snapshot struct {
+	// BucketBoundsNS describes the histogram bucket upper bounds in
+	// nanoseconds, for self-contained JSON consumers.
+	BucketBoundsNS []int64  `json:"bucket_bounds_ns,omitempty"`
+	Metrics        []Metric `json:"metrics"`
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].ID() < s.Metrics[j].ID() })
+	if len(s.Metrics) > 0 && s.BucketBoundsNS == nil {
+		bounds := BucketBounds()
+		s.BucketBoundsNS = make([]int64, len(bounds))
+		for i, b := range bounds {
+			s.BucketBoundsNS[i] = int64(b)
+		}
+	}
+}
+
+// Find returns the metric with the given name and exactly the given
+// labels, or nil.
+func (s Snapshot) Find(name string, labels map[string]string) *Metric {
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != name || len(m.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if m.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m
+		}
+	}
+	return nil
+}
+
+// Merge combines snapshots: metrics with equal identity are summed
+// (counters, histogram buckets/sums/counts) or last-writer-wins (gauges),
+// and distinct metrics are concatenated.
+func Merge(snaps ...Snapshot) Snapshot {
+	byID := make(map[string]*Metric)
+	var order []string
+	for _, s := range snaps {
+		for _, m := range s.Metrics {
+			id := m.ID()
+			prev, ok := byID[id]
+			if !ok {
+				cp := m
+				if m.Buckets != nil {
+					cp.Buckets = append([]int64(nil), m.Buckets...)
+				}
+				if m.Labels != nil {
+					cp.Labels = make(map[string]string, len(m.Labels))
+					for k, v := range m.Labels {
+						cp.Labels[k] = v
+					}
+				}
+				byID[id] = &cp
+				order = append(order, id)
+				continue
+			}
+			switch m.Type {
+			case TypeGauge:
+				prev.Value = m.Value
+			case TypeCounter:
+				prev.Value += m.Value
+			case TypeHistogram:
+				prev.Count += m.Count
+				prev.SumNanos += m.SumNanos
+				for i := range m.Buckets {
+					if i < len(prev.Buckets) {
+						prev.Buckets[i] += m.Buckets[i]
+					}
+				}
+			}
+		}
+	}
+	out := Snapshot{Metrics: make([]Metric, 0, len(order))}
+	for _, id := range order {
+		out.Metrics = append(out.Metrics, *byID[id])
+	}
+	out.sort()
+	return out
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders {k="v",...} with an optional extra le pair appended.
+func promLabels(labels map[string]string, le string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return "{" + b.String() + "}"
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket series plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bounds := BucketBounds()
+	lastName := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		switch m.Type {
+		case TypeCounter, TypeGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels, ""), m.Value); err != nil {
+				return err
+			}
+		case TypeHistogram:
+			var cum int64
+			for i, c := range m.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(bounds) {
+					le = formatSeconds(bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(m.Labels, ""), formatSeconds(time.Duration(m.SumNanos))); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels, ""), m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs are cheap process-unique strings: a random per-process prefix
+// plus a sequence number. They ride inside wire sealed messages and the
+// X-DSSP-Trace HTTP header, so one query or update can be followed across
+// client, node, and home server. They never become metric labels (that
+// would be unbounded cardinality); they key the tracer's span log.
+var (
+	traceSeq    atomic.Int64
+	tracePrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "trace"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// NewTraceID returns a fresh process-unique trace ID.
+func NewTraceID() string {
+	return fmt.Sprintf("%s-%06d", tracePrefix, traceSeq.Add(1))
+}
+
+// SpanRecord is one completed stage of one traced request.
+type SpanRecord struct {
+	Trace    string        `json:"trace"`
+	Stage    string        `json:"stage"`
+	Template string        `json:"template"`
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Tracer records per-stage spans: each span lands in the registry's
+// dssp_stage_seconds histogram (labels: stage, template) and in a bounded
+// ring of recent SpanRecords for inspection. A nil *Tracer is a valid
+// no-op, so instrumented code needs no nil checks.
+type Tracer struct {
+	reg   *Registry
+	clock Clock
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// ringSize bounds the tracer's span log.
+const ringSize = 512
+
+// NewTracer builds a tracer recording into reg against clock.
+func NewTracer(reg *Registry, clock Clock) *Tracer {
+	return &Tracer{reg: reg, clock: clock, ring: make([]SpanRecord, ringSize)}
+}
+
+// Registry returns the tracer's registry (nil for a nil tracer).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Now returns the tracer's clock reading, or 0 for a nil tracer.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Observe records one completed stage with an explicit start and
+// duration. The simulator uses this form to attach modeled (virtual)
+// service times; wall-clock code usually uses Start/End instead.
+func (t *Tracer) Observe(trace, stage, tmpl string, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.reg.Histogram(MStageSeconds, L(LStage, stage), L(LTemplate, tmpl)).Observe(dur)
+	t.mu.Lock()
+	t.ring[t.next] = SpanRecord{Trace: trace, Stage: stage, Template: tmpl, Start: start, Duration: dur}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Span is an in-progress stage measurement. The zero Span (from a nil
+// tracer) is a no-op.
+type Span struct {
+	tr           *Tracer
+	trace, stage string
+	tmpl         string
+	start        time.Duration
+}
+
+// Start opens a span for one stage of one traced request.
+func (t *Tracer) Start(trace, stage, tmpl string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, trace: trace, stage: stage, tmpl: tmpl, start: t.clock.Now()}
+}
+
+// End closes the span, recording its duration on the tracer's clock.
+func (s Span) End() {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Observe(s.trace, s.stage, s.tmpl, s.start, s.tr.clock.Now()-s.start)
+}
+
+// Spans returns the recorded spans of one trace, oldest first.
+func (t *Tracer) Spans(trace string) []SpanRecord {
+	var out []SpanRecord
+	for _, r := range t.Recent(ringSize) {
+		if r.Trace == trace {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Recent returns up to n most recent spans, oldest first.
+func (t *Tracer) Recent(n int) []SpanRecord {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var all []SpanRecord
+	if t.full {
+		all = append(all, t.ring[t.next:]...)
+		all = append(all, t.ring[:t.next]...)
+	} else {
+		all = append(all, t.ring[:t.next]...)
+	}
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}

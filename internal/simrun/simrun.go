@@ -16,6 +16,7 @@ import (
 	"dssp/internal/encrypt"
 	"dssp/internal/homeserver"
 	"dssp/internal/metrics"
+	"dssp/internal/obs"
 	"dssp/internal/sim"
 	"dssp/internal/storage"
 	"dssp/internal/template"
@@ -80,6 +81,14 @@ type Result struct {
 	HomeBusyFrac  float64
 	HitRate       float64
 	Invalidations int
+
+	// Metrics is the run's full observability snapshot: the same metric
+	// names and labels the HTTP deployment serves from /v1/metrics, with
+	// stage latencies recorded in virtual time.
+	Metrics obs.Snapshot
+
+	// Traces holds the most recent per-stage spans (virtual time).
+	Traces []obs.SpanRecord
 }
 
 // Simulate executes one run and returns its measurements. The run is
@@ -111,13 +120,21 @@ func Simulate(cfg Config) (*Result, error) {
 	rng.Read(master)
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master), cfg.Exposures)
 	analysis := core.Analyze(app, cfg.AnalysisOpts)
+
+	// One registry for the whole run, clocked on virtual time, so the
+	// snapshot has exactly the shape /v1/metrics serves in a real
+	// deployment — only the clock differs.
+	var world sim.Sim
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, obs.ClockFunc(world.Now))
+
+	cacheOpts := cfg.CacheOpts
+	cacheOpts.Obs = reg
 	nodes := make([]*dssp.Node, cfg.Nodes)
 	for i := range nodes {
-		nodes[i] = dssp.NewNode(app, analysis, cfg.CacheOpts)
+		nodes[i] = dssp.NewNode(app, analysis, cacheOpts)
 	}
 	home := homeserver.New(db, app, codec)
-
-	var world sim.Sim
 	nodeCPUs := make([]*sim.Server, cfg.Nodes)
 	for i := range nodeCPUs {
 		nodeCPUs[i] = sim.NewServer(&world, cfg.Costs.DSSPCapacity)
@@ -139,10 +156,14 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 
 	// runOp performs one DB operation against the given node and calls
-	// done at the client when the op's response arrives.
+	// done at the client when the op's response arrives. Each stage is
+	// observed with the same names/labels the real deployment records:
+	// trusted-side stages (seal, open, home_exec) under the true template
+	// ID, node-side stages under whatever the sealed message reveals.
 	var runOp func(ni int, op workload.Op, done func())
 	runOp = func(ni int, op workload.Op, done func()) {
 		node, dsspCPU := nodes[ni], nodeCPUs[ni]
+		opStart := world.Now()
 		clientDelay(cfg.Costs.RequestBytes, func() {
 			dsspCPU.Submit(cfg.Costs.DSSPOpCost, func() {
 				if op.Template.Kind == template.KQuery {
@@ -150,12 +171,23 @@ func Simulate(cfg Config) (*Result, error) {
 					if err != nil {
 						panic(err)
 					}
+					tracer.Observe(sq.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
+					nodeTmpl := obs.Tmpl(sq.TemplateID)
+					tracer.Observe(sq.TraceID, obs.StageLookup, nodeTmpl, world.Now()-cfg.Costs.DSSPOpCost, cfg.Costs.DSSPOpCost)
+					finish := func(size int) {
+						clientDelay(size, func() {
+							tracer.Observe(sq.TraceID, obs.StageOpen, op.Template.ID, world.Now(), 0)
+							reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, obs.KindQuery), obs.L(obs.LTemplate, nodeTmpl)).Observe(world.Now() - opStart)
+							done()
+						})
+					}
 					if sealed, hit := node.HandleQuery(sq); hit {
 						res.Ops++
-						clientDelay(sealed.Size(), done)
+						finish(sealed.Size())
 						return
 					}
 					// Miss: forward to the home server.
+					netStart := world.Now()
 					toHome.Send(cfg.Costs.RequestBytes+len(sq.Opaque), func() {
 						sealed, empty, scanned, err := home.ExecQuery(sq)
 						if err != nil {
@@ -164,10 +196,13 @@ func Simulate(cfg Config) (*Result, error) {
 						service := cfg.Costs.HomeQueryBase + time.Duration(scanned)*cfg.Costs.HomeQueryPerRow
 						homeCPU.Submit(service, func() {
 							res.HomeQueries++
+							tracer.Observe(sq.TraceID, obs.StageHomeExec, op.Template.ID, world.Now()-service, service)
+							reg.Counter(obs.MHomeQueries, obs.L(obs.LTemplate, op.Template.ID)).Inc()
 							fromHome.Send(sealed.Size(), func() {
+								tracer.Observe(sq.TraceID, obs.StageNetwork, nodeTmpl, netStart, world.Now()-netStart)
 								node.StoreResult(sq, sealed, empty)
 								res.Ops++
-								clientDelay(sealed.Size(), done)
+								finish(sealed.Size())
 							})
 						})
 					})
@@ -179,12 +214,17 @@ func Simulate(cfg Config) (*Result, error) {
 				if err != nil {
 					panic(err)
 				}
+				tracer.Observe(su.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
+				nodeTmpl := obs.Tmpl(su.TemplateID)
+				netStart := world.Now()
 				toHome.Send(cfg.Costs.RequestBytes+len(su.Opaque), func() {
 					homeCPU.Submit(cfg.Costs.HomeUpdateCost, func() {
 						if _, err := home.ExecUpdate(su); err != nil {
 							panic(fmt.Sprintf("update %s%v: %v", op.Template.ID, op.Params, err))
 						}
 						res.HomeUpdates++
+						tracer.Observe(su.TraceID, obs.StageHomeExec, op.Template.ID, world.Now()-cfg.Costs.HomeUpdateCost, cfg.Costs.HomeUpdateCost)
+						reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, op.Template.ID)).Inc()
 						// Every node monitors the completed update; the
 						// non-issuing nodes learn of it one home-link
 						// propagation later.
@@ -194,13 +234,21 @@ func Simulate(cfg Config) (*Result, error) {
 							}
 							other := other
 							world.After(cfg.Network.HomeLatency, func() {
+								invStart := world.Now()
 								res.Invalidations += other.OnUpdateCompleted(su)
+								tracer.Observe(su.TraceID, obs.StageInvalidate, nodeTmpl, invStart, 0)
 							})
 						}
 						fromHome.Send(64, func() {
+							tracer.Observe(su.TraceID, obs.StageNetwork, nodeTmpl, netStart, world.Now()-netStart)
+							invStart := world.Now()
 							res.Invalidations += node.OnUpdateCompleted(su)
+							tracer.Observe(su.TraceID, obs.StageInvalidate, nodeTmpl, invStart, 0)
 							res.Ops++
-							clientDelay(64, done)
+							clientDelay(64, func() {
+								reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, obs.KindUpdate), obs.L(obs.LTemplate, nodeTmpl)).Observe(world.Now() - opStart)
+								done()
+							})
 						})
 					})
 				})
@@ -256,6 +304,8 @@ func Simulate(cfg Config) (*Result, error) {
 	if elapsed > 0 {
 		res.HomeBusyFrac = float64(homeCPU.BusyTime()) / float64(elapsed*time.Duration(cfg.Costs.HomeCapacity))
 	}
+	res.Metrics = reg.Snapshot()
+	res.Traces = tracer.Recent(256)
 	return res, nil
 }
 

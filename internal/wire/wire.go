@@ -25,6 +25,7 @@ import (
 
 	"dssp/internal/encrypt"
 	"dssp/internal/engine"
+	"dssp/internal/obs"
 	"dssp/internal/sqlparse"
 	"dssp/internal/template"
 )
@@ -41,6 +42,11 @@ const (
 // SealedQuery is a query as the DSSP sees it.
 type SealedQuery struct {
 	Exposure template.Exposure
+
+	// TraceID identifies this request across client, node, and home
+	// server. It is observability metadata, not part of the cache key,
+	// and reveals nothing about the statement.
+	TraceID string
 
 	// TemplateID is exposed at template exposure and above.
 	TemplateID string
@@ -59,6 +65,7 @@ type SealedQuery struct {
 // level.
 type SealedUpdate struct {
 	Exposure   template.Exposure
+	TraceID    string // observability metadata, as in SealedQuery
 	TemplateID string
 	Params     []sqlparse.Value
 	Opaque     []byte
@@ -133,7 +140,7 @@ func (c *Codec) SealQuery(t *template.Template, params []sqlparse.Value) (Sealed
 	}
 	exp := c.ExposureOf(t)
 	opaque := c.kr.Seal(domOpaque, encodePayload(payload{TemplateID: t.ID, Params: params}))
-	sq := SealedQuery{Exposure: exp, Opaque: opaque}
+	sq := SealedQuery{Exposure: exp, TraceID: obs.NewTraceID(), Opaque: opaque}
 	switch exp {
 	case template.ExpBlind:
 		// The encrypted statement is the lookup key.
@@ -160,6 +167,7 @@ func (c *Codec) SealUpdate(t *template.Template, params []sqlparse.Value) (Seale
 	}
 	su := SealedUpdate{
 		Exposure: exp,
+		TraceID:  obs.NewTraceID(),
 		Opaque:   c.kr.Seal(domOpaque, encodePayload(payload{TemplateID: t.ID, Params: params})),
 	}
 	if exp >= template.ExpTemplate {
