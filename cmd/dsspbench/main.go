@@ -11,6 +11,7 @@
 //	dsspbench -exp figure4 -app bboard    # strategy-class containment check
 //	dsspbench -exp figure6 -pair U1/Q2    # one pair's invalidation probability matrix
 //	dsspbench -exp figure7                # exposure reduction per template
+//	dsspbench -exp route -app bboard      # invalidation-routing parity check
 //	dsspbench -exp figure8                # scalability per invalidation strategy
 //	dsspbench -exp security               # §5.4 security-enhancement summary
 //	dsspbench -exp obs -app bboard        # short run's metrics snapshot (-format json|prom)
@@ -36,8 +37,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|security|ablation|capacity|nodes|obs|all")
-	app := flag.String("app", "bboard", "application for figure4/obs: auction|bboard|bookstore")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|security|ablation|capacity|nodes|obs|all")
+	app := flag.String("app", "bboard", "application for figure4/route/obs: auction|bboard|bookstore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
 	maxUsers := flag.Int("maxusers", 4000, "cap for the scalability search")
@@ -138,6 +139,19 @@ func run(exp, app, pair string, opts experiments.RunOptions) error {
 			return err
 		}
 		fmt.Println(r.Format())
+	case "route":
+		b, err := benchmark(app)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.RouteParity(b, 400, opts.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if !r.Passed() {
+			return fmt.Errorf("routing parity diverged")
+		}
 	case "security":
 		fmt.Println(experiments.Security().Format())
 	case "ablation":
@@ -160,7 +174,7 @@ func run(exp, app, pair string, opts experiments.RunOptions) error {
 		}
 		fmt.Println(r.Format())
 	case "all":
-		for _, e := range []string{"table2", "table4", "table7", "figure4", "figure6", "figure7", "security", "figure3", "figure8", "ablation", "capacity", "nodes"} {
+		for _, e := range []string{"table2", "table4", "table7", "figure4", "figure6", "figure7", "route", "security", "figure3", "figure8", "ablation", "capacity", "nodes"} {
 			if err := run(e, app, pair, opts); err != nil {
 				return err
 			}

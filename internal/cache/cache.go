@@ -9,13 +9,23 @@
 // an empty result set"), the cache refuses to store empty results; see
 // Options.CacheEmptyResults.
 //
-// The cache is safe for concurrent use: the HTTP deployment serves
-// queries and updates from concurrent handlers. A single mutex guards the
-// maps and LRU list; the observability instruments it feeds are atomic.
+// The cache is safe for concurrent use and built for it: the HTTP
+// deployment serves queries and updates from concurrent handlers. Template
+// buckets are striped across shards, each under its own mutex, so lookups
+// and stores on different templates never contend — and an invalidation
+// pass only locks the shards of the buckets it actually visits. Which
+// buckets those are comes from the invalidation routing index
+// (invalidate.Router): the static analysis proves A = 0 pairs can never
+// need invalidation, so OnUpdate skips their buckets without inspecting
+// anything. The LRU list of a bounded cache lives under its own lock, and
+// the decision log under another, so no single mutex serializes the node.
 package cache
 
 import (
+	"hash/fnv"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dssp/internal/engine"
 	"dssp/internal/invalidate"
@@ -30,8 +40,12 @@ type Entry struct {
 	Query  wire.SealedQuery
 	Result wire.SealedResult
 
-	// LRU list hooks, used only when the cache is bounded.
+	// LRU list hooks, used only when the cache is bounded. inLRU tracks
+	// list membership so concurrent removal paths (invalidation, eviction,
+	// replacement) can race safely; all three fields are guarded by the
+	// cache's lruMu.
 	prev, next *Entry
+	inLRU      bool
 }
 
 // view renders the entry for the invalidator.
@@ -60,6 +74,19 @@ type Options struct {
 	// configuration).
 	Capacity int
 
+	// DisableRouting makes OnUpdate visit every template bucket and
+	// compute a decision for each, as the pre-routing cache did, instead
+	// of consulting the routing index. The decisions are identical either
+	// way (routing only skips buckets the analysis proved A = 0); this
+	// exists for the parity experiment and benchmarks that measure the
+	// routing win.
+	DisableRouting bool
+
+	// DecisionLog bounds the in-memory invalidation-decision log. 0 uses
+	// DecisionLogSize. The parity experiment raises it so a whole run's
+	// decisions survive for comparison.
+	DecisionLog int
+
 	// Obs is the registry the cache's instruments live in. nil creates a
 	// private registry (always retrievable via Cache.Obs), so metrics are
 	// always on; pass a shared registry to aggregate several components
@@ -79,6 +106,13 @@ type Stats struct {
 	Invalidations int
 	Evictions     int
 	UpdatesSeen   int
+
+	// BucketsVisited counts template buckets an invalidation pass locked
+	// and inspected; BucketsSkipped counts the A = 0 query templates the
+	// routing index let OnUpdate route around without even looking for a
+	// bucket.
+	BucketsVisited int
+	BucketsSkipped int
 }
 
 // Decision is one entry of the invalidation-decision log: which update
@@ -93,13 +127,30 @@ type Decision struct {
 	Dropped        int
 }
 
-// DecisionLogSize bounds the in-memory invalidation-decision log.
+// DecisionLogSize is the default bound of the in-memory
+// invalidation-decision log.
 const DecisionLogSize = 256
 
+// numShards is the stripe count for template buckets. Template IDs hash
+// onto shards; applications have tens of templates, so 16 stripes keep
+// collisions rare while bounding the per-cache footprint.
+const numShards = 16
+
 // tmplInstruments caches the per-template counter handles so hot lookups
-// pay one map access under the cache lock instead of a registry lookup.
+// pay one map access under the shard lock instead of a registry lookup.
 type tmplInstruments struct {
 	hits, misses *obs.Counter
+}
+
+// shard is one lock stripe of the cache: the template buckets hashing to
+// it, its slice of the hit/miss/store counters, and the per-template
+// instrument handles for those buckets.
+type shard struct {
+	mu      sync.Mutex
+	buckets map[string]map[string]*Entry // template ID ("" = hidden) -> key -> entry
+	perTmpl map[string]*tmplInstruments
+
+	hits, misses, stores int
 }
 
 // Cache is the DSSP-side view store.
@@ -108,29 +159,41 @@ type Cache struct {
 	inv  *invalidate.Invalidator
 	opts Options
 
-	mu         sync.Mutex
-	byTemplate map[string]map[string]*Entry // template ID -> key -> entry
-	blind      map[string]*Entry            // entries whose template is hidden
-	lru        lruList                      // used only when bounded
+	shards [numShards]*shard
 
-	stats Stats
+	// lruMu guards the LRU list (bounded caches only) and the eviction
+	// count. It is never held together with a shard lock: insertion and
+	// eviction cross from shard to list (or back) in separate critical
+	// sections, with Entry.inLRU and pointer-identity checks absorbing
+	// the races.
+	lruMu     sync.Mutex
+	lru       lruList
+	evictions int
 
-	reg       *obs.Registry
-	tenant    []obs.Label
-	perTmpl   map[string]*tmplInstruments
-	stores    *obs.Counter
-	evictions *obs.Counter
-	updates   *obs.Counter
-	entries   *obs.Gauge
-	lastLen   int
+	// decMu guards the decision log and the invalidation/routing stats.
+	decMu          sync.Mutex
+	decisions      []Decision
+	decNext        int
+	decFull        bool
+	invalidations  int
+	bucketsVisited int
+	bucketsSkipped int
 
-	decisions []Decision
-	decNext   int
-	decFull   bool
+	updatesSeen atomic.Int64
+
+	reg        *obs.Registry
+	tenant     []obs.Label
+	storesC    *obs.Counter
+	evictionsC *obs.Counter
+	updatesC   *obs.Counter
+	visitedC   *obs.Counter
+	skippedC   *obs.Counter
+	entries    *obs.Gauge
 }
 
 // New creates an empty cache for an application. The invalidator carries
-// the static analysis used at the template-inspection level.
+// the static analysis used at the template-inspection level and the
+// routing index OnUpdate steers by.
 func New(app *template.App, inv *invalidate.Invalidator, opts Options) *Cache {
 	reg := opts.Obs
 	if reg == nil {
@@ -140,20 +203,29 @@ func New(app *template.App, inv *invalidate.Invalidator, opts Options) *Cache {
 	if opts.Tenant != "" {
 		tenant = []obs.Label{obs.L(obs.LTenant, opts.Tenant)}
 	}
+	logSize := opts.DecisionLog
+	if logSize <= 0 {
+		logSize = DecisionLogSize
+	}
 	c := &Cache{
 		app:        app,
 		inv:        inv,
 		opts:       opts,
-		byTemplate: make(map[string]map[string]*Entry),
-		blind:      make(map[string]*Entry),
 		reg:        reg,
 		tenant:     tenant,
-		perTmpl:    make(map[string]*tmplInstruments),
-		stores:     reg.Counter(obs.MCacheStores, tenant...),
-		evictions:  reg.Counter(obs.MCacheEvictions, tenant...),
-		updates:    reg.Counter(obs.MCacheUpdatesSeen, tenant...),
+		storesC:    reg.Counter(obs.MCacheStores, tenant...),
+		evictionsC: reg.Counter(obs.MCacheEvictions, tenant...),
+		updatesC:   reg.Counter(obs.MCacheUpdatesSeen, tenant...),
+		visitedC:   reg.Counter(obs.MCacheBucketsVisited, tenant...),
+		skippedC:   reg.Counter(obs.MCacheBucketsSkipped, tenant...),
 		entries:    reg.Gauge(obs.MCacheEntries, tenant...),
-		decisions:  make([]Decision, DecisionLogSize),
+		decisions:  make([]Decision, logSize),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			buckets: make(map[string]map[string]*Entry),
+			perTmpl: make(map[string]*tmplInstruments),
+		}
 	}
 	return c
 }
@@ -166,41 +238,52 @@ func (c *Cache) labels(ls ...obs.Label) []obs.Label {
 	return append(ls, c.tenant...)
 }
 
-// tmpl returns the cached per-template instruments. Called under c.mu.
-func (c *Cache) tmpl(id string) *tmplInstruments {
-	ti := c.perTmpl[id]
+// shardFor maps a template ID (empty = hidden) to its lock stripe.
+func (c *Cache) shardFor(templateID string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(templateID))
+	return c.shards[h.Sum32()%numShards]
+}
+
+// tmpl returns the cached per-template instruments. Called under s.mu.
+func (s *shard) tmpl(c *Cache, id string) *tmplInstruments {
+	ti := s.perTmpl[id]
 	if ti == nil {
 		ti = &tmplInstruments{
 			hits:   c.reg.Counter(obs.MCacheHits, c.labels(obs.L(obs.LTemplate, id))...),
 			misses: c.reg.Counter(obs.MCacheMisses, c.labels(obs.L(obs.LTemplate, id))...),
 		}
-		c.perTmpl[id] = ti
+		s.perTmpl[id] = ti
 	}
 	return ti
 }
 
 // record appends one invalidation decision to the bounded log and bumps
-// the invalidation counter for its label combination. Called under c.mu.
+// the invalidation counter for its label combination.
 func (c *Cache) record(d Decision) {
-	c.stats.Invalidations += d.Dropped
 	c.reg.Counter(obs.MCacheInvalidations, c.labels(
 		obs.L(obs.LTemplate, d.QueryTemplate),
 		obs.L(obs.LUpdateTemplate, d.UpdateTemplate),
 		obs.L(obs.LClass, d.Class),
 	)...).Add(int64(d.Dropped))
+	c.decMu.Lock()
+	c.invalidations += d.Dropped
+	c.bucketsVisited++
 	c.decisions[c.decNext] = d
 	c.decNext++
 	if c.decNext == len(c.decisions) {
 		c.decNext = 0
 		c.decFull = true
 	}
+	c.decMu.Unlock()
+	c.visitedC.Inc()
 }
 
 // Decisions returns a copy of the invalidation-decision log, oldest
 // first.
 func (c *Cache) Decisions() []Decision {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.decMu.Lock()
+	defer c.decMu.Unlock()
 	var out []Decision
 	if c.decFull {
 		out = append(out, c.decisions[c.decNext:]...)
@@ -209,58 +292,62 @@ func (c *Cache) Decisions() []Decision {
 	return out
 }
 
-// syncEntries reconciles the entry-count gauge after a mutation. Called
-// under c.mu.
-func (c *Cache) syncEntries() {
-	n := c.lenLocked()
-	if n != c.lastLen {
-		c.entries.Add(int64(n - c.lastLen))
-		c.lastLen = n
-	}
-}
-
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Stores += s.stores
+		s.mu.Unlock()
+	}
+	c.decMu.Lock()
+	st.Invalidations = c.invalidations
+	st.BucketsVisited = c.bucketsVisited
+	st.BucketsSkipped = c.bucketsSkipped
+	c.decMu.Unlock()
+	c.lruMu.Lock()
+	st.Evictions = c.evictions
+	c.lruMu.Unlock()
+	st.UpdatesSeen = int(c.updatesSeen.Load())
+	return st
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lenLocked()
-}
-
-func (c *Cache) lenLocked() int {
-	n := len(c.blind)
-	for _, b := range c.byTemplate {
-		n += len(b)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, b := range s.buckets {
+			n += len(b)
+		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
 // Lookup returns the cached result for a sealed query, if present.
 func (c *Cache) Lookup(q wire.SealedQuery) (wire.SealedResult, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ti := c.tmpl(obs.Tmpl(q.TemplateID))
+	s := c.shardFor(q.TemplateID)
+	s.mu.Lock()
+	ti := s.tmpl(c, obs.Tmpl(q.TemplateID))
 	var e *Entry
-	if q.TemplateID == "" {
-		e = c.blind[q.Key]
-	} else if b := c.byTemplate[q.TemplateID]; b != nil {
+	if b := s.buckets[q.TemplateID]; b != nil {
 		e = b[q.Key]
 	}
 	if e == nil {
-		c.stats.Misses++
+		s.misses++
+		s.mu.Unlock()
 		ti.misses.Inc()
 		return wire.SealedResult{}, false
 	}
-	c.stats.Hits++
+	s.hits++
+	res := e.Result
+	s.mu.Unlock()
 	ti.hits.Inc()
 	c.touch(e)
-	return e.Result, true
+	return res, true
 }
 
 // resultLen returns the number of rows in a sealed result, or -1 when the
@@ -283,129 +370,198 @@ func (c *Cache) Store(q wire.SealedQuery, r wire.SealedResult, empty bool) {
 	if n := resultLen(r); n == 0 && !c.opts.CacheEmptyResults {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	e := &Entry{Query: q, Result: r}
-	if q.TemplateID == "" {
-		if old := c.blind[q.Key]; old != nil {
-			c.trackRemove(old)
-		}
-		c.blind[q.Key] = e
-	} else {
-		b := c.byTemplate[q.TemplateID]
-		if b == nil {
-			b = make(map[string]*Entry)
-			c.byTemplate[q.TemplateID] = b
-		}
-		if old := b[q.Key]; old != nil {
-			c.trackRemove(old)
-		}
-		b[q.Key] = e
+	s := c.shardFor(q.TemplateID)
+	s.mu.Lock()
+	b := s.buckets[q.TemplateID]
+	if b == nil {
+		b = make(map[string]*Entry)
+		s.buckets[q.TemplateID] = b
 	}
-	c.trackInsert(e)
-	c.stats.Stores++
-	c.stores.Inc()
-	c.syncEntries()
+	old := b[q.Key]
+	b[q.Key] = e
+	s.stores++
+	s.mu.Unlock()
+	if old == nil {
+		c.entries.Add(1)
+	}
+	c.storesC.Inc()
+	c.trackInsert(e, old)
 }
 
 // OnUpdate applies the mixed invalidation strategy for a completed update
 // (§2.3): per cached entry, the strategy class follows from the exposure
 // levels of the update and of the entry's query. It returns the number of
 // entries invalidated. Every per-bucket decision — including "inspected
-// and kept" — lands in the decision log and the invalidation counters.
+// and kept" — lands in the decision log and the invalidation counters;
+// buckets the routing index proves A = 0 are skipped outright and appear
+// in no log (there is no decision to make — the analysis already made it).
 func (c *Cache) OnUpdate(u wire.SealedUpdate) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.UpdatesSeen++
-	c.updates.Inc()
+	c.updatesSeen.Add(1)
+	c.updatesC.Inc()
 	uLbl := obs.Tmpl(u.TemplateID)
 	dropped := 0
 
 	// Entries with hidden templates can only be handled blindly.
-	if len(c.blind) > 0 {
-		n := len(c.blind)
-		for _, e := range c.blind {
-			c.trackRemove(e)
-		}
-		c.blind = make(map[string]*Entry)
+	if n := c.dropWholeBucket(""); n > 0 {
 		c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: obs.BlindTemplate, Class: invalidate.Blind.String(), Dropped: n})
 		dropped += n
 	}
 
-	if u.TemplateID == "" {
-		// Blind update: invalidate everything.
-		for id, b := range c.byTemplate {
-			n := len(b)
-			for _, e := range b {
-				c.trackRemove(e)
-			}
-			delete(c.byTemplate, id)
-			c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: id, Class: invalidate.Blind.String(), Dropped: n})
-			dropped += n
-		}
-		c.syncEntries()
-		return dropped
+	ut := c.app.Update(u.TemplateID)
+	if u.TemplateID == "" || ut == nil {
+		// A blind update — or a template ID this application does not
+		// know, which only a byzantine client can produce — reveals
+		// nothing to steer by: invalidate everything.
+		return dropped + c.dropAllBuckets(u.TraceID, uLbl)
 	}
 
-	ut := c.app.Update(u.TemplateID)
-	ui := invalidate.UpdateInstance{Template: ut, Params: u.Params}
-	for id, bucket := range c.byTemplate {
-		qt := c.app.Query(id)
-		if qt == nil || len(bucket) == 0 {
-			continue
+	router := c.inv.Router()
+	ids, known := router.Affected(u.TemplateID)
+	routed := known && !c.opts.DisableRouting
+	if !routed {
+		// Unrouted pass (parity mode, or an analysis that does not cover
+		// this update template): visit every query template, in app order.
+		ids = make([]string, 0, len(c.app.Queries))
+		for _, qt := range c.app.Queries {
+			ids = append(ids, qt.ID)
 		}
-		// All entries in a bucket share a template and hence an exposure.
-		var sample *Entry
-		for _, e := range bucket {
-			sample = e
-			break
-		}
-		class := invalidate.ClassFor(u.Exposure, sample.Query.Exposure)
-		bucketDropped := 0
-		switch class {
-		case invalidate.Blind:
-			bucketDropped = c.dropBucket(id, bucket)
-		case invalidate.TemplateInspection:
-			if c.inv.Decide(class, ui, invalidate.CachedView{Template: qt}) == invalidate.Invalidate {
-				bucketDropped = c.dropBucket(id, bucket)
-			}
-		default: // statement or view inspection: per-entry decisions
-			for key, e := range bucket {
-				if c.inv.Decide(class, ui, e.view(c.app)) == invalidate.Invalidate {
-					delete(bucket, key)
-					c.trackRemove(e)
-					bucketDropped++
-				}
-			}
-		}
-		c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: id, Class: class.String(), Dropped: bucketDropped})
-		dropped += bucketDropped
 	}
-	c.syncEntries()
+	ui := invalidate.UpdateInstance{Template: ut, Params: u.Params}
+	for _, id := range ids {
+		dropped += c.visitBucket(id, u, ui, uLbl, router)
+	}
+	if routed {
+		if n, ok := router.Skipped(u.TemplateID); ok && n > 0 {
+			c.decMu.Lock()
+			c.bucketsSkipped += n
+			c.decMu.Unlock()
+			c.skippedC.Add(int64(n))
+		}
+	}
 	return dropped
 }
 
-// dropBucket removes a whole template bucket.
-func (c *Cache) dropBucket(id string, bucket map[string]*Entry) int {
-	for _, e := range bucket {
-		c.trackRemove(e)
+// visitBucket applies one update against one template bucket, recording
+// the decision. It returns the number of entries dropped.
+func (c *Cache) visitBucket(id string, u wire.SealedUpdate, ui invalidate.UpdateInstance, uLbl string, router *invalidate.Router) int {
+	qt := c.app.Query(id)
+	if qt == nil {
+		return 0
 	}
-	delete(c.byTemplate, id)
-	return len(bucket)
+	s := c.shardFor(id)
+	s.mu.Lock()
+	bucket := s.buckets[id]
+	if len(bucket) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	// All entries in a bucket share a template and hence an exposure.
+	var sample *Entry
+	for _, e := range bucket {
+		sample = e
+		break
+	}
+	class := router.Class(u.Exposure, sample.Query.Exposure)
+	var removed []*Entry
+	switch class {
+	case invalidate.Blind:
+		removed = collect(bucket)
+		delete(s.buckets, id)
+	case invalidate.TemplateInspection:
+		if c.inv.Decide(class, ui, invalidate.CachedView{Template: qt}) == invalidate.Invalidate {
+			removed = collect(bucket)
+			delete(s.buckets, id)
+		}
+	default: // statement or view inspection: per-entry decisions
+		for key, e := range bucket {
+			if c.inv.Decide(class, ui, e.view(c.app)) == invalidate.Invalidate {
+				delete(bucket, key)
+				removed = append(removed, e)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if len(removed) > 0 {
+		c.entries.Add(int64(-len(removed)))
+		c.unlink(removed)
+	}
+	c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: id, Class: class.String(), Dropped: len(removed)})
+	return len(removed)
+}
+
+// dropWholeBucket removes every entry of one bucket and returns how many
+// died. It records nothing — callers own the decision log entry.
+func (c *Cache) dropWholeBucket(id string) int {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	bucket := s.buckets[id]
+	if len(bucket) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	removed := collect(bucket)
+	delete(s.buckets, id)
+	s.mu.Unlock()
+	c.entries.Add(int64(-len(removed)))
+	c.unlink(removed)
+	return len(removed)
+}
+
+// dropAllBuckets clears every template bucket (blind invalidation),
+// recording one decision per bucket in deterministic order.
+func (c *Cache) dropAllBuckets(trace, uLbl string) int {
+	counts := make(map[string]int)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for id, bucket := range s.buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			removed := collect(bucket)
+			delete(s.buckets, id)
+			counts[id] = len(removed)
+			c.entries.Add(int64(-len(removed)))
+			s.mu.Unlock()
+			c.unlink(removed)
+			s.mu.Lock()
+		}
+		s.mu.Unlock()
+	}
+	ids := make([]string, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	dropped := 0
+	for _, id := range ids {
+		c.record(Decision{Trace: trace, UpdateTemplate: uLbl, QueryTemplate: id, Class: invalidate.Blind.String(), Dropped: counts[id]})
+		dropped += counts[id]
+	}
+	return dropped
+}
+
+// collect snapshots a bucket's entries. Called under the bucket's shard
+// lock.
+func collect(bucket map[string]*Entry) []*Entry {
+	out := make([]*Entry, 0, len(bucket))
+	for _, e := range bucket {
+		out = append(out, e)
+	}
+	return out
 }
 
 // Entries calls f for every cached entry (for consistency audits in
 // tests). f must not mutate the cache or call back into it.
 func (c *Cache) Entries(f func(*Entry)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.blind {
-		f(e)
-	}
-	for _, b := range c.byTemplate {
-		for _, e := range b {
-			f(e)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, b := range s.buckets {
+			for _, e := range b {
+				f(e)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 

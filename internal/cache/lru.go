@@ -5,6 +5,18 @@ package cache
 // store is bounded; when full, the least-recently-used entry is evicted.
 // Capacity 0 (the default) leaves the cache unbounded, which matches the
 // paper's experiments (ten-minute runs never filled memory).
+//
+// The list is global across shards (recency is a property of the whole
+// cache, not a stripe) and lives under its own lock, lruMu. The locking
+// protocol is strict: a goroutine never holds a shard lock and lruMu at
+// the same time. Crossings between the two domains happen in separate
+// critical sections, which admits benign races — an entry can be evicted
+// from the list while another goroutine is dropping it from its shard, or
+// replaced in its shard while the list still links it. Entry.inLRU (list
+// membership, guarded by lruMu) and pointer-identity checks on the shard
+// side make every such interleaving converge: an entry is freed at most
+// once from each domain, and the capacity bound holds at every quiescent
+// point.
 
 // lruList is an intrusive doubly linked list over cache entries, most
 // recently used at the front.
@@ -51,44 +63,85 @@ func (l *lruList) moveToFront(e *Entry) {
 	l.pushFront(e)
 }
 
-// touch marks an entry as recently used.
+// touch marks an entry as recently used. Called without any shard lock
+// held. The inLRU check skips entries already evicted or invalidated
+// between the caller's shard read and this point.
 func (c *Cache) touch(e *Entry) {
-	if c.opts.Capacity > 0 {
-		c.lru.moveToFront(e)
-	}
-}
-
-// trackInsert registers a new entry and evicts the LRU entry if the cache
-// is over capacity.
-func (c *Cache) trackInsert(e *Entry) {
 	if c.opts.Capacity <= 0 {
 		return
 	}
+	c.lruMu.Lock()
+	if e.inLRU {
+		c.lru.moveToFront(e)
+	}
+	c.lruMu.Unlock()
+}
+
+// trackInsert registers a freshly stored entry — unlinking the bucket
+// entry it replaced, if any — and evicts least-recently-used entries
+// while the cache is over capacity. Called after the store's shard
+// critical section.
+func (c *Cache) trackInsert(e, replaced *Entry) {
+	if c.opts.Capacity <= 0 {
+		return
+	}
+	var victims []*Entry
+	c.lruMu.Lock()
+	if replaced != nil && replaced.inLRU {
+		c.lru.remove(replaced)
+		replaced.inLRU = false
+	}
 	c.lru.pushFront(e)
+	e.inLRU = true
 	for c.lru.len > c.opts.Capacity {
-		victim := c.lru.tail
-		if victim == nil {
-			return
+		v := c.lru.tail
+		c.lru.remove(v)
+		v.inLRU = false
+		victims = append(victims, v)
+	}
+	c.lruMu.Unlock()
+	for _, v := range victims {
+		c.evict(v)
+	}
+}
+
+// evict deletes an LRU victim from its shard bucket. The pointer-identity
+// check makes the delete a no-op when the victim already left its bucket
+// through another path (invalidation, or replacement by a concurrent
+// store of the same key).
+func (c *Cache) evict(v *Entry) {
+	s := c.shardFor(v.Query.TemplateID)
+	removed := false
+	s.mu.Lock()
+	if b := s.buckets[v.Query.TemplateID]; b != nil && b[v.Query.Key] == v {
+		delete(b, v.Query.Key)
+		if len(b) == 0 {
+			delete(s.buckets, v.Query.TemplateID)
 		}
-		c.removeEntry(victim)
-		c.stats.Evictions++
-		c.evictions.Inc()
+		removed = true
+	}
+	s.mu.Unlock()
+	if removed {
+		c.entries.Add(-1)
+		c.evictionsC.Inc()
+		c.lruMu.Lock()
+		c.evictions++
+		c.lruMu.Unlock()
 	}
 }
 
-// trackRemove unlinks an entry that is being invalidated.
-func (c *Cache) trackRemove(e *Entry) {
-	if c.opts.Capacity > 0 {
-		c.lru.remove(e)
+// unlink removes invalidated entries from the LRU list. Called after the
+// invalidation's shard critical section.
+func (c *Cache) unlink(removed []*Entry) {
+	if c.opts.Capacity <= 0 {
+		return
 	}
-}
-
-// removeEntry deletes an entry from its bucket and the LRU list.
-func (c *Cache) removeEntry(e *Entry) {
-	if e.Query.TemplateID == "" {
-		delete(c.blind, e.Query.Key)
-	} else if b := c.byTemplate[e.Query.TemplateID]; b != nil {
-		delete(b, e.Query.Key)
+	c.lruMu.Lock()
+	for _, e := range removed {
+		if e.inLRU {
+			c.lru.remove(e)
+			e.inLRU = false
+		}
 	}
-	c.lru.remove(e)
+	c.lruMu.Unlock()
 }

@@ -37,8 +37,12 @@ func bindOperand(o sqlparse.Operand, params []sqlparse.Value) (sqlparse.Value, e
 }
 
 // InsertedRow materializes the full row (in column order) that an insertion
-// statement adds, binding parameters. The DSSP's statement-inspection
-// strategy uses this: insertions fully specify the new row (§2.1).
+// statement adds, binding parameters. Columns the statement does not name
+// are NULL — matching SQL semantics for tables without defaults — except
+// primary-key columns, which every row must bind. The DSSP's
+// statement-inspection strategy reasons over this row, so its NULL
+// semantics (a NULL never satisfies a predicate, never joins, and never
+// enters an aggregate) must agree with the engine's; see RowMatches.
 func InsertedRow(db *storage.Database, s *sqlparse.InsertStmt, params []sqlparse.Value) (storage.Row, error) {
 	t := db.Table(s.Table)
 	if t == nil {
@@ -60,7 +64,11 @@ func InsertedRow(db *storage.Database, s *sqlparse.InsertStmt, params []sqlparse
 	}
 	for ci, ok := range seen {
 		if !ok {
-			return nil, fmt.Errorf("engine: INSERT into %q does not set column %q", s.Table, t.Meta.Columns[ci].Name)
+			name := t.Meta.Columns[ci].Name
+			if t.Meta.IsPrimaryKeyColumn(name) {
+				return nil, fmt.Errorf("engine: INSERT into %q does not set key column %q", s.Table, name)
+			}
+			// Unnamed non-key column: the zero Value is NULL.
 		}
 	}
 	return row, nil

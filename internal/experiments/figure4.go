@@ -29,6 +29,79 @@ type Figure4Result struct {
 	StrictTIS    int // decisions where MSIS avoided an MTIS invalidation
 	StrictSIS    int // decisions where MVIS avoided an MSIS invalidation
 	MissedGround int // ground-truth changes a strategy failed to invalidate (must be 0)
+
+	// PartialInserts counts the insertions the audit rewrote to name only
+	// a subset of columns, leaving NULLs in the stored row. These exercise
+	// the NULL semantics the statement- and view-inspection strategies
+	// reason over (a NULL satisfies no predicate, joins nothing, and
+	// enters no aggregate) against ground-truth re-execution.
+	PartialInserts int
+}
+
+// partialInsert is a derived update template that names only a subset of
+// an insertion's columns (every primary-key column plus every other
+// remaining one); unnamed columns become NULL.
+type partialInsert struct {
+	tmpl *template.Template
+	keep []int // kept positions in the original column list
+}
+
+// params projects the original insert's parameter vector onto the
+// variant's parameters (the kept columns' `?`s, in order).
+func (pv *partialInsert) params(full *sqlparse.InsertStmt, orig []sqlparse.Value) []sqlparse.Value {
+	out := make([]sqlparse.Value, 0, len(pv.keep))
+	for _, i := range pv.keep {
+		if full.Values[i].Kind == sqlparse.OpParam {
+			out = append(out, orig[full.Values[i].Param])
+		}
+	}
+	return out
+}
+
+// partialInsertVariants derives a partial-column variant for every insert
+// template that has at least one droppable (non-key) column.
+func partialInsertVariants(app *template.App) map[string]*partialInsert {
+	out := make(map[string]*partialInsert)
+	for _, u := range app.Updates {
+		s, ok := u.Stmt.(*sqlparse.InsertStmt)
+		if !ok {
+			continue
+		}
+		meta := app.Schema.Table(s.Table)
+		if meta == nil {
+			continue
+		}
+		var keep []int
+		nonKey, dropped := 0, 0
+		for i, c := range s.Columns {
+			if meta.IsPrimaryKeyColumn(c) {
+				keep = append(keep, i)
+				continue
+			}
+			if nonKey++; nonKey%2 == 1 {
+				keep = append(keep, i)
+			} else {
+				dropped++
+			}
+		}
+		if dropped == 0 {
+			continue
+		}
+		cols := make([]string, 0, len(keep))
+		vals := make([]string, 0, len(keep))
+		for _, i := range keep {
+			cols = append(cols, s.Columns[i])
+			vals = append(vals, s.Values[i].String())
+		}
+		sql := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+			s.Table, strings.Join(cols, ", "), strings.Join(vals, ", "))
+		t, err := template.New(u.ID+"#partial", app.Schema, sql)
+		if err != nil {
+			continue
+		}
+		out[u.ID] = &partialInsert{tmpl: t, keep: keep}
+	}
+	return out
 }
 
 // Figure4 samples random update/cached-query encounters from a benchmark's
@@ -43,6 +116,7 @@ func Figure4(b workload.Benchmark, encounters int, seed int64) (*Figure4Result, 
 	}
 	iv := invalidate.New(app, core.Analyze(app, core.DefaultOptions()))
 	session := b.NewSession(rng)
+	partials := partialInsertVariants(app)
 
 	res := &Figure4Result{App: b.Name(), Invalidated: map[string]int{}}
 	classes := []invalidate.Class{
@@ -70,7 +144,14 @@ func Figure4(b workload.Benchmark, encounters int, seed int64) (*Figure4Result, 
 				continue
 			}
 			// An update: evaluate all strategies against every cached view,
-			// then apply it for real (refreshing stale entries).
+			// then apply it for real (refreshing stale entries). Every other
+			// insertion is rewritten to its partial-column variant so the
+			// audit covers rows with NULLs.
+			if pv := partials[op.Template.ID]; pv != nil && res.Decisions%2 == 1 {
+				op.Params = pv.params(op.Template.Stmt.(*sqlparse.InsertStmt), op.Params)
+				op.Template = pv.tmpl
+				res.PartialInserts++
+			}
 			db2 := db.Clone()
 			if _, err := engine.ExecUpdate(db2, op.Template.Stmt, op.Params); err != nil {
 				return nil, err
@@ -138,6 +219,7 @@ func (r *Figure4Result) Format() string {
 	table(&b, rows)
 	fmt.Fprintf(&b, "\ncontainment violations (must be 0): %d\n", r.Violations)
 	fmt.Fprintf(&b, "missed ground-truth invalidations (must be 0): %d\n", r.MissedGround)
+	fmt.Fprintf(&b, "partial-column insertions audited: %d\n", r.PartialInserts)
 	fmt.Fprintf(&b, "strict refinements: MTIS<MBS on %d, MSIS<MTIS on %d, MVIS<MSIS on %d decisions\n",
 		r.StrictBlind, r.StrictTIS, r.StrictSIS)
 	return b.String()

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/workload"
+)
+
+// TestRouteParity is the acceptance check for the invalidation routing
+// index: on a seeded benchmark replay, the routed cache's invalidation
+// count and decision log must be identical to the unrouted path's (modulo
+// the A = 0 decisions routing provably elides, all of which must have
+// dropped nothing).
+func TestRouteParity(t *testing.T) {
+	for _, b := range []workload.Benchmark{apps.NewBBoard(), apps.NewBookstore(), apps.NewAuction()} {
+		r, err := RouteParity(b, 150, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if !r.Passed() {
+			t.Errorf("%s: routed and unrouted invalidation diverged:\n%s", b.Name(), r.Format())
+		}
+		if r.RoutedSkipped == 0 {
+			t.Errorf("%s: routing never skipped a bucket; the fast path is not engaged", b.Name())
+		}
+		if r.ElidedAZero == 0 {
+			t.Logf("%s: no A=0 decisions elided on this seed (weak run)", b.Name())
+		}
+	}
+}

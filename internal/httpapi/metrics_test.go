@@ -81,6 +81,15 @@ func TestMetricsEndToEnd(t *testing.T) {
 		{obs.MCacheStores, nil, 2},
 		{obs.MCacheUpdatesSeen, nil, 1},
 	}
+	// Routing counters: U1 visited the non-empty Q2 bucket (and any other
+	// A > 0 bucket with entries); the A = 0 skip counter must be exported
+	// even when this workload never skips.
+	if m := snap.Find(obs.MCacheBucketsVisited, nil); m == nil || m.Value < 1 {
+		t.Errorf("%s = %+v, want >= 1", obs.MCacheBucketsVisited, m)
+	}
+	if m := snap.Find(obs.MCacheBucketsSkipped, nil); m == nil || m.Value < 0 {
+		t.Errorf("%s = %+v, want present", obs.MCacheBucketsSkipped, m)
+	}
 	for _, c := range checks {
 		m := snap.Find(c.name, c.labels)
 		if m == nil || m.Value != c.want {

@@ -14,6 +14,7 @@ package invalidate
 
 import (
 	"fmt"
+	"sync"
 
 	"dssp/internal/core"
 	"dssp/internal/engine"
@@ -101,16 +102,29 @@ type CachedView struct {
 type Invalidator struct {
 	app      *template.App
 	analysis *core.Analysis
+	router   *Router
+
+	// qinfo caches the prepared per-query-template inspection structure
+	// (keyed by *template.Template). It lives on the instance so that an
+	// invalidator's working set dies with it: a package-global cache would
+	// retain one entry per template per constructed App for the life of
+	// the process (every simulation trial builds a fresh App).
+	qinfo sync.Map
 }
 
 // New builds an Invalidator. The analysis must have been computed over the
 // same application.
 func New(app *template.App, analysis *core.Analysis) *Invalidator {
-	return &Invalidator{app: app, analysis: analysis}
+	return &Invalidator{app: app, analysis: analysis, router: NewRouter(analysis)}
 }
 
 // Analysis returns the static analysis the invalidator consults.
 func (iv *Invalidator) Analysis() *core.Analysis { return iv.analysis }
+
+// Router returns the invalidation routing index precomputed from the
+// analysis. The cache's OnUpdate fast path visits only the buckets the
+// router names.
+func (iv *Invalidator) Router() *Router { return iv.router }
 
 // Decide returns the decision of the given strategy class for an update
 // against a cached view. Information above the class's level is ignored

@@ -1,8 +1,6 @@
 package invalidate
 
 import (
-	"sync"
-
 	"dssp/internal/schema"
 	"dssp/internal/sqlparse"
 	"dssp/internal/template"
@@ -36,14 +34,17 @@ type joinPred struct {
 	lAttr, rAttr schema.Attr
 }
 
-var queryInfoCache sync.Map // *template.Template -> *queryInfo
-
-func infoFor(sch *schema.Schema, q *template.Template) *queryInfo {
-	if v, ok := queryInfoCache.Load(q); ok {
+// infoFor returns the prepared inspection structure for a query template,
+// memoized on the invalidator instance (keyed by template pointer, so two
+// apps with identically named templates can never cross-contaminate, and
+// the memo is released with the invalidator instead of leaking for the
+// process lifetime).
+func (iv *Invalidator) infoFor(q *template.Template) *queryInfo {
+	if v, ok := iv.qinfo.Load(q); ok {
 		return v.(*queryInfo)
 	}
-	qi := buildQueryInfo(sch, q)
-	queryInfoCache.Store(q, qi)
+	qi := buildQueryInfo(iv.app.Schema, q)
+	iv.qinfo.Store(q, qi)
 	return qi
 }
 
@@ -179,8 +180,7 @@ func (r *rangeCons) sat() bool {
 // and modifications, the revealed new attribute values) to rule out
 // interaction between the update and the cached query instance.
 func (iv *Invalidator) statementDecide(u UpdateInstance, q CachedView) Decision {
-	sch := iv.app.Schema
-	qi := infoFor(sch, q.Template)
+	qi := iv.infoFor(q.Template)
 	if qi.evalErr {
 		return Invalidate
 	}
@@ -196,11 +196,16 @@ func (iv *Invalidator) statementDecide(u UpdateInstance, q CachedView) Decision 
 	}
 }
 
-// insertedRow materializes the full row an insertion adds (in column
-// order), or nil if parameters are missing.
+// insertedRow materializes the row an insertion adds (in column order,
+// unspecified columns NULL — the engine's semantics for partial-column
+// inserts), or nil if parameters are missing or the statement is
+// malformed. The parser rejects mismatched column/value counts, but
+// templates can also be built from hand-assembled ASTs, and a nil return
+// must stay the conservative Invalidate rather than a panic inside the
+// cache's invalidation pass.
 func insertedRow(sch *schema.Schema, s *sqlparse.InsertStmt, params []sqlparse.Value) []sqlparse.Value {
 	t := sch.Table(s.Table)
-	if t == nil {
+	if t == nil || len(s.Columns) != len(s.Values) {
 		return nil
 	}
 	row := make([]sqlparse.Value, len(t.Columns))

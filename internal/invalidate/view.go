@@ -13,7 +13,7 @@ func (iv *Invalidator) viewDecide(u UpdateInstance, q CachedView) Decision {
 	if q.Result == nil {
 		return Invalidate
 	}
-	qi := infoFor(iv.app.Schema, q.Template)
+	qi := iv.infoFor(q.Template)
 	if qi.evalErr {
 		return Invalidate
 	}

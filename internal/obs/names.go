@@ -14,6 +14,12 @@ const (
 	MCacheUpdatesSeen   = "dssp_cache_updates_seen_total"
 	MCacheEntries       = "dssp_cache_entries" // gauge
 
+	// Invalidation routing instruments (label: tenant on multi-tenant
+	// nodes): buckets an invalidation pass inspected vs. buckets the
+	// routing index proved A = 0 and skipped.
+	MCacheBucketsVisited = "dssp_cache_invalidation_buckets_visited_total"
+	MCacheBucketsSkipped = "dssp_cache_invalidation_buckets_skipped_total"
+
 	// Per-stage latency histogram (labels: stage, template).
 	MStageSeconds = "dssp_stage_seconds"
 

@@ -105,10 +105,12 @@ func fromOf(stmt sqlparse.Statement) []sqlparse.TableRef {
 }
 
 // Validate type-checks a statement against the schema: all relations and
-// columns must exist, inserted rows must fully specify the relation (the
-// paper's insertion model), updates must modify only non-key attributes and
-// select rows by an equality predicate over the full primary key, and
-// deletions/queries may use arbitrary conjunctive arithmetic predicates.
+// columns must exist, inserted rows must bind every primary-key column
+// (columns left unnamed become NULL, so the new row is still fully
+// specified — the paper's insertion model), updates must modify only
+// non-key attributes and select rows by an equality predicate over the
+// full primary key, and deletions/queries may use arbitrary conjunctive
+// arithmetic predicates.
 func Validate(s *Schema, stmt sqlparse.Statement) error {
 	r, err := NewResolver(s, fromOf(stmt))
 	if err != nil {
@@ -160,10 +162,6 @@ func Validate(s *Schema, stmt sqlparse.Statement) error {
 		return nil
 	case *sqlparse.InsertStmt:
 		t := r.Tables()[0]
-		if len(st.Columns) != len(t.Columns) {
-			return fmt.Errorf("schema: INSERT into %s must specify all %d columns (got %d)",
-				t.Name, len(t.Columns), len(st.Columns))
-		}
 		seen := make(map[string]bool, len(st.Columns))
 		for _, c := range st.Columns {
 			if t.ColumnIndex(c) < 0 {
@@ -173,6 +171,11 @@ func Validate(s *Schema, stmt sqlparse.Statement) error {
 				return fmt.Errorf("schema: duplicate column %q in INSERT", c)
 			}
 			seen[c] = true
+		}
+		for _, k := range t.PrimaryKey {
+			if !seen[k] {
+				return fmt.Errorf("schema: INSERT into %s must set key column %q", t.Name, k)
+			}
 		}
 		return nil
 	case *sqlparse.DeleteStmt:

@@ -190,6 +190,7 @@ func TestValidateAccepts(t *testing.T) {
 		"SELECT toy_name, qty FROM toys ORDER BY qty DESC LIMIT 5",
 		"DELETE FROM toys WHERE toy_id=?",
 		"INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)",
+		"INSERT INTO toys (toy_id, toy_name) VALUES (?, ?)", // partial: qty becomes NULL
 		"UPDATE toys SET qty=? WHERE toy_id=?",
 	}
 	for _, src := range good {
@@ -205,9 +206,9 @@ func TestValidateRejects(t *testing.T) {
 		"SELECT missing FROM toys",
 		"SELECT toy_id FROM nowhere",
 		"SELECT toy_id FROM toys WHERE ? = ?",                     // no column in predicate
-		"INSERT INTO toys (toy_id, toy_name) VALUES (?, ?)",       // not all columns
-		"INSERT INTO toys (toy_id, toy_id, qty) VALUES (?, ?, ?)", // duplicate column
-		"UPDATE toys SET toy_id=? WHERE toy_id=?",                 // modifies the key
+		"INSERT INTO toys (toy_name, qty) VALUES (?, ?)", // does not bind the primary key
+		"INSERT INTO toys (toy_id, missing) VALUES (?, ?)",
+		"UPDATE toys SET toy_id=? WHERE toy_id=?", // modifies the key
 		"UPDATE toys SET qty=? WHERE toy_name=?",                  // not keyed on PK
 		"UPDATE toys SET qty=? WHERE toy_id>?",                    // non-equality key predicate
 		"DELETE FROM toys WHERE missing=?",

@@ -296,6 +296,8 @@ func Simulate(cfg Config) (*Result, error) {
 		res.Cache.Invalidations += st.Invalidations
 		res.Cache.Evictions += st.Evictions
 		res.Cache.UpdatesSeen += st.UpdatesSeen
+		res.Cache.BucketsVisited += st.BucketsVisited
+		res.Cache.BucketsSkipped += st.BucketsSkipped
 	}
 	if t := res.Cache.Hits + res.Cache.Misses; t > 0 {
 		res.HitRate = float64(res.Cache.Hits) / float64(t)

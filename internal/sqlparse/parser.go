@@ -427,6 +427,13 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 	if len(s.Columns) != len(s.Values) {
 		return nil, p.errorf("INSERT has %d columns but %d values", len(s.Columns), len(s.Values))
 	}
+	for i, c := range s.Columns {
+		for _, prev := range s.Columns[:i] {
+			if c == prev {
+				return nil, p.errorf("INSERT names column %q twice", c)
+			}
+		}
+	}
 	return s, nil
 }
 

@@ -142,6 +142,15 @@ func TestParseInsertArityMismatch(t *testing.T) {
 	if _, err := Parse("INSERT INTO t (a, b) VALUES (?)"); err == nil {
 		t.Error("arity mismatch should be rejected")
 	}
+	if _, err := Parse("INSERT INTO t (a) VALUES (?, ?)"); err == nil {
+		t.Error("arity mismatch should be rejected")
+	}
+}
+
+func TestParseInsertDuplicateColumn(t *testing.T) {
+	if _, err := Parse("INSERT INTO t (a, b, a) VALUES (?, ?, ?)"); err == nil {
+		t.Error("duplicate column should be rejected")
+	}
 }
 
 func TestParseDelete(t *testing.T) {
