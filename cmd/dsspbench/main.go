@@ -14,6 +14,7 @@
 //	dsspbench -exp route -app bboard      # invalidation-routing parity check
 //	dsspbench -exp figure8                # scalability per invalidation strategy
 //	dsspbench -exp security               # §5.4 security-enhancement summary
+//	dsspbench -exp coalesce               # single-flight miss coalescing under a hot-key storm
 //	dsspbench -exp obs -app bboard        # short run's metrics snapshot (-format json|prom)
 //	dsspbench -exp all                    # everything (simulations included)
 //
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|security|ablation|capacity|nodes|obs|all")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|security|ablation|capacity|nodes|coalesce|obs|all")
 	app := flag.String("app", "bboard", "application for figure4/route/obs: auction|bboard|bookstore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
@@ -173,8 +174,14 @@ func run(exp, app, pair string, opts experiments.RunOptions) error {
 			return err
 		}
 		fmt.Println(r.Format())
+	case "coalesce":
+		r, err := experiments.Coalesce(32, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
 	case "all":
-		for _, e := range []string{"table2", "table4", "table7", "figure4", "figure6", "figure7", "route", "security", "figure3", "figure8", "ablation", "capacity", "nodes"} {
+		for _, e := range []string{"table2", "table4", "table7", "figure4", "figure6", "figure7", "route", "security", "coalesce", "figure3", "figure8", "ablation", "capacity", "nodes"} {
 			if err := run(e, app, pair, opts); err != nil {
 				return err
 			}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ func main() {
 	updateID := flag.String("update", "", "update template ID to execute")
 	paramsArg := flag.String("params", "", "comma-separated parameters (integers or strings)")
 	exposures := flag.String("exposure", "", "comma-separated overrides, e.g. Q1=stmt,U1=template")
+	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "end-to-end deadline for the request")
 	flag.Parse()
 
 	if *keyPhrase == "" || (*queryID == "") == (*updateID == "") {
@@ -51,13 +53,15 @@ func main() {
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), exps)
 	client := httpapi.NewClient(codec, *node, nil)
 	params := parseParams(*paramsArg)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	if *queryID != "" {
 		t := app.Query(*queryID)
 		if t == nil {
 			log.Fatalf("dsspclient: unknown query template %q", *queryID)
 		}
-		r, err := client.Query(t, params...)
+		r, err := client.Query(ctx, t, params...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +79,7 @@ func main() {
 	if t == nil {
 		log.Fatalf("dsspclient: unknown update template %q", *updateID)
 	}
-	affected, invalidated, err := client.Update(t, params...)
+	affected, invalidated, err := client.Update(ctx, t, params...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,6 +38,7 @@ func main() {
 	addr := flag.String("addr", ":8401", "listen address")
 	keyPhrase := flag.String("key", "", "key phrase shared with clients (required)")
 	seed := flag.Int64("seed", 1, "benchmark data seed")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing statements, FIFO queue beyond (0 = unbounded)")
 	flag.Parse()
 
 	if *keyPhrase == "" {
@@ -52,6 +53,7 @@ func main() {
 	master := sha256.Sum256([]byte(*keyPhrase))
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), nil)
 	home := homeserver.New(db, app, codec)
+	home.SetAdmissionLimit(*maxConcurrent)
 
 	log.Printf("home server for %q on %s (%d query templates, %d update templates, metrics: GET %s)",
 		app.Name, *addr, len(app.Queries), len(app.Updates), httpapi.PathMetrics)

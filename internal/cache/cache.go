@@ -565,6 +565,18 @@ func (c *Cache) Entries(f func(*Entry)) {
 	}
 }
 
+// Dump returns one sorted "templateID|key" line per cached entry: a
+// transport-independent fingerprint of cache contents for the adapter
+// parity tests.
+func (c *Cache) Dump() []string {
+	var out []string
+	c.Entries(func(e *Entry) {
+		out = append(out, e.Query.TemplateID+"|"+e.Query.Key)
+	})
+	sort.Strings(out)
+	return out
+}
+
 // PlaintextResult returns the entry's result when it is stored in the
 // clear (view exposure), and nil otherwise.
 func (e *Entry) PlaintextResult() *engine.Result { return e.Result.Result }

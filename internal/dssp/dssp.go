@@ -9,13 +9,15 @@
 package dssp
 
 import (
-	"time"
+	"context"
+	"sync"
 
 	"dssp/internal/cache"
 	"dssp/internal/core"
 	"dssp/internal/homeserver"
 	"dssp/internal/invalidate"
 	"dssp/internal/obs"
+	"dssp/internal/pipeline"
 	"dssp/internal/template"
 	"dssp/internal/wire"
 )
@@ -50,11 +52,11 @@ func (n *Node) OnUpdateCompleted(u wire.SealedUpdate) int {
 	return n.Cache.OnUpdate(u)
 }
 
-// Client is the trusted, application-side driver: it seals statements,
-// routes them through a DSSP node to a home server, and opens results.
-// The simulator and the examples use it as the synchronous (non-simulated)
-// pathway; the discrete-event simulator reimplements the same flow with
-// latencies attached.
+// Client is the trusted, application-side driver of the in-process
+// deployment: it seals statements, routes them through the shared
+// pipeline (direct transport to the home server), and opens results. The
+// HTTP deployment and the discrete-event simulator route through the same
+// pipeline with their own transports.
 type Client struct {
 	Codec *wire.Codec
 	Node  *Node
@@ -64,13 +66,18 @@ type Client struct {
 	// network, invalidate, open) and the end-to-end request histogram for
 	// every statement routed through the client. nil disables tracing.
 	Tracer *obs.Tracer
+
+	pipeOnce sync.Once
+	pipe     *pipeline.Pipeline
 }
 
-// request records the end-to-end request histogram sample.
-func (c *Client) request(kind, tmpl string, start time.Duration) {
-	if reg := c.Tracer.Registry(); reg != nil {
-		reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, kind), obs.L(obs.LTemplate, tmpl)).Observe(c.Tracer.Now() - start)
-	}
+// Pipeline returns the client's query/update pathway, built on first use
+// from the client's node, home server, and tracer.
+func (c *Client) Pipeline() *pipeline.Pipeline {
+	c.pipeOnce.Do(func() {
+		c.pipe = pipeline.New(c.Node, pipeline.NewDirectTransport(c.Home), c.Tracer, pipeline.Options{})
+	})
+	return c.pipe
 }
 
 // QueryOutcome describes how a query was served.
@@ -92,30 +99,21 @@ func (c *Client) Query(t *template.Template, params ...interface{}) (*QueryResul
 		return nil, err
 	}
 	c.Tracer.Observe(sq.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
-	nodeTmpl := obs.Tmpl(sq.TemplateID)
-	lk := c.Tracer.Start(sq.TraceID, obs.StageLookup, nodeTmpl)
-	sealed, hit := c.Node.HandleQuery(sq)
-	lk.End()
-	outcome := QueryOutcome{Hit: hit}
-	if !hit {
-		var empty bool
-		net := c.Tracer.Start(sq.TraceID, obs.StageNetwork, nodeTmpl)
-		sealed, empty, outcome.Scanned, err = c.Home.ExecQuery(sq)
-		if err != nil {
-			return nil, err
-		}
-		c.Node.StoreResult(sq, sealed, empty)
-		net.End()
+	reply, err := c.Pipeline().QuerySync(context.Background(), sq)
+	if err != nil {
+		return nil, err
 	}
 	op := c.Tracer.Start(sq.TraceID, obs.StageOpen, t.ID)
-	res, err := c.Codec.OpenResult(sealed)
+	res, err := c.Codec.OpenResult(reply.Result)
 	if err != nil {
 		return nil, err
 	}
 	op.End()
-	c.request(obs.KindQuery, nodeTmpl, start)
-	outcome.Rows = res.Len()
-	return &QueryResult{Result: res, Outcome: outcome}, nil
+	return &QueryResult{Result: res, Outcome: QueryOutcome{
+		Hit:     reply.Hit,
+		Rows:    res.Len(),
+		Scanned: reply.Scanned,
+	}}, nil
 }
 
 // Update executes one update template instance end to end: the update is
@@ -132,16 +130,9 @@ func (c *Client) Update(t *template.Template, params ...interface{}) (affected, 
 		return 0, 0, err
 	}
 	c.Tracer.Observe(su.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
-	nodeTmpl := obs.Tmpl(su.TemplateID)
-	net := c.Tracer.Start(su.TraceID, obs.StageNetwork, nodeTmpl)
-	affected, err = c.Home.ExecUpdate(su)
+	reply, err := c.Pipeline().UpdateSync(context.Background(), su)
 	if err != nil {
 		return 0, 0, err
 	}
-	net.End()
-	inv := c.Tracer.Start(su.TraceID, obs.StageInvalidate, nodeTmpl)
-	invalidated = c.Node.OnUpdateCompleted(su)
-	inv.End()
-	c.request(obs.KindUpdate, nodeTmpl, start)
-	return affected, invalidated, nil
+	return reply.Affected, reply.Invalidated, nil
 }

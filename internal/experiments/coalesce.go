@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dssp/internal/apps"
+	"dssp/internal/pipeline"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+)
+
+// CoalescePoint is one mode's measurement of the hot-key miss storm.
+type CoalescePoint struct {
+	Mode      string
+	HomeExecs int // home-server query executions across all epochs
+	Coalesced int // misses that joined an in-flight fetch instead
+}
+
+// CoalesceResult compares the miss storm a hot key suffers after each
+// invalidation with and without single-flight coalescing: every client
+// misses at once, and without coalescing each miss becomes its own
+// home-server execution — the home server (the shared bottleneck the DSSP
+// exists to offload, §1) absorbs O(clients) identical queries per
+// invalidation epoch. Coalescing collapses them to O(1).
+type CoalesceResult struct {
+	Clients int
+	Epochs  int
+	Points  []CoalescePoint
+}
+
+// Coalesce runs the hot-key miss storm in both modes. Each epoch
+// invalidates the hot template bucket (a template-level update the DSSP
+// cannot inspect further) and then fires all clients at the same hot
+// query concurrently; a small home-side delay makes the misses overlap,
+// as a WAN hop does in Figure 1.
+func Coalesce(clients, epochs int) (*CoalesceResult, error) {
+	res := &CoalesceResult{Clients: clients, Epochs: epochs}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"coalesced", false}, {"uncoalesced", true}} {
+		h := NewHarness(apps.Toystore(), HarnessOptions{
+			// Template-level exposure: the invalidation is a whole-bucket
+			// drop and the cache key is a deterministic digest — coalescing
+			// must work without reading either.
+			Exposures: map[string]template.Exposure{
+				"Q1": template.ExpTemplate,
+				"U1": template.ExpTemplate,
+			},
+			Pipeline:  pipeline.Options{DisableCoalescing: mode.disable},
+			HomeDelay: 2 * time.Millisecond,
+		})
+		if err := seedToys(h.DB); err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		before := h.Home.QueriesServed()
+		for e := 0; e < epochs; e++ {
+			if e > 0 {
+				// U1 deletes nothing (no toy 999) but its completion drops
+				// the Q1 bucket at template inspection level.
+				if _, err := h.Update(ctx, "U1", 999); err != nil {
+					return nil, err
+				}
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			start := make(chan struct{})
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					if _, err := h.Query(ctx, "Q1", "bear"); err != nil {
+						errs <- err
+					}
+				}()
+			}
+			close(start)
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				return nil, err
+			}
+		}
+		res.Points = append(res.Points, CoalescePoint{
+			Mode:      mode.name,
+			HomeExecs: h.Home.QueriesServed() - before,
+			Coalesced: h.CoalescedMisses(),
+		})
+	}
+	return res, nil
+}
+
+// seedToys inserts the toystore ground truth used by the examples.
+func seedToys(db *storage.Database) error {
+	rows := []struct {
+		id   int64
+		name string
+		qty  int64
+	}{{1, "bear", 10}, {2, "truck", 3}, {3, "bear", 4}, {5, "kite", 25}}
+	for _, r := range rows {
+		if err := db.Insert("toys", storage.Row{
+			sqlparse.IntVal(r.id), sqlparse.StringVal(r.name), sqlparse.IntVal(r.qty),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders the comparison.
+func (r *CoalesceResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Single-flight miss coalescing: toystore hot key, %d clients x %d invalidation epochs\n", r.Clients, r.Epochs)
+	b.WriteString("(home-server executions of the hot query; lower = less load on the shared bottleneck)\n\n")
+	rows := [][]string{{"Mode", "HomeExecs", "CoalescedMisses"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Mode, fmt.Sprint(p.HomeExecs), fmt.Sprint(p.Coalesced)})
+	}
+	table(&b, rows)
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package homeserver
+
+import (
+	"sync"
+
+	"dssp/internal/obs"
+)
+
+// admission is a FIFO concurrency limiter for statement execution: at most
+// limit statements execute at once, the rest wait in arrival order. It
+// replaces the unbounded goroutine pile-up a miss storm used to create in
+// front of the database RWMutex — the queue is explicit, observable
+// (depth gauge, wait histogram), and fair.
+type admission struct {
+	mu     sync.Mutex
+	limit  int
+	active int
+	queue  []chan struct{}
+}
+
+// setLimit sets the concurrent-execution limit (0 disables limiting).
+// Call before serving traffic; it does not re-balance statements already
+// admitted or queued.
+func (a *admission) setLimit(n int) {
+	a.mu.Lock()
+	a.limit = n
+	a.mu.Unlock()
+}
+
+// acquire blocks until an execution slot is free, FIFO among waiters.
+// depth, when non-nil, tracks the instantaneous queue length.
+func (a *admission) acquire(depth *obs.Gauge) {
+	a.mu.Lock()
+	if a.limit <= 0 || a.active < a.limit {
+		a.active++
+		a.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	a.queue = append(a.queue, ch)
+	if depth != nil {
+		depth.Set(int64(len(a.queue)))
+	}
+	a.mu.Unlock()
+	<-ch
+}
+
+// release frees a slot, handing it to the oldest waiter if any.
+func (a *admission) release(depth *obs.Gauge) {
+	a.mu.Lock()
+	if len(a.queue) > 0 {
+		ch := a.queue[0]
+		a.queue = a.queue[1:]
+		if depth != nil {
+			depth.Set(int64(len(a.queue)))
+		}
+		close(ch) // the slot transfers; active is unchanged
+	} else if a.active > 0 {
+		a.active--
+	}
+	a.mu.Unlock()
+}

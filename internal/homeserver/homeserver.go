@@ -10,7 +10,11 @@
 //
 // The server is safe for concurrent use (the HTTP deployment executes
 // forwarded statements from concurrent handlers): queries share a read
-// lock on the master database, updates take the write lock.
+// lock on the master database, updates take the write lock. In front of
+// those locks sits an optional admission controller (SetAdmissionLimit): a
+// FIFO queue bounding how many statements execute concurrently, so a
+// miss storm degrades into an observable queue (depth gauge, wait
+// histogram) instead of an unbounded goroutine pile-up on the RWMutex.
 package homeserver
 
 import (
@@ -32,13 +36,20 @@ type Server struct {
 	App   *template.App
 	Codec *wire.Codec
 
-	mu sync.RWMutex // guards DB during statement execution
+	mu  sync.RWMutex // guards DB during statement execution
+	adm admission    // bounds concurrent executions, FIFO
 
 	queries atomic.Int64
 	updates atomic.Int64
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+
+	// Admission instruments, re-pointed by SetObs. Registered eagerly so
+	// every deployment's /v1/metrics has the same shape whether or not a
+	// limit is configured.
+	queueDepth   *obs.Gauge
+	waitQ, waitU *obs.Histogram
 }
 
 // New builds a home server over a populated master database. Metrics are
@@ -57,6 +68,24 @@ func New(db *storage.Database, app *template.App, codec *wire.Codec) *Server {
 func (s *Server) SetObs(reg *obs.Registry, clock obs.Clock) {
 	s.reg = reg
 	s.tracer = obs.NewTracer(reg, clock)
+	s.queueDepth = reg.Gauge(obs.MHomeQueueDepth)
+	s.waitQ = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindQuery))
+	s.waitU = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindUpdate))
+}
+
+// SetAdmissionLimit bounds how many statements may execute concurrently
+// (0 = unbounded, the default). Excess statements wait in FIFO order;
+// queue depth and per-statement wait time are recorded in the registry.
+// Set before serving traffic.
+func (s *Server) SetAdmissionLimit(n int) { s.adm.setLimit(n) }
+
+// admit acquires an execution slot, recording the wait, and returns the
+// release function.
+func (s *Server) admit(wait *obs.Histogram) func() {
+	start := s.tracer.Now()
+	s.adm.acquire(s.queueDepth)
+	wait.Observe(s.tracer.Now() - start)
+	return func() { s.adm.release(s.queueDepth) }
 }
 
 // Obs returns the registry the server's instruments live in.
@@ -79,11 +108,13 @@ func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bo
 	if t.Kind != template.KQuery {
 		return wire.SealedResult{}, false, 0, fmt.Errorf("homeserver: payload %s is not a query", t.ID)
 	}
+	release := s.admit(s.waitQ)
 	sp := s.tracer.Start(sq.TraceID, obs.StageHomeExec, t.ID)
 	s.mu.RLock()
 	r, execErr := engine.ExecQuery(s.DB, t.Stmt.(*sqlparse.SelectStmt), params)
 	s.mu.RUnlock()
 	sp.End()
+	release()
 	if execErr != nil {
 		return wire.SealedResult{}, false, 0, execErr
 	}
@@ -102,11 +133,13 @@ func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
 	if !t.Kind.IsUpdate() {
 		return 0, fmt.Errorf("homeserver: payload %s is not an update", t.ID)
 	}
+	release := s.admit(s.waitU)
 	sp := s.tracer.Start(su.TraceID, obs.StageHomeExec, t.ID)
 	s.mu.Lock()
 	n, execErr := engine.ExecUpdate(s.DB, t.Stmt, params)
 	s.mu.Unlock()
 	sp.End()
+	release()
 	if execErr != nil {
 		return 0, execErr
 	}

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"net/http"
 	"net/http/httptest"
@@ -34,7 +35,7 @@ func TestByzantineNodeCannotForgeResults(t *testing.T) {
 	defer evil.Close()
 
 	client := NewClient(codec, evil.URL, evil.Client())
-	if _, err := client.Query(app.Query("Q2"), 5); err == nil {
+	if _, err := client.Query(context.Background(), app.Query("Q2"), 5); err == nil {
 		t.Fatal("forged encrypted result accepted by the client")
 	}
 }

@@ -19,10 +19,12 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strings"
 	"time"
@@ -30,9 +32,26 @@ import (
 	"dssp/internal/dssp"
 	"dssp/internal/homeserver"
 	"dssp/internal/obs"
+	"dssp/internal/pipeline"
 	"dssp/internal/template"
 	"dssp/internal/wire"
 )
+
+// DefaultTimeout bounds each HTTP round trip when the caller does not
+// supply its own http.Client: a hung home server fails the request
+// instead of hanging the client forever.
+const DefaultTimeout = 30 * time.Second
+
+// retryBackoff is the pause before the single idempotent-query retry.
+const retryBackoff = 100 * time.Millisecond
+
+// defaultClient returns client, or a timeout-bounded default.
+func defaultClient(client *http.Client) *http.Client {
+	if client == nil {
+		return &http.Client{Timeout: DefaultTimeout}
+	}
+	return client
+}
 
 // Paths of the HTTP API.
 const (
@@ -70,14 +89,23 @@ type ExecUpdateResponse struct {
 	Affected int
 }
 
-func writeGob(w http.ResponseWriter, v any) {
+// writeGob writes a gob response body. A failed Write means the client
+// saw a truncated response; that cannot be repaired at this point (the
+// status line is gone), but it must not be invisible — it is logged and
+// counted under http_write_errors in reg (nil skips the counter).
+func writeGob(reg *obs.Registry, w http.ResponseWriter, v any) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-gob")
-	_, _ = w.Write(buf.Bytes())
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("httpapi: response write failed (%d bytes): %v", buf.Len(), err)
+		if reg != nil {
+			reg.Counter(obs.MHTTPWriteErrors).Inc()
+		}
+	}
 }
 
 func readGob(r io.Reader, v any) error {
@@ -85,30 +113,59 @@ func readGob(r io.Reader, v any) error {
 }
 
 // post sends one gob request with the trace ID attached and decodes the
-// gob response.
-func post(client *http.Client, url, trace string, req, resp any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
-		return err
-	}
-	hreq, err := http.NewRequest(http.MethodPost, url, &buf)
+// gob response. The context bounds the whole round trip. When idempotent
+// is true (query paths only), a connection-level error is retried once
+// after a short backoff — a response that arrived, whatever its status,
+// is never retried, and updates never are (a lost ack does not prove the
+// update was not applied). reg, when non-nil, counts retries.
+func post(ctx context.Context, client *http.Client, url, trace string, req, resp any, idempotent bool, reg *obs.Registry) error {
+	body, err := encodeGob(req)
 	if err != nil {
 		return err
 	}
-	hreq.Header.Set("Content-Type", "application/x-gob")
-	if trace != "" {
-		hreq.Header.Set(TraceHeader, trace)
+	r, err := doPost(ctx, client, url, trace, body)
+	if err != nil && idempotent && ctx.Err() == nil {
+		if reg != nil {
+			reg.Counter(obs.MHTTPRetries).Inc()
+		}
+		select {
+		case <-time.After(retryBackoff):
+		case <-ctx.Done():
+			return err
+		}
+		r, err = doPost(ctx, client, url, trace, body)
 	}
-	r, err := client.Do(hreq)
 	if err != nil {
 		return err
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
-		return fmt.Errorf("httpapi: %s: %s: %s", url, r.Status, bytes.TrimSpace(body))
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		return fmt.Errorf("httpapi: %s: %s: %s", url, r.Status, bytes.TrimSpace(msg))
 	}
 	return readGob(r.Body, resp)
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// doPost performs one HTTP exchange; the body is a byte slice so retries
+// can resend it.
+func doPost(ctx context.Context, client *http.Client, url, trace string, body []byte) (*http.Response, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/x-gob")
+	if trace != "" {
+		hreq.Header.Set(TraceHeader, trace)
+	}
+	return client.Do(hreq)
 }
 
 // MetricsHandler serves a registry snapshot: JSON by default, Prometheus
@@ -132,9 +189,7 @@ func MetricsHandler(reg *obs.Registry) http.Handler {
 
 // FetchMetrics retrieves a process's /v1/metrics snapshot as JSON.
 func FetchMetrics(client *http.Client, baseURL string) (obs.Snapshot, error) {
-	if client == nil {
-		client = http.DefaultClient
-	}
+	client = defaultClient(client)
 	var snap obs.Snapshot
 	resp, err := client.Get(baseURL + PathMetrics)
 	if err != nil {
@@ -163,7 +218,7 @@ func HomeHandler(home *homeserver.Server) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeGob(w, ExecQueryResponse{Result: res, Empty: empty, Scanned: scanned})
+		writeGob(home.Obs(), w, ExecQueryResponse{Result: res, Empty: empty, Scanned: scanned})
 	})
 	mux.HandleFunc("POST "+PathExecUpdate, func(w http.ResponseWriter, r *http.Request) {
 		var su wire.SealedUpdate
@@ -176,13 +231,14 @@ func HomeHandler(home *homeserver.Server) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeGob(w, ExecUpdateResponse{Affected: n})
+		writeGob(home.Obs(), w, ExecUpdateResponse{Affected: n})
 	})
 	return mux
 }
 
-// NodeServer serves an application's traffic from a DSSP node, forwarding
-// misses and updates to the home server.
+// NodeServer serves an application's traffic from a DSSP node through the
+// shared pipeline, forwarding misses and updates to the home server over
+// HTTP.
 type NodeServer struct {
 	Node    *dssp.Node
 	HomeURL string
@@ -193,22 +249,50 @@ type NodeServer struct {
 	// invalidate) against wall time.
 	Reg    *obs.Registry
 	Tracer *obs.Tracer
+
+	// Pipe is the node's query/update pathway: the same pipeline the
+	// in-process client and the simulator route through, here over an
+	// HTTP transport with per-request contexts and timeouts.
+	Pipe *pipeline.Pipeline
+}
+
+// httpTransport forwards sealed messages to the home server over HTTP.
+// Queries are idempotent and retried once on connection errors; updates
+// are not.
+type httpTransport struct {
+	client  *http.Client
+	homeURL string
+	reg     *obs.Registry
+}
+
+func (t httpTransport) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
+	var exec ExecQueryResponse
+	err := post(ctx, t.client, t.homeURL+PathExecQuery, sq.TraceID, sq, &exec, true, t.reg)
+	done(pipeline.ExecQueryResult{Result: exec.Result, Empty: exec.Empty, Scanned: exec.Scanned}, err)
+}
+
+func (t httpTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
+	var exec ExecUpdateResponse
+	err := post(ctx, t.client, t.homeURL+PathExecUpdate, su.TraceID, su, &exec, false, t.reg)
+	done(exec.Affected, err)
 }
 
 // NewNodeServer wires a node to its home server endpoint. The server
 // adopts the node cache's registry so cache counters and node-side stage
-// histograms appear in one /v1/metrics snapshot.
+// histograms appear in one /v1/metrics snapshot. A nil client gets a
+// DefaultTimeout-bounded one.
 func NewNodeServer(node *dssp.Node, homeURL string, client *http.Client) *NodeServer {
-	if client == nil {
-		client = http.DefaultClient
-	}
+	client = defaultClient(client)
 	reg := node.Cache.Obs()
+	tracer := obs.NewTracer(reg, obs.WallClock())
 	return &NodeServer{
 		Node:    node,
 		HomeURL: homeURL,
 		Client:  client,
 		Reg:     reg,
-		Tracer:  obs.NewTracer(reg, obs.WallClock()),
+		Tracer:  tracer,
+		Pipe: pipeline.New(node, httpTransport{client: client, homeURL: homeURL, reg: reg},
+			tracer, pipeline.Options{}),
 	}
 }
 
@@ -230,39 +314,19 @@ func trace(sealed string, r *http.Request) string {
 	return r.Header.Get(TraceHeader)
 }
 
-// request records the node's end-to-end request histogram sample.
-func (s *NodeServer) request(kind, tmpl string, start time.Duration) {
-	s.Reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, kind), obs.L(obs.LTemplate, tmpl)).
-		Observe(s.Tracer.Now() - start)
-}
-
 func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var sq wire.SealedQuery
 	if err := readGob(r.Body, &sq); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	tr := trace(sq.TraceID, r)
-	tmpl := obs.Tmpl(sq.TemplateID)
-	start := s.Tracer.Now()
-	lk := s.Tracer.Start(tr, obs.StageLookup, tmpl)
-	res, hit := s.Node.HandleQuery(sq)
-	lk.End()
-	if hit {
-		s.request(obs.KindQuery, tmpl, start)
-		writeGob(w, QueryResponse{Result: res, Hit: true})
-		return
-	}
-	net := s.Tracer.Start(tr, obs.StageNetwork, tmpl)
-	var exec ExecQueryResponse
-	if err := post(s.Client, s.HomeURL+PathExecQuery, tr, sq, &exec); err != nil {
+	sq.TraceID = trace(sq.TraceID, r)
+	reply, err := s.Pipe.QuerySync(r.Context(), sq)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	net.End()
-	s.Node.StoreResult(sq, exec.Result, exec.Empty)
-	s.request(obs.KindQuery, tmpl, start)
-	writeGob(w, QueryResponse{Result: exec.Result})
+	writeGob(s.Reg, w, QueryResponse{Result: reply.Result, Hit: reply.Hit})
 }
 
 func (s *NodeServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -271,21 +335,13 @@ func (s *NodeServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	tr := trace(su.TraceID, r)
-	tmpl := obs.Tmpl(su.TemplateID)
-	start := s.Tracer.Now()
-	net := s.Tracer.Start(tr, obs.StageNetwork, tmpl)
-	var exec ExecUpdateResponse
-	if err := post(s.Client, s.HomeURL+PathExecUpdate, tr, su, &exec); err != nil {
+	su.TraceID = trace(su.TraceID, r)
+	reply, err := s.Pipe.UpdateSync(r.Context(), su)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	net.End()
-	inv := s.Tracer.Start(tr, obs.StageInvalidate, tmpl)
-	invalidated := s.Node.OnUpdateCompleted(su)
-	inv.End()
-	s.request(obs.KindUpdate, tmpl, start)
-	writeGob(w, UpdateResponse{Affected: exec.Affected, Invalidated: invalidated})
+	writeGob(s.Reg, w, UpdateResponse{Affected: reply.Affected, Invalidated: reply.Invalidated})
 }
 
 // Client is the trusted application side talking to a remote DSSP node:
@@ -302,16 +358,16 @@ type Client struct {
 	Tracer *obs.Tracer
 }
 
-// NewClient builds a remote client.
+// NewClient builds a remote client. A nil httpClient gets a
+// DefaultTimeout-bounded one.
 func NewClient(codec *wire.Codec, nodeURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	return &Client{Codec: codec, NodeURL: nodeURL, HTTP: httpClient}
+	return &Client{Codec: codec, NodeURL: nodeURL, HTTP: defaultClient(httpClient)}
 }
 
-// Query runs one query template instance through the remote node.
-func (c *Client) Query(t *template.Template, params ...interface{}) (*dssp.QueryResult, error) {
+// Query runs one query template instance through the remote node. The
+// context bounds the round trip; connection errors are retried once
+// (queries are idempotent).
+func (c *Client) Query(ctx context.Context, t *template.Template, params ...interface{}) (*dssp.QueryResult, error) {
 	vals, err := dssp.Params(params...)
 	if err != nil {
 		return nil, err
@@ -323,7 +379,7 @@ func (c *Client) Query(t *template.Template, params ...interface{}) (*dssp.Query
 	}
 	c.Tracer.Observe(sq.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
 	var resp QueryResponse
-	if err := post(c.HTTP, c.NodeURL+PathQuery, sq.TraceID, sq, &resp); err != nil {
+	if err := post(ctx, c.HTTP, c.NodeURL+PathQuery, sq.TraceID, sq, &resp, true, c.Tracer.Registry()); err != nil {
 		return nil, err
 	}
 	op := c.Tracer.Start(sq.TraceID, obs.StageOpen, t.ID)
@@ -335,8 +391,10 @@ func (c *Client) Query(t *template.Template, params ...interface{}) (*dssp.Query
 	return &dssp.QueryResult{Result: res, Outcome: dssp.QueryOutcome{Hit: resp.Hit, Rows: res.Len()}}, nil
 }
 
-// Update routes one update through the remote node.
-func (c *Client) Update(t *template.Template, params ...interface{}) (affected, invalidated int, err error) {
+// Update routes one update through the remote node. The context bounds
+// the round trip; updates are never retried (a lost ack does not prove
+// the update was not applied).
+func (c *Client) Update(ctx context.Context, t *template.Template, params ...interface{}) (affected, invalidated int, err error) {
 	vals, err := dssp.Params(params...)
 	if err != nil {
 		return 0, 0, err
@@ -348,7 +406,7 @@ func (c *Client) Update(t *template.Template, params ...interface{}) (affected, 
 	}
 	c.Tracer.Observe(su.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
 	var resp UpdateResponse
-	if err := post(c.HTTP, c.NodeURL+PathUpdate, su.TraceID, su, &resp); err != nil {
+	if err := post(ctx, c.HTTP, c.NodeURL+PathUpdate, su.TraceID, su, &resp, false, c.Tracer.Registry()); err != nil {
 		return 0, 0, err
 	}
 	return resp.Affected, resp.Invalidated, nil

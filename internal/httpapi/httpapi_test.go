@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -59,14 +60,14 @@ func TestNetworkQueryUpdateFlow(t *testing.T) {
 	seedToys(t, db)
 	app := apps.Toystore()
 
-	r, err := client.Query(app.Query("Q2"), 5)
+	r, err := client.Query(context.Background(), app.Query("Q2"), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Outcome.Hit || r.Result.Rows[0][0].Int != 25 {
 		t.Fatalf("first query: %+v", r)
 	}
-	r, err = client.Query(app.Query("Q2"), 5)
+	r, err = client.Query(context.Background(), app.Query("Q2"), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestNetworkQueryUpdateFlow(t *testing.T) {
 		t.Error("second query should hit the node cache")
 	}
 
-	affected, invalidated, err := client.Update(app.Update("U1"), 5)
+	affected, invalidated, err := client.Update(context.Background(), app.Update("U1"), 5)
 	if err != nil || affected != 1 || invalidated != 1 {
 		t.Fatalf("update: affected=%d invalidated=%d err=%v", affected, invalidated, err)
 	}
-	r, err = client.Query(app.Query("Q2"), 5)
+	r, err = client.Query(context.Background(), app.Query("Q2"), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestNetworkEncryptedResults(t *testing.T) {
 	seedToys(t, db)
 	app := apps.Toystore()
 
-	r, err := client.Query(app.Query("Q2"), 5)
+	r, err := client.Query(context.Background(), app.Query("Q2"), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestNetworkEncryptedResults(t *testing.T) {
 	}
 	// The node's copy is ciphertext: fetch the raw cached entry via a
 	// fresh query and check the Hit path still decrypts fine.
-	r, err = client.Query(app.Query("Q2"), 5)
+	r, err = client.Query(context.Background(), app.Query("Q2"), 5)
 	if err != nil || !r.Outcome.Hit {
 		t.Fatalf("hit=%v err=%v", r.Outcome.Hit, err)
 	}
@@ -127,7 +128,7 @@ func TestNetworkConsistencyRandomWorkload(t *testing.T) {
 			} else {
 				params = []interface{}{1 + rng.Intn(8)}
 			}
-			got, err := client.Query(q, params...)
+			got, err := client.Query(context.Background(), q, params...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -140,7 +141,7 @@ func TestNetworkConsistencyRandomWorkload(t *testing.T) {
 				t.Fatalf("step %d: stale networked answer for %s%v", step, q.ID, params)
 			}
 		} else if rng.Intn(2) == 0 {
-			if _, _, err := client.Update(app.Update("U1"), 1+rng.Intn(8)); err != nil {
+			if _, _, err := client.Update(context.Background(), app.Update("U1"), 1+rng.Intn(8)); err != nil {
 				t.Fatal(err)
 			}
 		} else {
@@ -152,7 +153,7 @@ func TestNetworkConsistencyRandomWorkload(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := client.Update(app.Update("U1"), int(nextID)); err != nil {
+			if _, _, err := client.Update(context.Background(), app.Update("U1"), int(nextID)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -164,12 +165,12 @@ func TestNetworkErrors(t *testing.T) {
 	defer done()
 	app := apps.Toystore()
 	// Unknown parameter type.
-	if _, err := client.Query(app.Query("Q2"), struct{}{}); err == nil {
+	if _, err := client.Query(context.Background(), app.Query("Q2"), struct{}{}); err == nil {
 		t.Error("bad parameter accepted")
 	}
 	// Dead node.
 	deadClient := NewClient(client.Codec, "http://127.0.0.1:1", nil)
-	if _, err := deadClient.Query(app.Query("Q2"), 5); err == nil {
+	if _, err := deadClient.Query(context.Background(), app.Query("Q2"), 5); err == nil {
 		t.Error("dead node did not error")
 	}
 }
@@ -192,7 +193,7 @@ func TestMetricsEndpointReplacesStats(t *testing.T) {
 	defer done()
 	seedToys(t, db)
 	app := apps.Toystore()
-	if _, err := client.Query(app.Query("Q2"), 5); err != nil {
+	if _, err := client.Query(context.Background(), app.Query("Q2"), 5); err != nil {
 		t.Fatal(err)
 	}
 	// The gob stats endpoint is gone.

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -51,16 +52,16 @@ func TestMetricsEndToEnd(t *testing.T) {
 
 	// Script: Q2(5) misses, Q2(5) hits, Q1("bear") misses, U1(5) kills the
 	// cached Q2(5) entry.
-	if r, err := client.Query(app.Query("Q2"), 5); err != nil || r.Outcome.Hit {
+	if r, err := client.Query(context.Background(), app.Query("Q2"), 5); err != nil || r.Outcome.Hit {
 		t.Fatalf("first Q2: hit=%v err=%v", r.Outcome.Hit, err)
 	}
-	if r, err := client.Query(app.Query("Q2"), 5); err != nil || !r.Outcome.Hit {
+	if r, err := client.Query(context.Background(), app.Query("Q2"), 5); err != nil || !r.Outcome.Hit {
 		t.Fatalf("second Q2: hit=%v err=%v", r.Outcome.Hit, err)
 	}
-	if r, err := client.Query(app.Query("Q1"), "bear"); err != nil || r.Outcome.Hit {
+	if r, err := client.Query(context.Background(), app.Query("Q1"), "bear"); err != nil || r.Outcome.Hit {
 		t.Fatalf("Q1: hit=%v err=%v", r.Outcome.Hit, err)
 	}
-	if _, invalidated, err := client.Update(app.Update("U1"), 5); err != nil || invalidated != 1 {
+	if _, invalidated, err := client.Update(context.Background(), app.Update("U1"), 5); err != nil || invalidated != 1 {
 		t.Fatalf("U1: invalidated=%d err=%v", invalidated, err)
 	}
 

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"sync"
@@ -34,17 +35,17 @@ func TestConcurrentNodeTraffic(t *testing.T) {
 			for i := 0; i < rounds; i++ {
 				switch w % 4 {
 				case 0: // point query, cacheable
-					if _, err := client.Query(app.Query("Q2"), 1+i%8); err != nil {
+					if _, err := client.Query(context.Background(), app.Query("Q2"), 1+i%8); err != nil {
 						t.Error(err)
 						return
 					}
 				case 1: // name query on another template
-					if _, err := client.Query(app.Query("Q1"), "bear"); err != nil {
+					if _, err := client.Query(context.Background(), app.Query("Q1"), "bear"); err != nil {
 						t.Error(err)
 						return
 					}
 				case 2: // deletes drive invalidation concurrently with lookups
-					if _, _, err := client.Update(app.Update("U1"), 100+w*rounds+i); err != nil {
+					if _, _, err := client.Update(context.Background(), app.Update("U1"), 100+w*rounds+i); err != nil {
 						t.Error(err)
 						return
 					}

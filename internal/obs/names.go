@@ -30,6 +30,25 @@ const (
 	// template ID, since the home server holds the keys).
 	MHomeQueries = "dssp_home_queries_total"
 	MHomeUpdates = "dssp_home_updates_total"
+
+	// Pipeline single-flight instrument: misses that joined an in-flight
+	// home-server fetch for the same sealed key instead of issuing their
+	// own. Registered eagerly by every pipeline so the simulator and the
+	// HTTP deployment expose identical shapes.
+	MCoalescedMisses = "dssp_pipeline_coalesced_misses_total"
+
+	// Home-server admission-control instruments: statements queued behind
+	// the concurrent-execution limit (gauge) and how long each statement
+	// waited for an execution slot (histogram, label: kind). The simulator
+	// mirrors both from its queueing model of the home CPU.
+	MHomeQueueDepth    = "dssp_home_queue_depth"
+	MHomeAdmissionWait = "dssp_home_admission_wait_seconds"
+
+	// HTTP deployment error counters, registered lazily on first error:
+	// response writes that failed mid-body (the client saw a truncated
+	// gob) and idempotent-query retries after connection errors.
+	MHTTPWriteErrors = "dssp_http_write_errors_total"
+	MHTTPRetries     = "dssp_http_retries_total"
 )
 
 // Label keys.

@@ -1,0 +1,264 @@
+// Package pipeline implements the paper's Figure 1/2 pathway exactly once:
+// cache lookup → miss → sealed forward to the home server → store → open,
+// and update forward → invalidate on completion. Every deployment mode of
+// the reproduction — the in-process client, the HTTP node, the
+// discrete-event simulator, and the experiment harness — is a thin adapter
+// over this package, so cross-cutting scale features (single-flight miss
+// coalescing here; sharding and batching later) land in one place and are
+// provably identical in all four.
+//
+// The pipeline is written in continuation-passing style: Query and Update
+// take a completion callback instead of returning, because the simulator's
+// transport resolves on virtual-time events, not on the caller's stack.
+// Synchronous transports (direct in-process calls, HTTP round trips)
+// invoke the callback before returning; QuerySync and UpdateSync wrap the
+// callback form for callers that want a plain blocking call.
+//
+// On the miss path the pipeline coalesces concurrent misses for the same
+// sealed cache key into a single home-server execution (single-flight).
+// The key is the wire-level lookup key, which is deterministic at every
+// exposure level — so coalescing works for blind traffic the DSSP cannot
+// read, and never crosses applications, whose keyrings make their keys
+// disjoint by construction.
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dssp/internal/obs"
+	"dssp/internal/wire"
+)
+
+// Cache is the DSSP node surface the pipeline drives: the cache lookup and
+// store halves of the query path, and invalidation monitoring for the
+// update path. *dssp.Node implements it.
+type Cache interface {
+	HandleQuery(q wire.SealedQuery) (wire.SealedResult, bool)
+	StoreResult(q wire.SealedQuery, r wire.SealedResult, empty bool)
+	OnUpdateCompleted(u wire.SealedUpdate) int
+}
+
+// ExecQueryResult is the home server's answer to a forwarded query: the
+// sealed result, the trusted side's emptiness hint (for the no-empty-
+// results caching policy), and the base rows scanned (the simulator's cost
+// model input).
+type ExecQueryResult struct {
+	Result  wire.SealedResult
+	Empty   bool
+	Scanned int
+}
+
+// Transport carries sealed wire messages from the node to the home server
+// and resolves done with the answer. Implementations may resolve
+// synchronously (in-process call, HTTP round trip) or from a later event
+// (the simulator's virtual-time links); the pipeline works identically
+// either way. done must be called exactly once.
+type Transport interface {
+	ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(ExecQueryResult, error))
+	ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(affected int, err error))
+}
+
+// QueryReply describes how the pipeline served one sealed query.
+type QueryReply struct {
+	Result wire.SealedResult
+	Hit    bool
+
+	// Coalesced reports that this miss shared another miss's in-flight
+	// home-server execution instead of issuing its own.
+	Coalesced bool
+
+	// Scanned is the base rows scanned at the home server (0 on a hit or
+	// a coalesced miss).
+	Scanned int
+}
+
+// UpdateReply describes one completed update: rows affected at the home
+// server and cache entries invalidated at this node.
+type UpdateReply struct {
+	Affected    int
+	Invalidated int
+}
+
+// Options configures a pipeline.
+type Options struct {
+	// DisableCoalescing turns off single-flight miss coalescing, so every
+	// concurrent miss issues its own home-server execution — the
+	// pre-pipeline behaviour, kept for the coalescing benchmark's
+	// baseline.
+	DisableCoalescing bool
+}
+
+// flight is one in-progress home-server fetch that concurrent misses on
+// the same sealed key attach to.
+type flight struct {
+	waiters []func(QueryReply, error)
+}
+
+// Pipeline is the shared query/update pathway of one DSSP node.
+type Pipeline struct {
+	cache     Cache
+	transport Transport
+	tracer    *obs.Tracer
+	reg       *obs.Registry
+	opts      Options
+
+	// coalesced counts misses that joined an existing flight. Registered
+	// eagerly so every deployment exposes the same metric shape.
+	coalesced *obs.Counter
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// New builds a pipeline over a node cache and a transport. tracer supplies
+// the clock and registry for the node-side stage spans (cache_lookup,
+// network, invalidate) and the end-to-end request histogram; nil disables
+// instrumentation.
+func New(cache Cache, transport Transport, tracer *obs.Tracer, opts Options) *Pipeline {
+	p := &Pipeline{
+		cache:     cache,
+		transport: transport,
+		tracer:    tracer,
+		reg:       tracer.Registry(),
+		opts:      opts,
+		flights:   make(map[string]*flight),
+	}
+	if p.reg != nil {
+		p.coalesced = p.reg.Counter(obs.MCoalescedMisses)
+	}
+	return p
+}
+
+// request records the end-to-end request histogram sample.
+func (p *Pipeline) request(kind, tmpl string, start time.Duration) {
+	if p.reg != nil {
+		p.reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, kind), obs.L(obs.LTemplate, tmpl)).
+			Observe(p.tracer.Now() - start)
+	}
+}
+
+// Query serves one sealed query: from the cache on a hit, through the
+// transport (single-flight per sealed key) on a miss. done is called
+// exactly once, possibly before Query returns (synchronous transports,
+// cache hits) and possibly on another goroutine (coalesced misses resolved
+// by the flight leader).
+func (p *Pipeline) Query(ctx context.Context, sq wire.SealedQuery, done func(QueryReply, error)) {
+	tmpl := obs.Tmpl(sq.TemplateID)
+	start := p.tracer.Now()
+	lk := p.tracer.Start(sq.TraceID, obs.StageLookup, tmpl)
+	res, hit := p.cache.HandleQuery(sq)
+	lk.End()
+	if hit {
+		p.request(obs.KindQuery, tmpl, start)
+		done(QueryReply{Result: res, Hit: true}, nil)
+		return
+	}
+
+	if !p.opts.DisableCoalescing {
+		p.mu.Lock()
+		if f, ok := p.flights[sq.Key]; ok {
+			// Join the in-flight fetch; the leader resolves us.
+			f.waiters = append(f.waiters, func(r QueryReply, err error) {
+				if err == nil {
+					p.request(obs.KindQuery, tmpl, start)
+				}
+				done(r, err)
+			})
+			p.mu.Unlock()
+			if p.coalesced != nil {
+				p.coalesced.Inc()
+			}
+			return
+		}
+		p.flights[sq.Key] = &flight{}
+		p.mu.Unlock()
+	}
+
+	net := p.tracer.Start(sq.TraceID, obs.StageNetwork, tmpl)
+	p.transport.ExecQuery(ctx, sq, func(er ExecQueryResult, err error) {
+		net.End()
+		if err == nil {
+			p.cache.StoreResult(sq, er.Result, er.Empty)
+		}
+
+		var waiters []func(QueryReply, error)
+		if !p.opts.DisableCoalescing {
+			p.mu.Lock()
+			if f := p.flights[sq.Key]; f != nil {
+				waiters = f.waiters
+				delete(p.flights, sq.Key)
+			}
+			p.mu.Unlock()
+		}
+
+		if err != nil {
+			done(QueryReply{}, err)
+			for _, w := range waiters {
+				w(QueryReply{}, err)
+			}
+			return
+		}
+		p.request(obs.KindQuery, tmpl, start)
+		done(QueryReply{Result: er.Result, Scanned: er.Scanned}, nil)
+		for _, w := range waiters {
+			w(QueryReply{Result: er.Result, Coalesced: true}, nil)
+		}
+	})
+}
+
+// Update routes one sealed update through the transport and, after the
+// home server confirms it, runs invalidation at this node (Figure 2). done
+// is called exactly once.
+func (p *Pipeline) Update(ctx context.Context, su wire.SealedUpdate, done func(UpdateReply, error)) {
+	tmpl := obs.Tmpl(su.TemplateID)
+	start := p.tracer.Now()
+	net := p.tracer.Start(su.TraceID, obs.StageNetwork, tmpl)
+	p.transport.ExecUpdate(ctx, su, func(affected int, err error) {
+		net.End()
+		if err != nil {
+			done(UpdateReply{}, err)
+			return
+		}
+		inv := p.tracer.Start(su.TraceID, obs.StageInvalidate, tmpl)
+		invalidated := p.cache.OnUpdateCompleted(su)
+		inv.End()
+		p.request(obs.KindUpdate, tmpl, start)
+		done(UpdateReply{Affected: affected, Invalidated: invalidated}, nil)
+	})
+}
+
+// QuerySync is the blocking form of Query for synchronous transports. It
+// returns early with ctx's error if the context ends first (the underlying
+// fetch still completes and populates the cache for later queries).
+func (p *Pipeline) QuerySync(ctx context.Context, sq wire.SealedQuery) (QueryReply, error) {
+	type outcome struct {
+		reply QueryReply
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	p.Query(ctx, sq, func(r QueryReply, err error) { ch <- outcome{r, err} })
+	select {
+	case o := <-ch:
+		return o.reply, o.err
+	case <-ctx.Done():
+		return QueryReply{}, ctx.Err()
+	}
+}
+
+// UpdateSync is the blocking form of Update for synchronous transports.
+func (p *Pipeline) UpdateSync(ctx context.Context, su wire.SealedUpdate) (UpdateReply, error) {
+	type outcome struct {
+		reply UpdateReply
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	p.Update(ctx, su, func(r UpdateReply, err error) { ch <- outcome{r, err} })
+	select {
+	case o := <-ch:
+		return o.reply, o.err
+	case <-ctx.Done():
+		return UpdateReply{}, ctx.Err()
+	}
+}

@@ -1,0 +1,278 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dssp/internal/obs"
+	"dssp/internal/wire"
+)
+
+// fakeCache is a by-key map standing in for the DSSP node cache.
+type fakeCache struct {
+	mu    sync.Mutex
+	store map[string]wire.SealedResult
+}
+
+func newFakeCache() *fakeCache {
+	return &fakeCache{store: make(map[string]wire.SealedResult)}
+}
+
+func (c *fakeCache) HandleQuery(q wire.SealedQuery) (wire.SealedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.store[q.Key]
+	return r, ok
+}
+
+func (c *fakeCache) StoreResult(q wire.SealedQuery, r wire.SealedResult, empty bool) {
+	if empty {
+		return
+	}
+	c.mu.Lock()
+	c.store[q.Key] = r
+	c.mu.Unlock()
+}
+
+func (c *fakeCache) OnUpdateCompleted(u wire.SealedUpdate) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.store)
+	c.store = make(map[string]wire.SealedResult)
+	return n
+}
+
+// gateTransport counts executions and can hold every ExecQuery at a gate
+// until the test releases it, so concurrent misses deterministically
+// overlap.
+type gateTransport struct {
+	execs  atomic.Int64
+	gate   chan struct{} // nil = resolve immediately
+	err    error
+	result wire.SealedResult
+}
+
+func (t *gateTransport) ExecQuery(_ context.Context, sq wire.SealedQuery, done func(ExecQueryResult, error)) {
+	t.execs.Add(1)
+	if t.gate != nil {
+		<-t.gate
+	}
+	done(ExecQueryResult{Result: t.result, Scanned: 1}, t.err)
+}
+
+func (t *gateTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(int, error)) {
+	t.execs.Add(1)
+	done(2, t.err)
+}
+
+func newTestPipeline(tr Transport, opts Options) (*Pipeline, *fakeCache, *obs.Registry) {
+	reg := obs.NewRegistry()
+	c := newFakeCache()
+	return New(c, tr, obs.NewTracer(reg, obs.WallClock()), opts), c, reg
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestMissStoresThenHits(t *testing.T) {
+	tr := &gateTransport{result: wire.SealedResult{Cipher: []byte("r")}}
+	p, _, _ := newTestPipeline(tr, Options{})
+	sq := wire.SealedQuery{Key: "k1"}
+
+	r, err := p.QuerySync(context.Background(), sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hit || r.Coalesced || r.Scanned != 1 {
+		t.Fatalf("first query: got %+v, want miss with Scanned=1", r)
+	}
+	r, err = p.QuerySync(context.Background(), sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Hit {
+		t.Fatalf("second query: got %+v, want hit", r)
+	}
+	if n := tr.execs.Load(); n != 1 {
+		t.Fatalf("home executions = %d, want 1", n)
+	}
+}
+
+func TestCoalescingSharesOneExecution(t *testing.T) {
+	const followers = 7
+	tr := &gateTransport{gate: make(chan struct{}), result: wire.SealedResult{Cipher: []byte("r")}}
+	p, _, reg := newTestPipeline(tr, Options{})
+	coalesced := reg.Counter(obs.MCoalescedMisses)
+	sq := wire.SealedQuery{Key: "hot"}
+
+	type reply struct {
+		r   QueryReply
+		err error
+	}
+	replies := make(chan reply, followers+1)
+	ask := func() {
+		r, err := p.QuerySync(context.Background(), sq)
+		replies <- reply{r, err}
+	}
+
+	go ask() // leader: reaches the transport and blocks at the gate
+	waitFor(t, "leader to reach transport", func() bool { return tr.execs.Load() == 1 })
+	for i := 0; i < followers; i++ {
+		go ask()
+	}
+	waitFor(t, "followers to join the flight", func() bool { return coalesced.Value() == followers })
+	close(tr.gate)
+
+	var lead, joined int
+	for i := 0; i < followers+1; i++ {
+		rep := <-replies
+		if rep.err != nil {
+			t.Fatal(rep.err)
+		}
+		if string(rep.r.Result.Cipher) != "r" {
+			t.Fatalf("reply result = %q, want %q", rep.r.Result.Cipher, "r")
+		}
+		if rep.r.Coalesced {
+			joined++
+		} else {
+			lead++
+		}
+	}
+	if lead != 1 || joined != followers {
+		t.Fatalf("got %d leaders, %d coalesced; want 1, %d", lead, joined, followers)
+	}
+	if n := tr.execs.Load(); n != 1 {
+		t.Fatalf("home executions = %d, want 1", n)
+	}
+}
+
+func TestCoalescingErrorPropagatesAndClearsFlight(t *testing.T) {
+	boom := errors.New("boom")
+	tr := &gateTransport{gate: make(chan struct{}), err: boom}
+	p, _, reg := newTestPipeline(tr, Options{})
+	sq := wire.SealedQuery{Key: "hot"}
+
+	errs := make(chan error, 2)
+	go func() { _, err := p.QuerySync(context.Background(), sq); errs <- err }()
+	waitFor(t, "leader to reach transport", func() bool { return tr.execs.Load() == 1 })
+	go func() { _, err := p.QuerySync(context.Background(), sq); errs <- err }()
+	waitFor(t, "follower to join the flight", func() bool {
+		return reg.Counter(obs.MCoalescedMisses).Value() == 1
+	})
+	close(tr.gate)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("error = %v, want %v", err, boom)
+		}
+	}
+
+	p.mu.Lock()
+	inFlight := len(p.flights)
+	p.mu.Unlock()
+	if inFlight != 0 {
+		t.Fatalf("flights left after failure = %d, want 0", inFlight)
+	}
+
+	// A failed flight must not poison the key: the next miss re-executes.
+	tr.err = nil
+	tr.gate = nil
+	if _, err := p.QuerySync(context.Background(), sq); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.execs.Load(); n != 2 {
+		t.Fatalf("home executions = %d, want 2 (failed + retried)", n)
+	}
+}
+
+func TestDisableCoalescing(t *testing.T) {
+	tr := &gateTransport{gate: make(chan struct{}), result: wire.SealedResult{Cipher: []byte("r")}}
+	p, _, reg := newTestPipeline(tr, Options{DisableCoalescing: true})
+	sq := wire.SealedQuery{Key: "hot"}
+
+	done := make(chan QueryReply, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := p.QuerySync(context.Background(), sq)
+			if err != nil {
+				t.Error(err)
+			}
+			done <- r
+		}()
+	}
+	waitFor(t, "both misses to reach transport", func() bool { return tr.execs.Load() == 2 })
+	close(tr.gate)
+	for i := 0; i < 2; i++ {
+		if r := <-done; r.Coalesced {
+			t.Fatalf("got coalesced reply with coalescing disabled: %+v", r)
+		}
+	}
+	if n := reg.Counter(obs.MCoalescedMisses).Value(); n != 0 {
+		t.Fatalf("coalesced counter = %d, want 0", n)
+	}
+}
+
+func TestCoalescingIsPerKey(t *testing.T) {
+	tr := &gateTransport{gate: make(chan struct{}), result: wire.SealedResult{Cipher: []byte("r")}}
+	p, _, reg := newTestPipeline(tr, Options{})
+
+	done := make(chan struct{}, 2)
+	go func() { p.QuerySync(context.Background(), wire.SealedQuery{Key: "a"}); done <- struct{}{} }()
+	go func() { p.QuerySync(context.Background(), wire.SealedQuery{Key: "b"}); done <- struct{}{} }()
+	// Distinct keys never share a flight: both must reach the transport.
+	waitFor(t, "both keys to reach transport", func() bool { return tr.execs.Load() == 2 })
+	close(tr.gate)
+	<-done
+	<-done
+	if n := reg.Counter(obs.MCoalescedMisses).Value(); n != 0 {
+		t.Fatalf("coalesced counter = %d, want 0", n)
+	}
+}
+
+func TestUpdateRunsInvalidation(t *testing.T) {
+	tr := &gateTransport{result: wire.SealedResult{Cipher: []byte("r")}}
+	p, _, _ := newTestPipeline(tr, Options{})
+	if _, err := p.QuerySync(context.Background(), wire.SealedQuery{Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.UpdateSync(context.Background(), wire.SealedUpdate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 || r.Invalidated != 1 {
+		t.Fatalf("update reply = %+v, want Affected=2 Invalidated=1", r)
+	}
+}
+
+// stuckTransport never resolves, for context-cancellation tests.
+type stuckTransport struct{}
+
+func (stuckTransport) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(ExecQueryResult, error)) {
+	go func() { <-ctx.Done() }()
+}
+func (stuckTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
+	go func() { <-ctx.Done() }()
+}
+
+func TestQuerySyncHonorsContext(t *testing.T) {
+	p, _, _ := newTestPipeline(stuckTransport{}, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.QuerySync(ctx, wire.SealedQuery{Key: "k"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if _, err := p.UpdateSync(ctx, wire.SealedUpdate{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package simrun_test
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"sort"
@@ -123,10 +124,10 @@ func TestMetricShapeParityWithHTTP(t *testing.T) {
 				}
 			}
 			if op.Template.Kind == template.KQuery {
-				if _, err := client.Query(op.Template, params...); err != nil {
+				if _, err := client.Query(context.Background(), op.Template, params...); err != nil {
 					t.Fatal(err)
 				}
-			} else if _, _, err := client.Update(op.Template, params...); err != nil {
+			} else if _, _, err := client.Update(context.Background(), op.Template, params...); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -6,6 +6,7 @@
 package simrun
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"dssp/internal/homeserver"
 	"dssp/internal/metrics"
 	"dssp/internal/obs"
+	"dssp/internal/pipeline"
 	"dssp/internal/sim"
 	"dssp/internal/storage"
 	"dssp/internal/template"
@@ -89,6 +91,114 @@ type Result struct {
 
 	// Traces holds the most recent per-stage spans (virtual time).
 	Traces []obs.SpanRecord
+
+	// Decisions and CacheDump fingerprint node 0's invalidation-decision
+	// log and final cache contents, for the adapter parity tests.
+	Decisions []cache.Decision
+	CacheDump []string
+}
+
+// simTransport carries sealed messages between one DSSP node and the home
+// server over the simulated links, implementing pipeline.Transport on
+// virtual-time events: done resolves when the response event arrives, not
+// on the caller's stack. The transport plays both roles of the deployment
+// — it charges the cost model for the home server's CPU (mirroring the
+// queue into the admission metrics the real home server registers) and,
+// being omniscient, opens sealed payloads to attribute home-side load to
+// true template IDs, exactly as the trusted side does in a real
+// deployment. It also fans each completed update out to the other nodes'
+// invalidation monitors one home-link propagation later (Figure 1 shows
+// several nodes; consistency is per-node).
+type simTransport struct {
+	world    *sim.Sim
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	codec    *wire.Codec
+	home     *homeserver.Server
+	homeCPU  *sim.Server
+	toHome   *sim.Link
+	fromHome *sim.Link
+	costs    workload.CostModel
+	network  workload.NetworkModel
+	nodes    []*dssp.Node
+	self     int
+	res      *Result
+
+	// Mirrors of the home server's admission instruments, fed from the
+	// simulated home CPU queue so the snapshot has the same shape as
+	// /v1/metrics in a real deployment.
+	queueDepth   *obs.Gauge
+	waitQ, waitU *obs.Histogram
+}
+
+// trueTemplate opens a sealed payload to recover the true template ID for
+// trusted-side (home server) attribution.
+func (t *simTransport) trueTemplate(opaque []byte) string {
+	tpl, _, err := t.codec.OpenPayload(opaque)
+	if err != nil {
+		panic(err)
+	}
+	return tpl.ID
+}
+
+func (t *simTransport) ExecQuery(_ context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
+	t.toHome.Send(t.costs.RequestBytes+len(sq.Opaque), func() {
+		sealed, empty, scanned, err := t.home.ExecQuery(sq)
+		if err != nil {
+			panic(err)
+		}
+		service := t.costs.HomeQueryBase + time.Duration(scanned)*t.costs.HomeQueryPerRow
+		submit := t.world.Now()
+		t.homeCPU.Submit(service, func() {
+			t.waitQ.Observe(t.world.Now() - submit - service)
+			t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
+			t.res.HomeQueries++
+			tID := t.trueTemplate(sq.Opaque)
+			t.tracer.Observe(sq.TraceID, obs.StageHomeExec, tID, t.world.Now()-service, service)
+			t.reg.Counter(obs.MHomeQueries, obs.L(obs.LTemplate, tID)).Inc()
+			t.fromHome.Send(sealed.Size(), func() {
+				done(pipeline.ExecQueryResult{Result: sealed, Empty: empty, Scanned: scanned}, nil)
+			})
+		})
+		t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
+	})
+}
+
+func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(int, error)) {
+	t.toHome.Send(t.costs.RequestBytes+len(su.Opaque), func() {
+		submit := t.world.Now()
+		t.homeCPU.Submit(t.costs.HomeUpdateCost, func() {
+			t.waitU.Observe(t.world.Now() - submit - t.costs.HomeUpdateCost)
+			t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
+			affected, err := t.home.ExecUpdate(su)
+			if err != nil {
+				panic(fmt.Sprintf("simrun: update: %v", err))
+			}
+			t.res.HomeUpdates++
+			tID := t.trueTemplate(su.Opaque)
+			t.tracer.Observe(su.TraceID, obs.StageHomeExec, tID, t.world.Now()-t.costs.HomeUpdateCost, t.costs.HomeUpdateCost)
+			t.reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, tID)).Inc()
+			// Every other node monitors the completed update too, one
+			// home-link propagation later; the issuing node invalidates in
+			// the pipeline when done resolves.
+			nodeTmpl := obs.Tmpl(su.TemplateID)
+			for oi, other := range t.nodes {
+				if oi == t.self {
+					continue
+				}
+				other := other
+				t.world.After(t.network.HomeLatency, func() {
+					invStart := t.world.Now()
+					t.res.Invalidations += other.OnUpdateCompleted(su)
+					t.tracer.Observe(su.TraceID, obs.StageInvalidate, nodeTmpl, invStart, 0)
+				})
+			}
+			t.fromHome.Send(64, func() {
+				done(affected, nil)
+			})
+		})
+		t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
+	})
 }
 
 // Simulate executes one run and returns its measurements. The run is
@@ -145,6 +255,25 @@ func Simulate(cfg Config) (*Result, error) {
 
 	res := &Result{Users: cfg.Users}
 
+	// Admission-instrument mirrors, registered eagerly (like
+	// homeserver.SetObs does) so the snapshot's shape matches /v1/metrics.
+	queueDepth := reg.Gauge(obs.MHomeQueueDepth)
+	waitQ := reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindQuery))
+	waitU := reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindUpdate))
+
+	// One pipeline per node — the same pathway every other deployment
+	// routes through — over a virtual-time transport.
+	pipes := make([]*pipeline.Pipeline, cfg.Nodes)
+	for i := range pipes {
+		tr := &simTransport{
+			world: &world, reg: reg, tracer: tracer, codec: codec,
+			home: home, homeCPU: homeCPU, toHome: toHome, fromHome: fromHome,
+			costs: cfg.Costs, network: cfg.Network, nodes: nodes, self: i, res: res,
+			queueDepth: queueDepth, waitQ: waitQ, waitU: waitU,
+		}
+		pipes[i] = pipeline.New(nodes[i], tr, tracer, pipeline.Options{})
+	}
+
 	// clientDelay models the per-client duplex access link (no cross-
 	// client contention: each client has its own link, §5.2).
 	clientDelay := func(size int, fn func()) {
@@ -156,54 +285,29 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 
 	// runOp performs one DB operation against the given node and calls
-	// done at the client when the op's response arrives. Each stage is
-	// observed with the same names/labels the real deployment records:
-	// trusted-side stages (seal, open, home_exec) under the true template
-	// ID, node-side stages under whatever the sealed message reveals.
-	var runOp func(ni int, op workload.Op, done func())
-	runOp = func(ni int, op workload.Op, done func()) {
-		node, dsspCPU := nodes[ni], nodeCPUs[ni]
+	// done at the client when the op's response arrives. The emulated
+	// client seals and opens (trusted-side stages under the true template
+	// ID); everything between rides the node's shared pipeline, which
+	// records the node-side stages under whatever the sealed message
+	// reveals.
+	runOp := func(ni int, op workload.Op, done func()) {
 		opStart := world.Now()
 		clientDelay(cfg.Costs.RequestBytes, func() {
-			dsspCPU.Submit(cfg.Costs.DSSPOpCost, func() {
+			nodeCPUs[ni].Submit(cfg.Costs.DSSPOpCost, func() {
 				if op.Template.Kind == template.KQuery {
 					sq, err := codec.SealQuery(op.Template, op.Params)
 					if err != nil {
 						panic(err)
 					}
 					tracer.Observe(sq.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
-					nodeTmpl := obs.Tmpl(sq.TemplateID)
-					tracer.Observe(sq.TraceID, obs.StageLookup, nodeTmpl, world.Now()-cfg.Costs.DSSPOpCost, cfg.Costs.DSSPOpCost)
-					finish := func(size int) {
-						clientDelay(size, func() {
-							tracer.Observe(sq.TraceID, obs.StageOpen, op.Template.ID, world.Now(), 0)
-							reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, obs.KindQuery), obs.L(obs.LTemplate, nodeTmpl)).Observe(world.Now() - opStart)
-							done()
-						})
-					}
-					if sealed, hit := node.HandleQuery(sq); hit {
-						res.Ops++
-						finish(sealed.Size())
-						return
-					}
-					// Miss: forward to the home server.
-					netStart := world.Now()
-					toHome.Send(cfg.Costs.RequestBytes+len(sq.Opaque), func() {
-						sealed, empty, scanned, err := home.ExecQuery(sq)
+					pipes[ni].Query(context.Background(), sq, func(reply pipeline.QueryReply, err error) {
 						if err != nil {
 							panic(err)
 						}
-						service := cfg.Costs.HomeQueryBase + time.Duration(scanned)*cfg.Costs.HomeQueryPerRow
-						homeCPU.Submit(service, func() {
-							res.HomeQueries++
-							tracer.Observe(sq.TraceID, obs.StageHomeExec, op.Template.ID, world.Now()-service, service)
-							reg.Counter(obs.MHomeQueries, obs.L(obs.LTemplate, op.Template.ID)).Inc()
-							fromHome.Send(sealed.Size(), func() {
-								tracer.Observe(sq.TraceID, obs.StageNetwork, nodeTmpl, netStart, world.Now()-netStart)
-								node.StoreResult(sq, sealed, empty)
-								res.Ops++
-								finish(sealed.Size())
-							})
+						res.Ops++
+						clientDelay(reply.Result.Size(), func() {
+							tracer.Observe(sq.TraceID, obs.StageOpen, op.Template.ID, world.Now(), 0)
+							done()
 						})
 					})
 					return
@@ -215,42 +319,13 @@ func Simulate(cfg Config) (*Result, error) {
 					panic(err)
 				}
 				tracer.Observe(su.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
-				nodeTmpl := obs.Tmpl(su.TemplateID)
-				netStart := world.Now()
-				toHome.Send(cfg.Costs.RequestBytes+len(su.Opaque), func() {
-					homeCPU.Submit(cfg.Costs.HomeUpdateCost, func() {
-						if _, err := home.ExecUpdate(su); err != nil {
-							panic(fmt.Sprintf("update %s%v: %v", op.Template.ID, op.Params, err))
-						}
-						res.HomeUpdates++
-						tracer.Observe(su.TraceID, obs.StageHomeExec, op.Template.ID, world.Now()-cfg.Costs.HomeUpdateCost, cfg.Costs.HomeUpdateCost)
-						reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, op.Template.ID)).Inc()
-						// Every node monitors the completed update; the
-						// non-issuing nodes learn of it one home-link
-						// propagation later.
-						for oi, other := range nodes {
-							if oi == ni {
-								continue
-							}
-							other := other
-							world.After(cfg.Network.HomeLatency, func() {
-								invStart := world.Now()
-								res.Invalidations += other.OnUpdateCompleted(su)
-								tracer.Observe(su.TraceID, obs.StageInvalidate, nodeTmpl, invStart, 0)
-							})
-						}
-						fromHome.Send(64, func() {
-							tracer.Observe(su.TraceID, obs.StageNetwork, nodeTmpl, netStart, world.Now()-netStart)
-							invStart := world.Now()
-							res.Invalidations += node.OnUpdateCompleted(su)
-							tracer.Observe(su.TraceID, obs.StageInvalidate, nodeTmpl, invStart, 0)
-							res.Ops++
-							clientDelay(64, func() {
-								reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, obs.KindUpdate), obs.L(obs.LTemplate, nodeTmpl)).Observe(world.Now() - opStart)
-								done()
-							})
-						})
-					})
+				pipes[ni].Update(context.Background(), su, func(reply pipeline.UpdateReply, err error) {
+					if err != nil {
+						panic(fmt.Sprintf("update %s%v: %v", op.Template.ID, op.Params, err))
+					}
+					res.Ops++
+					res.Invalidations += reply.Invalidated
+					clientDelay(64, done)
 				})
 			})
 		})
@@ -308,6 +383,8 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 	res.Metrics = reg.Snapshot()
 	res.Traces = tracer.Recent(256)
+	res.Decisions = nodes[0].Cache.Decisions()
+	res.CacheDump = nodes[0].Cache.Dump()
 	return res, nil
 }
 
