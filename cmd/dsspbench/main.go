@@ -12,6 +12,7 @@
 //	dsspbench -exp figure6 -pair U1/Q2    # one pair's invalidation probability matrix
 //	dsspbench -exp figure7                # exposure reduction per template
 //	dsspbench -exp route -app bboard      # invalidation-routing parity check
+//	dsspbench -exp batch -app auction     # batched invalidation: identical decisions, amortized walks
 //	dsspbench -exp figure8                # scalability per invalidation strategy
 //	dsspbench -exp security               # §5.4 security-enhancement summary
 //	dsspbench -exp coalesce               # single-flight miss coalescing under a hot-key storm
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|security|ablation|capacity|nodes|coalesce|obs|all")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|obs|all")
 	app := flag.String("app", "bboard", "application for figure4/route/obs: auction|bboard|bookstore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
@@ -180,8 +181,21 @@ func run(exp, app, pair string, opts experiments.RunOptions) error {
 			return err
 		}
 		fmt.Println(r.Format())
+	case "batch":
+		b, err := benchmark(app)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.BatchInvalidation(b, 400, opts.Seed, []int{1, 4, 8, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if !r.Passed() {
+			return fmt.Errorf("batched invalidation diverged")
+		}
 	case "all":
-		for _, e := range []string{"table2", "table4", "table7", "figure4", "figure6", "figure7", "route", "security", "coalesce", "figure3", "figure8", "ablation", "capacity", "nodes"} {
+		for _, e := range []string{"table2", "table4", "table7", "figure4", "figure6", "figure7", "route", "batch", "security", "coalesce", "figure3", "figure8", "ablation", "capacity", "nodes"} {
 			if err := run(e, app, pair, opts); err != nil {
 				return err
 			}

@@ -39,6 +39,7 @@ func main() {
 	keyPhrase := flag.String("key", "", "key phrase shared with clients (required)")
 	seed := flag.Int64("seed", 1, "benchmark data seed")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing statements, FIFO queue beyond (0 = unbounded)")
+	monitor := flag.Duration("monitor-interval", 0, "hold update confirmations and release them once per interval (0 = confirm immediately)")
 	flag.Parse()
 
 	if *keyPhrase == "" {
@@ -54,6 +55,7 @@ func main() {
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), nil)
 	home := homeserver.New(db, app, codec)
 	home.SetAdmissionLimit(*maxConcurrent)
+	home.SetMonitoringInterval(*monitor)
 
 	log.Printf("home server for %q on %s (%d query templates, %d update templates, metrics: GET %s)",
 		app.Name, *addr, len(app.Queries), len(app.Updates), httpapi.PathMetrics)

@@ -35,6 +35,7 @@ func main() {
 	home := flag.String("home", "http://localhost:8401", "home server base URL")
 	capacity := flag.Int("capacity", 0, "cache capacity in entries (0 = unbounded)")
 	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (§4.5)")
+	monitor := flag.Duration("monitor-interval", 0, "batch invalidation per monitoring interval (0 = invalidate inline per update)")
 	flag.Parse()
 
 	app, err := resolveApp(*appName)
@@ -44,10 +45,12 @@ func main() {
 	}
 	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
 	node := dssp.NewNode(app, analysis, cache.Options{Capacity: *capacity})
-	srv := httpapi.NewNodeServer(node, *home, nil)
+	srv := httpapi.NewNodeServerWithOptions(node, *home, nil, httpapi.NodeOptions{
+		MonitorInterval: *monitor,
+	})
 
-	log.Printf("DSSP node for %q on %s (home: %s, capacity: %d, metrics: GET %s)",
-		app.Name, *addr, *home, *capacity, httpapi.PathMetrics)
+	log.Printf("DSSP node for %q on %s (home: %s, capacity: %d, monitor interval: %v, metrics: GET %s)",
+		app.Name, *addr, *home, *capacity, *monitor, httpapi.PathMetrics)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"sort"
+	"time"
+
+	"dssp/internal/invalidate"
+	"dssp/internal/obs"
+	"dssp/internal/wire"
+)
+
+// Batched invalidation. The paper's DSSP learns of completed updates by
+// monitoring the update stream (§2.2) — an interval-batched process — so
+// updates arrive at the cache in groups. OnUpdateBatch applies a group in
+// one pass: it merges the routing index's affected-template sets across
+// the batch and locks and probes each bucket once per batch instead of
+// once per update, applying the batch's updates to the bucket in order
+// while it holds the lock. The decisions are identical, per update and in
+// update order, to calling OnUpdate sequentially: a decision depends only
+// on the update instance and the bucket-local state, bucket-local state
+// after k in-order applications is the same either way, and cross-bucket
+// state is never consulted. Only Stats.BucketWalks — the physical
+// lock-and-probe work — shrinks.
+
+// updatePlan is one batch member's routing decision, made before any lock
+// is taken, plus its share of the batch's outcome, emitted to the decision
+// log after the walk.
+type updatePlan struct {
+	u    wire.SealedUpdate
+	uLbl string
+	ui   invalidate.UpdateInstance
+
+	// blind marks an update the cache cannot steer by: a hidden template
+	// ID, or one this application does not know. It drops every bucket it
+	// reaches, exactly as OnUpdate's dropAllBuckets does.
+	blind  bool
+	routed bool
+	ids    []string // visit order for the decision log
+	idSet  map[string]bool
+
+	hidden    *Decision           // the hidden-bucket decision, first update only
+	perBucket map[string]Decision // decisions made during the walk, keyed by bucket
+}
+
+// OnUpdateBatch applies a monitoring interval's worth of completed updates
+// in one amortized pass and returns the total number of entries
+// invalidated. See OnUpdateBatchCounts for per-update counts.
+func (c *Cache) OnUpdateBatch(us []wire.SealedUpdate) int {
+	total := 0
+	for _, n := range c.OnUpdateBatchCounts(us) {
+		total += n
+	}
+	return total
+}
+
+// OnUpdateBatchCounts is OnUpdateBatch reporting per-update invalidation
+// counts: counts[i] is exactly what OnUpdate(us[i]) would have returned
+// had the batch been applied sequentially.
+func (c *Cache) OnUpdateBatchCounts(us []wire.SealedUpdate) []int {
+	counts := make([]int, len(us))
+	if len(us) == 0 {
+		return counts
+	}
+	c.updatesSeen.Add(int64(len(us)))
+	c.updatesC.Add(int64(len(us)))
+	// The shared histogram buckets durations at 1µs·2^i; encoding a batch
+	// of n updates as n microseconds makes bucket i read "batches of up
+	// to 2^i updates" (see obs.MCacheBatchSize).
+	c.batchSizes.Observe(time.Duration(len(us)) * time.Microsecond)
+
+	router := c.inv.Router()
+	plans := make([]*updatePlan, len(us))
+	anyBlind := false
+	for i, u := range us {
+		p := &updatePlan{u: u, uLbl: obs.Tmpl(u.TemplateID), perBucket: make(map[string]Decision)}
+		ut := c.app.Update(u.TemplateID)
+		if u.TemplateID == "" || ut == nil {
+			p.blind = true
+			anyBlind = true
+		} else {
+			ids, known := router.Affected(u.TemplateID)
+			p.routed = known && !c.opts.DisableRouting
+			if !p.routed {
+				ids = make([]string, 0, len(c.app.Queries))
+				for _, qt := range c.app.Queries {
+					ids = append(ids, qt.ID)
+				}
+			}
+			p.ids = ids
+			p.idSet = make(map[string]bool, len(ids))
+			for _, id := range ids {
+				p.idSet[id] = true
+			}
+			p.ui = invalidate.UpdateInstance{Template: ut, Params: u.Params}
+		}
+		plans[i] = p
+	}
+
+	// Hidden-template entries can only be handled blindly; every update
+	// drops the hidden bucket, so one probe serves the whole batch and
+	// the batch's first update owns the decision (sequentially, later
+	// updates find the bucket already empty and record nothing).
+	{
+		s := c.shardFor("")
+		s.mu.Lock()
+		c.countWalk()
+		if bucket := s.buckets[""]; len(bucket) > 0 {
+			removed := collect(bucket)
+			delete(s.buckets, "")
+			c.unlink(removed)
+			s.mu.Unlock()
+			c.entries.Add(int64(-len(removed)))
+			p := plans[0]
+			p.hidden = &Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: obs.BlindTemplate, Class: invalidate.Blind.String(), Dropped: len(removed)}
+			counts[0] += len(removed)
+		} else {
+			s.mu.Unlock()
+		}
+	}
+
+	// The merged visit set: the union of the batch's affected-template
+	// lists, grouped by shard. Blind members additionally visit every
+	// bucket that exists when their shard comes up, exactly the set
+	// dropAllBuckets would have walked (buckets only shrink during a
+	// batch — no store runs inside it — so nothing is missed).
+	seen := make(map[string]bool)
+	perShard := make(map[*shard][]string)
+	for _, p := range plans {
+		for _, id := range p.ids {
+			if seen[id] || c.app.Query(id) == nil {
+				continue
+			}
+			seen[id] = true
+			s := c.shardFor(id)
+			perShard[s] = append(perShard[s], id)
+		}
+	}
+
+	for _, s := range c.shards {
+		ids := perShard[s]
+		if len(ids) == 0 && !anyBlind {
+			continue
+		}
+		s.mu.Lock()
+		if anyBlind {
+			for id := range s.buckets {
+				if id != "" && !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+		}
+		freed := 0
+		for _, id := range ids {
+			c.countWalk()
+			bucket := s.buckets[id]
+			if len(bucket) == 0 {
+				continue
+			}
+			qt := c.app.Query(id)
+			for k, p := range plans {
+				if len(bucket) == 0 {
+					break // emptied by an earlier update of this batch
+				}
+				if p.blind {
+					removed := collect(bucket)
+					delete(s.buckets, id)
+					c.unlink(removed)
+					freed += len(removed)
+					counts[k] += len(removed)
+					p.perBucket[id] = Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: id, Class: invalidate.Blind.String(), Dropped: len(removed)}
+					bucket = nil
+					continue
+				}
+				if !p.idSet[id] || qt == nil {
+					continue // not an affected bucket for this update
+				}
+				class, removed := c.applyToBucket(s, id, qt, p.u, p.ui, bucket, router)
+				freed += len(removed)
+				counts[k] += len(removed)
+				p.perBucket[id] = Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: id, Class: class.String(), Dropped: len(removed)}
+				if _, live := s.buckets[id]; !live {
+					bucket = nil // whole-bucket drop
+				}
+			}
+		}
+		s.mu.Unlock()
+		if freed > 0 {
+			c.entries.Add(int64(-freed))
+		}
+	}
+
+	// Emit the decision log update-major, reproducing OnUpdate's order
+	// exactly: the hidden-bucket decision first, then — per update — its
+	// bucket decisions in affected-list order (blind updates: sorted by
+	// bucket ID, as dropAllBuckets records them), then its routing skips.
+	for _, p := range plans {
+		if p.hidden != nil {
+			c.record(*p.hidden)
+		}
+		if p.blind {
+			ids := make([]string, 0, len(p.perBucket))
+			for id := range p.perBucket {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				c.record(p.perBucket[id])
+			}
+			continue
+		}
+		for _, id := range p.ids {
+			if d, ok := p.perBucket[id]; ok {
+				c.record(d)
+			}
+		}
+		if p.routed {
+			if n, ok := router.Skipped(p.u.TemplateID); ok && n > 0 {
+				c.decMu.Lock()
+				c.bucketsSkipped += n
+				c.decMu.Unlock()
+				c.skippedC.Add(int64(n))
+			}
+		}
+	}
+	return counts
+}

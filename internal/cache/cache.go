@@ -113,6 +113,14 @@ type Stats struct {
 	// bucket.
 	BucketsVisited int
 	BucketsSkipped int
+
+	// BucketWalks counts bucket probes made under a shard lock — the
+	// physical cost of invalidation, which batching amortizes. Unlike
+	// BucketsVisited (logical decisions, identical batched or sequential),
+	// a probe is counted even when the bucket turns out empty, and a batch
+	// probes each bucket of its merged affected set once instead of once
+	// per update.
+	BucketWalks int
 }
 
 // Decision is one entry of the invalidation-decision log: which update
@@ -162,10 +170,14 @@ type Cache struct {
 	shards [numShards]*shard
 
 	// lruMu guards the LRU list (bounded caches only) and the eviction
-	// count. It is never held together with a shard lock: insertion and
-	// eviction cross from shard to list (or back) in separate critical
-	// sections, with Entry.inLRU and pointer-identity checks absorbing
-	// the races.
+	// count. Lock order: a goroutine may acquire lruMu while holding a
+	// shard lock (Lookup's touch, Store's insert, invalidation's unlink
+	// all nest it), never the reverse — eviction takes the victim's shard
+	// lock with no other lock held. Keeping bucket membership and list
+	// membership in one critical section is what makes a removed entry
+	// stay removed: the old protocol (never hold both) let a concurrent
+	// invalidation slip between a store's bucket insert and its LRU link,
+	// resurrecting a dead entry into the list.
 	lruMu     sync.Mutex
 	lru       lruList
 	evictions int
@@ -180,6 +192,7 @@ type Cache struct {
 	bucketsSkipped int
 
 	updatesSeen atomic.Int64
+	bucketWalks atomic.Int64
 
 	reg        *obs.Registry
 	tenant     []obs.Label
@@ -188,6 +201,8 @@ type Cache struct {
 	updatesC   *obs.Counter
 	visitedC   *obs.Counter
 	skippedC   *obs.Counter
+	walksC     *obs.Counter
+	batchSizes *obs.Histogram
 	entries    *obs.Gauge
 }
 
@@ -218,6 +233,8 @@ func New(app *template.App, inv *invalidate.Invalidator, opts Options) *Cache {
 		updatesC:   reg.Counter(obs.MCacheUpdatesSeen, tenant...),
 		visitedC:   reg.Counter(obs.MCacheBucketsVisited, tenant...),
 		skippedC:   reg.Counter(obs.MCacheBucketsSkipped, tenant...),
+		walksC:     reg.Counter(obs.MCacheBucketWalks, tenant...),
+		batchSizes: reg.Histogram(obs.MCacheBatchSize, tenant...),
 		entries:    reg.Gauge(obs.MCacheEntries, tenant...),
 		decisions:  make([]Decision, logSize),
 	}
@@ -256,6 +273,13 @@ func (s *shard) tmpl(c *Cache, id string) *tmplInstruments {
 		s.perTmpl[id] = ti
 	}
 	return ti
+}
+
+// countWalk tallies one bucket probe made under a shard lock. Safe to
+// call while holding the lock — both sinks are atomic.
+func (c *Cache) countWalk() {
+	c.bucketWalks.Add(1)
+	c.walksC.Inc()
 }
 
 // record appends one invalidation decision to the bounded log and bumps
@@ -311,6 +335,7 @@ func (c *Cache) Stats() Stats {
 	st.Evictions = c.evictions
 	c.lruMu.Unlock()
 	st.UpdatesSeen = int(c.updatesSeen.Load())
+	st.BucketWalks = int(c.bucketWalks.Load())
 	return st
 }
 
@@ -344,9 +369,12 @@ func (c *Cache) Lookup(q wire.SealedQuery) (wire.SealedResult, bool) {
 	}
 	s.hits++
 	res := e.Result
+	// Touch while still holding the shard lock: the entry is provably in
+	// its bucket here, so it cannot be re-linked after a concurrent
+	// invalidation already removed it.
+	c.touch(e)
 	s.mu.Unlock()
 	ti.hits.Inc()
-	c.touch(e)
 	return res, true
 }
 
@@ -381,12 +409,19 @@ func (c *Cache) Store(q wire.SealedQuery, r wire.SealedResult, empty bool) {
 	old := b[q.Key]
 	b[q.Key] = e
 	s.stores++
+	// Link into the LRU inside the same critical section as the bucket
+	// insert, so no invalidation can observe the entry in its bucket but
+	// not in the list (or vice versa). Victims are evicted after the lock
+	// drops — evict takes the victim's own shard lock.
+	victims := c.trackInsert(e, old)
 	s.mu.Unlock()
 	if old == nil {
 		c.entries.Add(1)
 	}
 	c.storesC.Inc()
-	c.trackInsert(e, old)
+	for _, v := range victims {
+		c.evict(v)
+	}
 }
 
 // OnUpdate applies the mixed invalidation strategy for a completed update
@@ -451,11 +486,29 @@ func (c *Cache) visitBucket(id string, u wire.SealedUpdate, ui invalidate.Update
 	}
 	s := c.shardFor(id)
 	s.mu.Lock()
+	c.countWalk()
 	bucket := s.buckets[id]
 	if len(bucket) == 0 {
 		s.mu.Unlock()
 		return 0
 	}
+	class, removed := c.applyToBucket(s, id, qt, u, ui, bucket, router)
+	s.mu.Unlock()
+	if len(removed) > 0 {
+		c.entries.Add(int64(-len(removed)))
+	}
+	c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: id, Class: class.String(), Dropped: len(removed)})
+	return len(removed)
+}
+
+// applyToBucket applies one update instance against one non-empty bucket:
+// it picks the strategy class from the exposure pair, drops whole buckets
+// or individual entries accordingly, and unlinks whatever died from the
+// LRU. Called under the bucket's shard lock; the caller owns the entries
+// gauge and the decision log. Both the sequential OnUpdate path and the
+// batch walk funnel through here, which is what makes their decisions
+// identical by construction.
+func (c *Cache) applyToBucket(s *shard, id string, qt *template.Template, u wire.SealedUpdate, ui invalidate.UpdateInstance, bucket map[string]*Entry, router *invalidate.Router) (invalidate.Class, []*Entry) {
 	// All entries in a bucket share a template and hence an exposure.
 	var sample *Entry
 	for _, e := range bucket {
@@ -481,13 +534,8 @@ func (c *Cache) visitBucket(id string, u wire.SealedUpdate, ui invalidate.Update
 			}
 		}
 	}
-	s.mu.Unlock()
-	if len(removed) > 0 {
-		c.entries.Add(int64(-len(removed)))
-		c.unlink(removed)
-	}
-	c.record(Decision{Trace: u.TraceID, UpdateTemplate: uLbl, QueryTemplate: id, Class: class.String(), Dropped: len(removed)})
-	return len(removed)
+	c.unlink(removed)
+	return class, removed
 }
 
 // dropWholeBucket removes every entry of one bucket and returns how many
@@ -495,6 +543,7 @@ func (c *Cache) visitBucket(id string, u wire.SealedUpdate, ui invalidate.Update
 func (c *Cache) dropWholeBucket(id string) int {
 	s := c.shardFor(id)
 	s.mu.Lock()
+	c.countWalk()
 	bucket := s.buckets[id]
 	if len(bucket) == 0 {
 		s.mu.Unlock()
@@ -502,29 +551,33 @@ func (c *Cache) dropWholeBucket(id string) int {
 	}
 	removed := collect(bucket)
 	delete(s.buckets, id)
+	c.unlink(removed)
 	s.mu.Unlock()
 	c.entries.Add(int64(-len(removed)))
-	c.unlink(removed)
 	return len(removed)
 }
 
 // dropAllBuckets clears every template bucket (blind invalidation),
-// recording one decision per bucket in deterministic order.
+// recording one decision per bucket in deterministic order. Each shard
+// lock is held across its whole walk: releasing it mid-iteration — as an
+// earlier version did to unlink LRU entries — let a concurrent Store
+// insert into the map being ranged over, a fatal concurrent map
+// read/write. Deleting the current key during range is defined behaviour,
+// and unlink only takes lruMu, which nests under shard locks.
 func (c *Cache) dropAllBuckets(trace, uLbl string) int {
 	counts := make(map[string]int)
 	for _, s := range c.shards {
 		s.mu.Lock()
 		for id, bucket := range s.buckets {
+			c.countWalk()
 			if len(bucket) == 0 {
 				continue
 			}
 			removed := collect(bucket)
 			delete(s.buckets, id)
+			c.unlink(removed)
 			counts[id] = len(removed)
 			c.entries.Add(int64(-len(removed)))
-			s.mu.Unlock()
-			c.unlink(removed)
-			s.mu.Lock()
 		}
 		s.mu.Unlock()
 	}

@@ -7,16 +7,18 @@ package cache
 // paper's experiments (ten-minute runs never filled memory).
 //
 // The list is global across shards (recency is a property of the whole
-// cache, not a stripe) and lives under its own lock, lruMu. The locking
-// protocol is strict: a goroutine never holds a shard lock and lruMu at
-// the same time. Crossings between the two domains happen in separate
-// critical sections, which admits benign races — an entry can be evicted
-// from the list while another goroutine is dropping it from its shard, or
-// replaced in its shard while the list still links it. Entry.inLRU (list
-// membership, guarded by lruMu) and pointer-identity checks on the shard
-// side make every such interleaving converge: an entry is freed at most
-// once from each domain, and the capacity bound holds at every quiescent
-// point.
+// cache, not a stripe) and lives under its own lock, lruMu. Lock order:
+// lruMu nests inside shard locks — touch, trackInsert, and unlink all run
+// under the owning entry's shard lock and take lruMu within it; nothing
+// ever acquires a shard lock while holding lruMu. Keeping bucket and list
+// membership in one shard-lock critical section gives the invariant that
+// an entry is linked if and only if it sits in its bucket, up to the one
+// sanctioned exception: an eviction victim leaves the list first (under
+// the storing goroutine's shard lock) and its bucket second (evict, under
+// the victim's own shard lock, taken with no other lock held). Entry.inLRU
+// and evict's pointer-identity check make that window converge — an entry
+// is freed at most once from each domain, and the capacity bound holds at
+// every quiescent point.
 
 // lruList is an intrusive doubly linked list over cache entries, most
 // recently used at the front.
@@ -63,9 +65,10 @@ func (l *lruList) moveToFront(e *Entry) {
 	l.pushFront(e)
 }
 
-// touch marks an entry as recently used. Called without any shard lock
-// held. The inLRU check skips entries already evicted or invalidated
-// between the caller's shard read and this point.
+// touch marks an entry as recently used. Called under the entry's shard
+// lock, so the entry is still in its bucket; the inLRU check covers the
+// eviction window, where a victim has left the list but not yet its
+// bucket.
 func (c *Cache) touch(e *Entry) {
 	if c.opts.Capacity <= 0 {
 		return
@@ -77,13 +80,16 @@ func (c *Cache) touch(e *Entry) {
 	c.lruMu.Unlock()
 }
 
-// trackInsert registers a freshly stored entry — unlinking the bucket
-// entry it replaced, if any — and evicts least-recently-used entries
-// while the cache is over capacity. Called after the store's shard
-// critical section.
-func (c *Cache) trackInsert(e, replaced *Entry) {
+// trackInsert links a freshly stored entry — unlinking the bucket entry
+// it replaced, if any — and picks least-recently-used victims while the
+// cache is over capacity. Called under the storing shard's lock, in the
+// same critical section as the bucket insert, so no invalidation can run
+// between the two and resurrect a dead entry. The victims are returned
+// for the caller to evict after releasing the shard lock (evict takes the
+// victim's own shard lock).
+func (c *Cache) trackInsert(e, replaced *Entry) []*Entry {
 	if c.opts.Capacity <= 0 {
-		return
+		return nil
 	}
 	var victims []*Entry
 	c.lruMu.Lock()
@@ -100,15 +106,13 @@ func (c *Cache) trackInsert(e, replaced *Entry) {
 		victims = append(victims, v)
 	}
 	c.lruMu.Unlock()
-	for _, v := range victims {
-		c.evict(v)
-	}
+	return victims
 }
 
-// evict deletes an LRU victim from its shard bucket. The pointer-identity
-// check makes the delete a no-op when the victim already left its bucket
-// through another path (invalidation, or replacement by a concurrent
-// store of the same key).
+// evict deletes an LRU victim from its shard bucket. Called with no locks
+// held. The pointer-identity check makes the delete a no-op when the
+// victim already left its bucket through another path (invalidation, or
+// replacement by a concurrent store of the same key).
 func (c *Cache) evict(v *Entry) {
 	s := c.shardFor(v.Query.TemplateID)
 	removed := false
@@ -130,10 +134,11 @@ func (c *Cache) evict(v *Entry) {
 	}
 }
 
-// unlink removes invalidated entries from the LRU list. Called after the
-// invalidation's shard critical section.
+// unlink removes invalidated entries from the LRU list. Called under the
+// owning shard's lock, in the same critical section that removed the
+// entries from their bucket.
 func (c *Cache) unlink(removed []*Entry) {
-	if c.opts.Capacity <= 0 {
+	if c.opts.Capacity <= 0 || len(removed) == 0 {
 		return
 	}
 	c.lruMu.Lock()

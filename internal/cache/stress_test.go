@@ -65,6 +65,10 @@ func TestConcurrentStress(t *testing.T) {
 				storeWorkers  = 4
 				updateWorkers = 2
 				opsPerWorker  = 2000
+				batchWorkers  = 1 // feed updates through OnUpdateBatch
+				batchSize     = 8
+				blindWorkers  = 1 // blind passes exercise dropAllBuckets
+				blindOps      = opsPerWorker / 4
 			)
 			var wg sync.WaitGroup
 			for w := 0; w < lookupWorkers; w++ {
@@ -98,6 +102,30 @@ func TestConcurrentStress(t *testing.T) {
 					}
 				}()
 			}
+			for w := 0; w < batchWorkers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < opsPerWorker/batchSize; i++ {
+						batch := make([]wire.SealedUpdate, batchSize)
+						for j := range batch {
+							batch[j] = updates[(i*batchSize+j*3+w*23)%len(updates)]
+						}
+						c.OnUpdateBatch(batch)
+					}
+				}()
+			}
+			for w := 0; w < blindWorkers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					blind := wire.SealedUpdate{TraceID: "stress-blind"}
+					for i := 0; i < blindOps; i++ {
+						c.OnUpdate(blind)
+					}
+				}()
+			}
 			wg.Wait()
 
 			st := c.Stats()
@@ -107,7 +135,7 @@ func TestConcurrentStress(t *testing.T) {
 			if got, want := st.Stores, storeWorkers*opsPerWorker; got != want {
 				t.Errorf("stores = %d, want %d", got, want)
 			}
-			if got, want := st.UpdatesSeen, updateWorkers*opsPerWorker; got != want {
+			if got, want := st.UpdatesSeen, (updateWorkers+batchWorkers)*opsPerWorker+blindWorkers*blindOps; got != want {
 				t.Errorf("updates seen = %d, want %d", got, want)
 			}
 			if st.BucketsVisited == 0 || st.BucketsSkipped == 0 {

@@ -11,6 +11,7 @@ package dssp
 import (
 	"context"
 	"sync"
+	"time"
 
 	"dssp/internal/cache"
 	"dssp/internal/core"
@@ -52,6 +53,14 @@ func (n *Node) OnUpdateCompleted(u wire.SealedUpdate) int {
 	return n.Cache.OnUpdate(u)
 }
 
+// OnUpdatesCompleted runs invalidation for one monitoring interval's
+// batch of confirmed updates in a single amortized pass, returning
+// per-update invalidation counts (identical, update for update, to
+// sequential OnUpdateCompleted calls).
+func (n *Node) OnUpdatesCompleted(us []wire.SealedUpdate) []int {
+	return n.Cache.OnUpdateBatchCounts(us)
+}
+
 // Client is the trusted, application-side driver of the in-process
 // deployment: it seals statements, routes them through the shared
 // pipeline (direct transport to the home server), and opens results. The
@@ -67,6 +76,13 @@ type Client struct {
 	// every statement routed through the client. nil disables tracing.
 	Tracer *obs.Tracer
 
+	// MonitorInterval, when positive, batches this node's invalidation
+	// per monitoring interval (§2.2): updates confirm immediately at the
+	// home server but their cache invalidation — and the Update call's
+	// return — waits for the next interval flush. Set before the first
+	// statement; the pipeline is built once.
+	MonitorInterval time.Duration
+
 	pipeOnce sync.Once
 	pipe     *pipeline.Pipeline
 }
@@ -75,7 +91,8 @@ type Client struct {
 // from the client's node, home server, and tracer.
 func (c *Client) Pipeline() *pipeline.Pipeline {
 	c.pipeOnce.Do(func() {
-		c.pipe = pipeline.New(c.Node, pipeline.NewDirectTransport(c.Home), c.Tracer, pipeline.Options{})
+		c.pipe = pipeline.New(c.Node, pipeline.NewDirectTransport(c.Home), c.Tracer,
+			pipeline.Options{MonitorInterval: c.MonitorInterval})
 	})
 	return c.pipe
 }

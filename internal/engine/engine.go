@@ -20,6 +20,15 @@ import (
 )
 
 // Result is a materialized query result: the view cached by the DSSP.
+//
+// Ownership invariant: Rows never aliases storage. Every execution path
+// builds result rows from freshly allocated []sqlparse.Value slices
+// (projection copies value structs out of base rows; aggregation rows are
+// computed), and sqlparse.Value is a pure value type with no pointers or
+// slices. A Result is therefore immune to concurrent in-place mutation of
+// the base tables it was computed from — callers may hold, serialize, or
+// seal a Result after releasing the database lock. The homeserver relies
+// on this to seal query results outside its read lock.
 type Result struct {
 	Columns []string
 	Rows    [][]sqlparse.Value

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/dssp"
+	"dssp/internal/encrypt"
+	"dssp/internal/homeserver"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+	"dssp/internal/workload"
+)
+
+// BatchRun is one batch-size configuration's measurement: the same update
+// stream applied to an identically warmed cache, grouped into batches of
+// Size (the monitoring-interval model: every update confirmed within one
+// interval is invalidated in one pass).
+type BatchRun struct {
+	Size          int
+	Batches       int
+	Invalidations int
+	BucketWalks   int // physical bucket probes under a shard lock
+	LogIdentical  bool
+	DumpIdentical bool
+}
+
+// BatchResult certifies that batched invalidation is a pure amortization:
+// on the same sealed update stream, every batch size produces the exact
+// sequential decision log and final cache image while walking each
+// affected bucket once per batch instead of once per update.
+type BatchResult struct {
+	App     string
+	Pages   int
+	Queries int
+	Updates int
+	Entries int // cache entries at measurement start, identical per run
+
+	Sequential BatchRun // the per-update OnUpdate baseline
+	Runs       []BatchRun
+}
+
+// Passed reports whether every batch size reproduced the sequential
+// decisions exactly without ever walking more buckets.
+func (r *BatchResult) Passed() bool {
+	for _, run := range r.Runs {
+		if !run.LogIdentical || !run.DumpIdentical ||
+			run.Invalidations != r.Sequential.Invalidations ||
+			run.BucketWalks > r.Sequential.BucketWalks {
+			return false
+		}
+		if run.Size > 1 && run.BucketWalks >= r.Sequential.BucketWalks {
+			return false
+		}
+	}
+	return true
+}
+
+// WalkRatio reports sequential walks over the given batch size's walks —
+// the amortization factor the monitoring interval buys.
+func (r *BatchResult) WalkRatio(size int) float64 {
+	for _, run := range r.Runs {
+		if run.Size == size && run.BucketWalks > 0 {
+			return float64(r.Sequential.BucketWalks) / float64(run.BucketWalks)
+		}
+	}
+	return 0
+}
+
+// BatchInvalidation replays a seeded benchmark workload to warm one DSSP
+// node per batch-size configuration identically — every node stores the
+// same sealed results, and no invalidation runs during the warm phase —
+// then applies the workload's sealed update stream to each: sequentially
+// (one OnUpdate per update) to the baseline node, and grouped into
+// batches of each size to the others. Decision logs and cache dumps are
+// diffed byte for byte against the baseline.
+func BatchInvalidation(b workload.Benchmark, pages int, seed int64, sizes []int) (*BatchResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	app := b.App()
+	db := storage.NewDatabase(app.Schema)
+	if err := b.Populate(db, rng); err != nil {
+		return nil, err
+	}
+	master := make([]byte, encrypt.KeySize)
+	rng.Read(master)
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master), parityExposures(app))
+	analysis := core.Analyze(app, core.DefaultOptions())
+	home := homeserver.New(db, app, codec)
+
+	// Materialize the op stream first so every node replays identical
+	// sealed messages and the decision logs are sized so nothing wraps.
+	session := b.NewSession(rng)
+	var ops []workload.Op
+	updates := 0
+	for p := 0; p < pages; p++ {
+		page := session.NextPage()
+		ops = append(ops, page...)
+		for _, op := range page {
+			if op.Template.Kind != template.KQuery {
+				updates++
+			}
+		}
+	}
+	logSize := updates*(len(app.Queries)+2) + 16
+
+	nodes := make([]*dssp.Node, 1+len(sizes))
+	for i := range nodes {
+		nodes[i] = dssp.NewNode(app, analysis, cache.Options{DecisionLog: logSize})
+	}
+
+	// Warm phase: queries are cached on every node; updates execute on
+	// the home server (so later results reflect them) and are collected
+	// for the measurement phase, with no invalidation yet — all nodes
+	// reach the measurement start in the identical state.
+	res := &BatchResult{App: b.Name(), Pages: pages, Updates: updates}
+	var stream []wire.SealedUpdate
+	for _, op := range ops {
+		if op.Template.Kind == template.KQuery {
+			res.Queries++
+			sq, err := codec.SealQuery(op.Template, op.Params)
+			if err != nil {
+				return nil, err
+			}
+			var sealed wire.SealedResult
+			var empty, fetched bool
+			for _, n := range nodes {
+				if _, hit := n.HandleQuery(sq); hit {
+					continue
+				}
+				if !fetched {
+					sealed, empty, _, err = home.ExecQuery(sq)
+					if err != nil {
+						return nil, err
+					}
+					fetched = true
+				}
+				n.StoreResult(sq, sealed, empty)
+			}
+			continue
+		}
+		su, err := codec.SealUpdate(op.Template, op.Params)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := home.ExecUpdate(su); err != nil {
+			return nil, err
+		}
+		stream = append(stream, su)
+	}
+	res.Entries = nodes[0].Cache.Len()
+
+	// Measurement: the sequential baseline first, then each batch size.
+	base := nodes[0]
+	seq := BatchRun{Size: 1, Batches: len(stream), LogIdentical: true, DumpIdentical: true}
+	for _, su := range stream {
+		seq.Invalidations += base.OnUpdateCompleted(su)
+	}
+	seq.BucketWalks = base.Cache.Stats().BucketWalks
+	res.Sequential = seq
+	baseLog, baseDump := base.Cache.Decisions(), base.Cache.Dump()
+
+	for i, size := range sizes {
+		if size < 1 {
+			return nil, fmt.Errorf("batch size %d", size)
+		}
+		n := nodes[1+i]
+		run := BatchRun{Size: size}
+		for off := 0; off < len(stream); off += size {
+			end := off + size
+			if end > len(stream) {
+				end = len(stream)
+			}
+			for _, inv := range n.OnUpdatesCompleted(stream[off:end]) {
+				run.Invalidations += inv
+			}
+			run.Batches++
+		}
+		run.BucketWalks = n.Cache.Stats().BucketWalks
+		run.LogIdentical = reflect.DeepEqual(n.Cache.Decisions(), baseLog)
+		run.DumpIdentical = reflect.DeepEqual(n.Cache.Dump(), baseDump)
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// Format renders the batching summary.
+func (r *BatchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batched invalidation on the %s workload (%d pages: %d queries, %d updates; %d warm entries)\n\n",
+		r.App, r.Pages, r.Queries, r.Updates, r.Entries)
+	rows := [][]string{{"batch size", "batches", "invalidations", "bucket walks", "walk ratio", "log", "dump"}}
+	row := func(run BatchRun, name string) []string {
+		ratio := "1.00x"
+		if run.BucketWalks > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(r.Sequential.BucketWalks)/float64(run.BucketWalks))
+		}
+		tick := func(ok bool) string {
+			if ok {
+				return "identical"
+			}
+			return "DIVERGED"
+		}
+		return []string{name, fmt.Sprint(run.Batches), fmt.Sprint(run.Invalidations),
+			fmt.Sprint(run.BucketWalks), ratio, tick(run.LogIdentical), tick(run.DumpIdentical)}
+	}
+	rows = append(rows, row(r.Sequential, "sequential"))
+	for _, run := range r.Runs {
+		rows = append(rows, row(run, fmt.Sprint(run.Size)))
+	}
+	table(&b, rows)
+	verdict := "IDENTICAL decisions, amortized walks"
+	if !r.Passed() {
+		verdict = "DIVERGED"
+	}
+	fmt.Fprintf(&b, "\nverdict: %s\n", verdict)
+	return b.String()
+}

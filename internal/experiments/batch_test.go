@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/workload"
+)
+
+// TestBatchParity is the acceptance check for batched invalidation: on a
+// seeded benchmark replay, every batch size must reproduce the sequential
+// per-update decision log and final cache image byte for byte, with
+// strictly fewer physical bucket walks for any batch size above 1.
+func TestBatchParity(t *testing.T) {
+	for _, b := range []workload.Benchmark{apps.NewAuction(), apps.NewBBoard(), apps.NewBookstore()} {
+		r, err := BatchInvalidation(b, 150, 7, []int{1, 4, 32})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if !r.Passed() {
+			t.Errorf("%s: batched invalidation diverged:\n%s", b.Name(), r.Format())
+		}
+		if r.Updates == 0 || r.Entries == 0 {
+			t.Fatalf("%s: degenerate replay (%d updates, %d entries)", b.Name(), r.Updates, r.Entries)
+		}
+		for _, run := range r.Runs {
+			if run.Size == 1 && run.BucketWalks != r.Sequential.BucketWalks {
+				t.Errorf("%s: batch size 1 walked %d buckets, sequential %d — size 1 must cost exactly the inline path",
+					b.Name(), run.BucketWalks, r.Sequential.BucketWalks)
+			}
+		}
+	}
+}
+
+// TestBatchAmortizationFloor pins the headline number: batch size 8 on the
+// auction workload amortizes at least 2x of the sequential bucket walks.
+func TestBatchAmortizationFloor(t *testing.T) {
+	r, err := BatchInvalidation(apps.NewAuction(), 400, 1, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		t.Fatalf("diverged:\n%s", r.Format())
+	}
+	if ratio := r.WalkRatio(8); ratio < 2 {
+		t.Errorf("walk ratio at batch 8 = %.2fx, want >= 2x\n%s", ratio, r.Format())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dssp/internal/engine"
 	"dssp/internal/obs"
@@ -38,6 +39,7 @@ type Server struct {
 
 	mu  sync.RWMutex // guards DB during statement execution
 	adm admission    // bounds concurrent executions, FIFO
+	mon monitorGate  // releases update confirmations per monitoring interval
 
 	queries atomic.Int64
 	updates atomic.Int64
@@ -71,7 +73,20 @@ func (s *Server) SetObs(reg *obs.Registry, clock obs.Clock) {
 	s.queueDepth = reg.Gauge(obs.MHomeQueueDepth)
 	s.waitQ = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindQuery))
 	s.waitU = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindUpdate))
+	s.mon.releases = reg.Counter(obs.MHomeMonitorReleases)
 }
+
+// SetMonitoringInterval makes the server confirm completed updates in
+// batches, once per interval (§2.2: the DSSP learns of updates by
+// monitoring the update stream, an inherently interval-batched process).
+// An update is applied to the master database immediately, but its
+// confirmation — the response the DSSP's invalidation monitor acts on —
+// is held until the interval boundary, so every node sees one batch of
+// confirmations per interval and can amortize its bucket walks across it.
+// 0 (the default) confirms each update as it completes. Set before
+// serving traffic. The interval runs on the wall clock; the simulator
+// models the interval at the node batcher on virtual time instead.
+func (s *Server) SetMonitoringInterval(d time.Duration) { s.mon.setInterval(d) }
 
 // SetAdmissionLimit bounds how many statements may execute concurrently
 // (0 = unbounded, the default). Excess statements wait in FIFO order;
@@ -120,6 +135,11 @@ func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bo
 	}
 	s.queries.Add(1)
 	s.reg.Counter(obs.MHomeQueries, obs.L(obs.LTemplate, t.ID)).Inc()
+	// Sealing happens outside the read lock: engine.Result's ownership
+	// invariant guarantees result rows never alias storage rows, so a
+	// concurrent ExecUpdate mutating the same table cannot race with the
+	// serialization here (regression-tested under -race in
+	// TestConcurrentQueryUpdateSeal).
 	return s.Codec.SealResult(t, r), r.Len() == 0, r.RowsScanned, nil
 }
 
@@ -145,5 +165,56 @@ func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
 	}
 	s.updates.Add(1)
 	s.reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, t.ID)).Inc()
+	// The update is applied; hold its confirmation until the monitoring
+	// interval releases the batch (no-op when no interval is set). After
+	// the admission slot is released, so a parked confirmation never
+	// blocks other statements from executing.
+	s.mon.await()
 	return n, nil
+}
+
+// monitorGate parks update confirmations until the monitoring interval
+// expires and then releases them together. The first update to arrive in
+// an idle interval opens an epoch (a channel all updates of the interval
+// wait on) and arms its timer; the timer closes the channel, releasing
+// every parked confirmation at once.
+type monitorGate struct {
+	mu       sync.Mutex
+	interval time.Duration
+	epoch    chan struct{}
+	releases *obs.Counter
+}
+
+func (g *monitorGate) setInterval(d time.Duration) {
+	g.mu.Lock()
+	g.interval = d
+	g.mu.Unlock()
+}
+
+func (g *monitorGate) await() {
+	g.mu.Lock()
+	if g.interval <= 0 {
+		g.mu.Unlock()
+		return
+	}
+	if g.epoch == nil {
+		g.epoch = make(chan struct{})
+		ch := g.epoch
+		time.AfterFunc(g.interval, func() { g.release(ch) })
+	}
+	ch := g.epoch
+	g.mu.Unlock()
+	<-ch
+}
+
+func (g *monitorGate) release(ch chan struct{}) {
+	g.mu.Lock()
+	if g.epoch == ch {
+		g.epoch = nil
+	}
+	if g.releases != nil {
+		g.releases.Inc()
+	}
+	g.mu.Unlock()
+	close(ch)
 }

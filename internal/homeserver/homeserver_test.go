@@ -1,10 +1,14 @@
 package homeserver
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"dssp/internal/apps"
 	"dssp/internal/encrypt"
+	"dssp/internal/obs"
+	"dssp/internal/schema"
 	"dssp/internal/sqlparse"
 	"dssp/internal/storage"
 	"dssp/internal/template"
@@ -96,5 +100,148 @@ func TestTamperedPayloadRejected(t *testing.T) {
 	bad[len(bad)-1] ^= 1
 	if _, _, _, err := s.ExecQuery(wire.SealedQuery{Opaque: bad}); err == nil {
 		t.Error("tampered payload accepted")
+	}
+}
+
+// TestConcurrentQueryUpdateSeal regression-tests the ownership invariant
+// ExecQuery relies on: it seals results after dropping the read lock, which
+// is only safe because engine.Result rows never alias storage rows. The
+// update template here is an in-place modification (UPDATE ... SET), the
+// one update kind that mutates stored rows directly — if a result row
+// aliased storage, the serialization in SealResult would race with it and
+// the race detector would flag this test.
+func TestConcurrentQueryUpdateSeal(t *testing.T) {
+	sch := schema.New()
+	sch.MustAddTable("toys", []schema.Column{
+		{Name: "toy_id", Type: schema.TInt},
+		{Name: "toy_name", Type: schema.TString},
+		{Name: "qty", Type: schema.TInt},
+	}, "toy_id")
+	app := &template.App{
+		Name:   "race-toystore",
+		Schema: sch,
+		Queries: []*template.Template{
+			template.MustNew("Q1", sch, "SELECT toy_id, qty FROM toys WHERE qty >= ?"),
+			template.MustNew("Q2", sch, "SELECT qty FROM toys WHERE toy_id=?"),
+		},
+		Updates: []*template.Template{
+			template.MustNew("U1", sch, "UPDATE toys SET qty=? WHERE toy_id=?"),
+		},
+	}
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	const rows = 32
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("toys", storage.Row{
+			sqlparse.IntVal(int64(i)), sqlparse.StringVal("toy"), sqlparse.IntVal(0),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(db, app, codec)
+
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				su, err := codec.SealUpdate(app.Update("U1"),
+					[]sqlparse.Value{sqlparse.IntVal(int64(i)), sqlparse.IntVal((seed + int64(i)) % rows)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.ExecUpdate(su); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w) * 7)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qt, params := app.Query("Q1"), []sqlparse.Value{sqlparse.IntVal(0)}
+			if w%2 == 1 {
+				qt, params = app.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(int64(w))}
+			}
+			for i := 0; i < iters; i++ {
+				sq, err := codec.SealQuery(qt, params)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, _, _, err := s.ExecQuery(sq)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := codec.OpenResult(res); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestMonitoringIntervalBatchesConfirmations checks the home-side monitor
+// gate: with an interval set, updates are applied immediately but their
+// confirmations are parked and released together, one release per
+// interval epoch.
+func TestMonitoringIntervalBatchesConfirmations(t *testing.T) {
+	s, codec, app := testServer(t)
+	for i := int64(6); i < 9; i++ {
+		if err := s.DB.Insert("toys", storage.Row{
+			sqlparse.IntVal(i), sqlparse.StringVal("spare"), sqlparse.IntVal(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetMonitoringInterval(80 * time.Millisecond)
+
+	const updates = 3
+	done := make(chan struct{}, updates)
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		su, err := codec.SealUpdate(app.Update("U1"), []sqlparse.Value{sqlparse.IntVal(int64(6 + i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			if _, err := s.ExecUpdate(su); err != nil {
+				t.Error(err)
+			}
+			done <- struct{}{}
+		}()
+	}
+
+	// The updates are applied (and visible) well before their
+	// confirmations release.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.UpdatesApplied() < updates {
+		if time.Now().After(deadline) {
+			t.Fatal("updates not applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("confirmation released before the interval expired")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	for i := 0; i < updates; i++ {
+		<-done
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("confirmations released after %v, want >= interval", elapsed)
+	}
+	if n := s.Obs().Counter(obs.MHomeMonitorReleases).Value(); n != 1 {
+		t.Errorf("monitor releases = %d, want 1 (one epoch for the whole batch)", n)
 	}
 }

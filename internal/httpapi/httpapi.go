@@ -277,11 +277,25 @@ func (t httpTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, don
 	done(exec.Affected, err)
 }
 
+// NodeOptions tune a node server beyond its wiring.
+type NodeOptions struct {
+	// MonitorInterval batches the node's invalidation per monitoring
+	// interval: confirmed updates accumulate and are applied to the cache
+	// together when the interval expires, amortizing bucket walks. 0
+	// invalidates inline per update.
+	MonitorInterval time.Duration
+}
+
 // NewNodeServer wires a node to its home server endpoint. The server
 // adopts the node cache's registry so cache counters and node-side stage
 // histograms appear in one /v1/metrics snapshot. A nil client gets a
 // DefaultTimeout-bounded one.
 func NewNodeServer(node *dssp.Node, homeURL string, client *http.Client) *NodeServer {
+	return NewNodeServerWithOptions(node, homeURL, client, NodeOptions{})
+}
+
+// NewNodeServerWithOptions is NewNodeServer with tuning options.
+func NewNodeServerWithOptions(node *dssp.Node, homeURL string, client *http.Client, opts NodeOptions) *NodeServer {
 	client = defaultClient(client)
 	reg := node.Cache.Obs()
 	tracer := obs.NewTracer(reg, obs.WallClock())
@@ -292,7 +306,7 @@ func NewNodeServer(node *dssp.Node, homeURL string, client *http.Client) *NodeSe
 		Reg:     reg,
 		Tracer:  tracer,
 		Pipe: pipeline.New(node, httpTransport{client: client, homeURL: homeURL, reg: reg},
-			tracer, pipeline.Options{}),
+			tracer, pipeline.Options{MonitorInterval: opts.MonitorInterval}),
 	}
 }
 

@@ -20,6 +20,16 @@ const (
 	MCacheBucketsVisited = "dssp_cache_invalidation_buckets_visited_total"
 	MCacheBucketsSkipped = "dssp_cache_invalidation_buckets_skipped_total"
 
+	// Invalidation batching instruments (label: tenant on multi-tenant
+	// nodes). Bucket walks count every bucket probe made under a shard
+	// lock — the physical work batching amortizes, as opposed to
+	// buckets_visited, which counts logical decisions and is identical
+	// batched or not. The batch-size histogram reuses the shared
+	// log₂-bucketed duration histogram by encoding a batch of n updates
+	// as n microseconds, so bucket i holds batches of up to 2^i updates.
+	MCacheBucketWalks = "dssp_invalidation_bucket_walks_total"
+	MCacheBatchSize   = "dssp_invalidation_batch_size"
+
 	// Per-stage latency histogram (labels: stage, template).
 	MStageSeconds = "dssp_stage_seconds"
 
@@ -43,6 +53,12 @@ const (
 	// mirrors both from its queueing model of the home CPU.
 	MHomeQueueDepth    = "dssp_home_queue_depth"
 	MHomeAdmissionWait = "dssp_home_admission_wait_seconds"
+
+	// Home-server update monitoring (§2.2): completed updates are
+	// confirmed in batches, once per monitoring interval. Counts interval
+	// releases; the per-release batch size lands in the node-side
+	// dssp_invalidation_batch_size histogram when the batch is applied.
+	MHomeMonitorReleases = "dssp_home_monitor_releases_total"
 
 	// HTTP deployment error counters, registered lazily on first error:
 	// response writes that failed mid-body (the client saw a truncated

@@ -33,11 +33,18 @@ import (
 
 // Cache is the DSSP node surface the pipeline drives: the cache lookup and
 // store halves of the query path, and invalidation monitoring for the
-// update path. *dssp.Node implements it.
+// update path — one update at a time, or a whole monitoring interval's
+// batch at once. *dssp.Node implements it.
 type Cache interface {
 	HandleQuery(q wire.SealedQuery) (wire.SealedResult, bool)
 	StoreResult(q wire.SealedQuery, r wire.SealedResult, empty bool)
 	OnUpdateCompleted(u wire.SealedUpdate) int
+
+	// OnUpdatesCompleted applies one monitoring interval's batch of
+	// completed updates in order and returns per-update invalidation
+	// counts — element i is what OnUpdateCompleted(us[i]) would have
+	// returned sequentially.
+	OnUpdatesCompleted(us []wire.SealedUpdate) []int
 }
 
 // ExecQueryResult is the home server's answer to a forwarded query: the
@@ -88,6 +95,23 @@ type Options struct {
 	// pre-pipeline behaviour, kept for the coalescing benchmark's
 	// baseline.
 	DisableCoalescing bool
+
+	// MonitorInterval batches invalidation per the paper's §2.2
+	// monitoring model: confirmed updates accumulate in the pipeline's
+	// batcher and are applied together — via Cache.OnUpdatesCompleted,
+	// one amortized bucket walk per batch — when the interval expires.
+	// The first update of an idle period arms the flush timer. An
+	// update's completion callback fires at the flush with its exact
+	// per-update invalidation count, so callers see at most one interval
+	// of added latency (the monitoring staleness/throughput tradeoff).
+	// 0 (the default) invalidates inline per update, exactly the
+	// pre-batching behaviour.
+	MonitorInterval time.Duration
+
+	// After schedules fn after d for the batcher's flush timer. nil uses
+	// time.AfterFunc; the simulator passes its virtual-time scheduler so
+	// the interval elapses on the simulated clock.
+	After func(d time.Duration, fn func())
 }
 
 // flight is one in-progress home-server fetch that concurrent misses on
@@ -110,6 +134,10 @@ type Pipeline struct {
 
 	mu      sync.Mutex
 	flights map[string]*flight
+
+	// batcher accumulates confirmed updates per monitoring interval; nil
+	// when Options.MonitorInterval is 0 (inline invalidation).
+	batcher *batcher
 }
 
 // New builds a pipeline over a node cache and a transport. tracer supplies
@@ -127,6 +155,9 @@ func New(cache Cache, transport Transport, tracer *obs.Tracer, opts Options) *Pi
 	}
 	if p.reg != nil {
 		p.coalesced = p.reg.Counter(obs.MCoalescedMisses)
+	}
+	if opts.MonitorInterval > 0 {
+		p.batcher = newBatcher(p, opts)
 	}
 	return p
 }
@@ -209,8 +240,10 @@ func (p *Pipeline) Query(ctx context.Context, sq wire.SealedQuery, done func(Que
 }
 
 // Update routes one sealed update through the transport and, after the
-// home server confirms it, runs invalidation at this node (Figure 2). done
-// is called exactly once.
+// home server confirms it, runs invalidation at this node (Figure 2) —
+// inline, or at the next monitoring-interval flush when batching is
+// configured. done is called exactly once, with the update's exact
+// invalidation count either way.
 func (p *Pipeline) Update(ctx context.Context, su wire.SealedUpdate, done func(UpdateReply, error)) {
 	tmpl := obs.Tmpl(su.TemplateID)
 	start := p.tracer.Now()
@@ -221,11 +254,10 @@ func (p *Pipeline) Update(ctx context.Context, su wire.SealedUpdate, done func(U
 			done(UpdateReply{}, err)
 			return
 		}
-		inv := p.tracer.Start(su.TraceID, obs.StageInvalidate, tmpl)
-		invalidated := p.cache.OnUpdateCompleted(su)
-		inv.End()
-		p.request(obs.KindUpdate, tmpl, start)
-		done(UpdateReply{Affected: affected, Invalidated: invalidated}, nil)
+		p.MonitorUpdate(su, func(invalidated int) {
+			p.request(obs.KindUpdate, tmpl, start)
+			done(UpdateReply{Affected: affected, Invalidated: invalidated}, nil)
+		})
 	})
 }
 

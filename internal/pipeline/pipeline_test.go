@@ -46,6 +46,14 @@ func (c *fakeCache) OnUpdateCompleted(u wire.SealedUpdate) int {
 	return n
 }
 
+func (c *fakeCache) OnUpdatesCompleted(us []wire.SealedUpdate) []int {
+	counts := make([]int, len(us))
+	for i := range us {
+		counts[i] = c.OnUpdateCompleted(us[i])
+	}
+	return counts
+}
+
 // gateTransport counts executions and can hold every ExecQuery at a gate
 // until the test releases it, so concurrent misses deterministically
 // overlap.

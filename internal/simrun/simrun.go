@@ -50,6 +50,14 @@ type Config struct {
 	// CPU but fragment the cache.
 	Nodes int
 
+	// MonitorInterval batches each node's invalidation per monitoring
+	// interval, on virtual time: confirmed updates accumulate in the
+	// node's pipeline batcher and are applied together when the interval
+	// expires, exactly as the wall-clock deployments do (the simulator
+	// models the interval at the node batcher; the home server's
+	// wall-clock gate stays off). 0 invalidates inline per update.
+	MonitorInterval time.Duration
+
 	// AnalysisOpts controls the static analysis the DSSP's
 	// template-inspection level uses (integrity constraints on/off).
 	AnalysisOpts core.Options
@@ -108,7 +116,9 @@ type Result struct {
 // true template IDs, exactly as the trusted side does in a real
 // deployment. It also fans each completed update out to the other nodes'
 // invalidation monitors one home-link propagation later (Figure 1 shows
-// several nodes; consistency is per-node).
+// several nodes; consistency is per-node): through each node's pipeline
+// monitor, so a configured monitoring interval batches the foreign
+// updates exactly like the node's own.
 type simTransport struct {
 	world    *sim.Sim
 	reg      *obs.Registry
@@ -120,7 +130,7 @@ type simTransport struct {
 	fromHome *sim.Link
 	costs    workload.CostModel
 	network  workload.NetworkModel
-	nodes    []*dssp.Node
+	pipes    []*pipeline.Pipeline
 	self     int
 	res      *Result
 
@@ -179,18 +189,20 @@ func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done 
 			t.tracer.Observe(su.TraceID, obs.StageHomeExec, tID, t.world.Now()-t.costs.HomeUpdateCost, t.costs.HomeUpdateCost)
 			t.reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, tID)).Inc()
 			// Every other node monitors the completed update too, one
-			// home-link propagation later; the issuing node invalidates in
-			// the pipeline when done resolves.
-			nodeTmpl := obs.Tmpl(su.TemplateID)
-			for oi, other := range t.nodes {
+			// home-link propagation later, through its pipeline monitor —
+			// which records the invalidate span and, with a monitoring
+			// interval configured, batches it with the node's own stream.
+			// The issuing node invalidates in the pipeline when done
+			// resolves.
+			for oi := range t.pipes {
 				if oi == t.self {
 					continue
 				}
-				other := other
+				oi := oi
 				t.world.After(t.network.HomeLatency, func() {
-					invStart := t.world.Now()
-					t.res.Invalidations += other.OnUpdateCompleted(su)
-					t.tracer.Observe(su.TraceID, obs.StageInvalidate, nodeTmpl, invStart, 0)
+					t.pipes[oi].MonitorUpdate(su, func(invalidated int) {
+						t.res.Invalidations += invalidated
+					})
 				})
 			}
 			t.fromHome.Send(64, func() {
@@ -257,21 +269,31 @@ func Simulate(cfg Config) (*Result, error) {
 
 	// Admission-instrument mirrors, registered eagerly (like
 	// homeserver.SetObs does) so the snapshot's shape matches /v1/metrics.
+	// The monitor-release counter is mirrored too: in the simulator the
+	// interval is modeled at the node batcher on virtual time, so the
+	// home-side gate never fires, but the name must exist for shape
+	// parity.
 	queueDepth := reg.Gauge(obs.MHomeQueueDepth)
 	waitQ := reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindQuery))
 	waitU := reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindUpdate))
+	reg.Counter(obs.MHomeMonitorReleases)
 
 	// One pipeline per node — the same pathway every other deployment
-	// routes through — over a virtual-time transport.
+	// routes through — over a virtual-time transport. The pipes slice is
+	// shared with every transport before it is filled: fan-out only runs
+	// once the world does, when all pipelines exist.
 	pipes := make([]*pipeline.Pipeline, cfg.Nodes)
 	for i := range pipes {
 		tr := &simTransport{
 			world: &world, reg: reg, tracer: tracer, codec: codec,
 			home: home, homeCPU: homeCPU, toHome: toHome, fromHome: fromHome,
-			costs: cfg.Costs, network: cfg.Network, nodes: nodes, self: i, res: res,
+			costs: cfg.Costs, network: cfg.Network, pipes: pipes, self: i, res: res,
 			queueDepth: queueDepth, waitQ: waitQ, waitU: waitU,
 		}
-		pipes[i] = pipeline.New(nodes[i], tr, tracer, pipeline.Options{})
+		pipes[i] = pipeline.New(nodes[i], tr, tracer, pipeline.Options{
+			MonitorInterval: cfg.MonitorInterval,
+			After:           func(d time.Duration, fn func()) { world.After(d, fn) },
+		})
 	}
 
 	// clientDelay models the per-client duplex access link (no cross-
@@ -373,6 +395,7 @@ func Simulate(cfg Config) (*Result, error) {
 		res.Cache.UpdatesSeen += st.UpdatesSeen
 		res.Cache.BucketsVisited += st.BucketsVisited
 		res.Cache.BucketsSkipped += st.BucketsSkipped
+		res.Cache.BucketWalks += st.BucketWalks
 	}
 	if t := res.Cache.Hits + res.Cache.Misses; t > 0 {
 		res.HitRate = float64(res.Cache.Hits) / float64(t)
