@@ -16,6 +16,7 @@
 //	dsspbench -exp figure8                # scalability per invalidation strategy
 //	dsspbench -exp security               # §5.4 security-enhancement summary
 //	dsspbench -exp coalesce               # single-flight miss coalescing under a hot-key storm
+//	dsspbench -exp scaleout -app auction  # routed fleet throughput at 1/2/4 nodes (-out writes JSON)
 //	dsspbench -exp obs -app bboard        # short run's metrics snapshot (-format json|prom)
 //	dsspbench -exp all                    # everything (simulations included)
 //
@@ -29,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -39,13 +41,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|obs|all")
-	app := flag.String("app", "bboard", "application for figure4/route/obs: auction|bboard|bookstore")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|scaleout|obs|all")
+	app := flag.String("app", "bboard", "application for figure4/route/obs/scaleout: auction|bboard|bookstore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
 	maxUsers := flag.Int("maxusers", 4000, "cap for the scalability search")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	format := flag.String("format", "prom", "output format for -exp obs: prom|json")
+	out := flag.String("out", "", "for -exp scaleout: also write the results as JSON to this file")
 	flag.Parse()
 
 	opts := experiments.DefaultRunOptions()
@@ -55,6 +58,13 @@ func main() {
 
 	if *exp == "obs" {
 		if err := runObs(*app, *format, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "dsspbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "scaleout" {
+		if err := runScaleout(*app, *out, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "dsspbench:", err)
 			os.Exit(1)
 		}
@@ -93,6 +103,43 @@ func runObs(app, format string, opts experiments.RunOptions) error {
 	default:
 		return fmt.Errorf("unknown -format %q (want prom or json)", format)
 	}
+}
+
+// runScaleout sweeps the routed fleet sizes in real time and, when asked,
+// writes the committed benchmark artifact (BENCH_scaleout.json shape).
+func runScaleout(app, out string, opts experiments.RunOptions) error {
+	o := experiments.DefaultScaleoutOptions()
+	o.Seed = opts.Seed
+	r, err := experiments.Scaleout(app, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Format())
+	if out == "" {
+		return nil
+	}
+	artifact := struct {
+		Description string                      `json:"description"`
+		Environment map[string]interface{}      `json:"environment"`
+		Scaleout    *experiments.ScaleoutResult `json:"scaleout"`
+	}{
+		Description: fmt.Sprintf("Scale-out throughput of the routed fleet: go run ./cmd/dsspbench -exp scaleout -app %s. "+
+			"One shared home server; each node capacity-gated to one %v service slot so a single host measures the fleet honestly; "+
+			"%d closed-loop clients; hit rates over the measure window; fanout_skipped counts invalidation pushes the static analysis saved vs naive broadcast.",
+			app, o.Service, o.Clients),
+		Environment: map[string]interface{}{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+			"date":   time.Now().Format("2006-01-02"),
+		},
+		Scaleout: r,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
 }
 
 func run(exp, app, pair string, opts experiments.RunOptions) error {

@@ -1,0 +1,83 @@
+// Command dssprouter fronts a fleet of dsspnode processes: it splits the
+// key space across the nodes by template affinity (consistent hashing),
+// proxies each sealed query to its owning node, routes each update
+// through one node's full update pathway, and fans invalidation out in
+// parallel — only to the nodes the static analysis could not prove
+// untouched. It speaks the same node API as dsspnode, so clients point at
+// the router exactly as they would at a single node.
+//
+// Like a node, the router is untrusted and holds no keys: it computes the
+// fan-out plan from the application's public template analysis and steers
+// only by what sealed messages reveal. Statements with hidden template
+// IDs fall back conservatively — blind queries spread by sealed key,
+// blind or forged updates broadcast to every node.
+//
+// The node list is ordered: every process fronting the same fleet must
+// pass the same -nodes value, because ownership is derived from the
+// node's position in the list.
+//
+// Usage:
+//
+//	dssprouter -app toystore -addr :8399 -nodes http://n0:8400,http://n1:8410
+//	dssprouter -app auction -addr :8399 -nodes http://n0:8400,http://n1:8410,http://n2:8420,http://n3:8430 -max-fanout 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"dssp/internal/apps"
+	"dssp/internal/core"
+	"dssp/internal/httpapi"
+	"dssp/internal/template"
+)
+
+func main() {
+	appName := flag.String("app", "toystore", "application: toystore|auction|bboard|bookstore")
+	addr := flag.String("addr", ":8399", "listen address")
+	nodes := flag.String("nodes", "", "comma-separated node base URLs, in fleet order (same order on every router)")
+	maxFanout := flag.Int("max-fanout", 0, "max concurrent invalidation pushes per update (0 = default)")
+	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (must match the nodes)")
+	flag.Parse()
+
+	app, err := resolveApp(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "dssprouter: -nodes requires at least one node URL")
+		os.Exit(2)
+	}
+	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
+	srv := httpapi.NewRouterServer(analysis, urls, httpapi.RouterOptions{MaxFanout: *maxFanout})
+
+	log.Printf("DSSP router for %q on %s fronting %d nodes (%s), metrics: GET %s",
+		app.Name, *addr, len(urls), strings.Join(urls, ", "), httpapi.PathMetrics)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func resolveApp(name string) (*template.App, error) {
+	switch name {
+	case "toystore":
+		return apps.Toystore(), nil
+	case "auction":
+		return apps.NewAuction().App(), nil
+	case "bboard":
+		return apps.NewBBoard().App(), nil
+	case "bookstore":
+		return apps.NewBookstore().App(), nil
+	default:
+		return nil, fmt.Errorf("dssprouter: unknown application %q", name)
+	}
+}

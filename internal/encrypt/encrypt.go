@@ -33,8 +33,8 @@ var ErrTampered = errors.New("encrypt: ciphertext authentication failed")
 // Keyring holds an application's encryption keys. The application's home
 // organization owns the keyring; the DSSP never sees it.
 type Keyring struct {
-	macKey []byte // PRF key for the synthetic IV
-	encKey []byte // AES key for the body
+	macKey []byte       // PRF key for the synthetic IV
+	block  cipher.Block // AES block for the body, expanded once
 }
 
 // NewKeyring derives a keyring from a master key. The two internal keys
@@ -48,9 +48,15 @@ func NewKeyring(master []byte) (*Keyring, error) {
 		m.Write([]byte(label))
 		return m.Sum(nil)
 	}
+	// The AES key schedule is expanded here, once: every seal and open on
+	// the client's hot path reuses the block instead of re-deriving it.
+	block, err := aes.NewCipher(derive("dssp-siv-enc")[:32])
+	if err != nil {
+		return nil, err
+	}
 	return &Keyring{
 		macKey: derive("dssp-siv-mac"),
-		encKey: derive("dssp-siv-enc")[:32],
+		block:  block,
 	}, nil
 }
 
@@ -69,13 +75,9 @@ func MustNewKeyring(master []byte) *Keyring {
 // equal plaintexts, so e.g. statements and results never collide).
 func (k *Keyring) Seal(domain string, plaintext []byte) []byte {
 	iv := k.siv(domain, plaintext)
-	block, err := aes.NewCipher(k.encKey)
-	if err != nil {
-		panic(err) // key size fixed at construction
-	}
 	out := make([]byte, ivSize+len(plaintext))
 	copy(out, iv)
-	cipher.NewCTR(block, iv).XORKeyStream(out[ivSize:], plaintext)
+	cipher.NewCTR(k.block, iv).XORKeyStream(out[ivSize:], plaintext)
 	return out
 }
 
@@ -86,12 +88,8 @@ func (k *Keyring) Open(domain string, ciphertext []byte) ([]byte, error) {
 		return nil, ErrTampered
 	}
 	iv := ciphertext[:ivSize]
-	block, err := aes.NewCipher(k.encKey)
-	if err != nil {
-		panic(err)
-	}
 	plaintext := make([]byte, len(ciphertext)-ivSize)
-	cipher.NewCTR(block, iv).XORKeyStream(plaintext, ciphertext[ivSize:])
+	cipher.NewCTR(k.block, iv).XORKeyStream(plaintext, ciphertext[ivSize:])
 	if !hmac.Equal(iv, k.siv(domain, plaintext)) {
 		return nil, ErrTampered
 	}

@@ -137,3 +137,30 @@ func TestCiphertextHidesPlaintext(t *testing.T) {
 		t.Error("plaintext fragment visible in ciphertext")
 	}
 }
+
+// Seal/Open sit on the client's per-message hot path: every query seals a
+// statement and parameters and opens a result. The keyring expands the
+// AES key schedule once at construction, so neither direction should
+// rebuild it per message.
+func BenchmarkSeal(b *testing.B) {
+	k := testKeyring(b)
+	msg := bytes.Repeat([]byte("SELECT qty FROM toys WHERE toy_id=? "), 4) // ~144B, a typical sealed statement
+	b.ReportAllocs()
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		k.Seal("stmt", msg)
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	k := testKeyring(b)
+	msg := bytes.Repeat([]byte("row-data "), 128) // ~1KB, a small sealed result
+	ct := k.Seal("result", msg)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Open("result", ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

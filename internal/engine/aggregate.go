@@ -115,9 +115,9 @@ func (ex *queryExec) aggregate(tuples []tuple) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sort.SliceStable(out.Rows, func(a, b int) bool {
+		less := func(a, b []sqlparse.Value) bool {
 			for _, k := range keys {
-				c := out.Rows[a][k.col].Compare(out.Rows[b][k.col])
+				c := a[k.col].Compare(b[k.col])
 				if c != 0 {
 					if k.desc {
 						return c > 0
@@ -126,13 +126,18 @@ func (ex *queryExec) aggregate(tuples []tuple) (*Result, error) {
 				}
 			}
 			// Canonical tie-break on the full output row (see plain()).
-			for i := range out.Rows[a] {
-				if c := out.Rows[a][i].Compare(out.Rows[b][i]); c != 0 {
+			for i := range a {
+				if c := a[i].Compare(b[i]); c != 0 {
 					return c < 0
 				}
 			}
 			return false
-		})
+		}
+		if ex.q.Limit >= 0 {
+			out.Rows = topK(out.Rows, ex.q.Limit, less)
+		} else {
+			sort.SliceStable(out.Rows, func(a, b int) bool { return less(out.Rows[a], out.Rows[b]) })
+		}
 	}
 	return out, nil
 }

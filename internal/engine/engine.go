@@ -299,10 +299,10 @@ func (ex *queryExec) plain(tuples []tuple) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sort.SliceStable(tuples, func(a, b int) bool {
+		less := func(a, b tuple) bool {
 			for _, k := range keys {
-				va := tuples[a][k.fromIndex][k.colIndex]
-				vb := tuples[b][k.fromIndex][k.colIndex]
+				va := a[k.fromIndex][k.colIndex]
+				vb := b[k.fromIndex][k.colIndex]
 				c := va.Compare(vb)
 				if c != 0 {
 					if k.desc {
@@ -314,8 +314,13 @@ func (ex *queryExec) plain(tuples []tuple) (*Result, error) {
 			// Canonical tie-break on full tuple content: results must not
 			// depend on physical row order, which index maintenance can
 			// permute. Cached results stay byte-identical to re-execution.
-			return compareTuples(tuples[a], tuples[b]) < 0
-		})
+			return compareTuples(a, b) < 0
+		}
+		if ex.q.Limit >= 0 {
+			tuples = topK(tuples, ex.q.Limit, less)
+		} else {
+			sort.SliceStable(tuples, func(a, b int) bool { return less(tuples[a], tuples[b]) })
+		}
 	}
 
 	cols, proj, err := ex.projection()

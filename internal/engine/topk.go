@@ -1,0 +1,59 @@
+package engine
+
+import "sort"
+
+// topK returns the k smallest elements under less, in ascending order —
+// what ORDER BY … LIMIT k needs — without sorting the rest: a bounded
+// max-heap of the best k candidates makes selection O(n log k) instead of
+// O(n log n), and the n−k losers are never reordered or retained. The
+// paper's top-k templates ("newest 10 comments", "top 50 best sellers")
+// scan many base rows to keep a handful, which is exactly this shape.
+//
+// less must be a strict total order on row *content* (the engine's
+// comparators tie-break on the full row), so elements that compare equal
+// are identical and the selection is deterministic: the result is
+// byte-for-byte the prefix a stable full sort would have produced.
+func topK[T any](items []T, k int, less func(a, b T) bool) []T {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(items) {
+		sort.SliceStable(items, func(a, b int) bool { return less(items[a], items[b]) })
+		return items
+	}
+	h := items[:k:k]
+	for i := k / 2; i >= 0; i-- {
+		siftDown(h, i, less)
+	}
+	for _, it := range items[k:] {
+		if less(it, h[0]) {
+			h[0] = it
+			siftDown(h, 0, less)
+		}
+	}
+	// Heap-sort the survivors ascending: repeatedly swap the current
+	// maximum to the end of the shrinking heap.
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftDown(h[:end], 0, less)
+	}
+	return h
+}
+
+// siftDown restores the max-heap property at index i of h.
+func siftDown[T any](h []T, i int, less func(a, b T) bool) {
+	for {
+		big := i
+		if l := 2*i + 1; l < len(h) && less(h[big], h[l]) {
+			big = l
+		}
+		if r := 2*i + 2; r < len(h) && less(h[big], h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}

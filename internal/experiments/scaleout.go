@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/dssp"
+	"dssp/internal/encrypt"
+	"dssp/internal/homeserver"
+	"dssp/internal/httpapi"
+	"dssp/internal/obs"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// ScaleoutOptions configures the scale-out throughput experiment.
+type ScaleoutOptions struct {
+	// Fleets lists the fleet sizes to measure, e.g. {1, 2, 4}.
+	Fleets []int
+
+	// Clients is the number of closed-loop driver goroutines (shared
+	// across the fleet — the offered load is the same at every size).
+	Clients int
+
+	// Service is the modelled CPU cost of one query or update at a node.
+	// All fleet sizes run on one machine, so real node CPUs cannot scale;
+	// instead each node holds a single service slot for this long per
+	// request, which makes per-node capacity explicit and identical
+	// across fleet sizes. It must dwarf the real per-op CPU cost, or the
+	// host's own cores become the bottleneck and mask the fleet.
+	// Invalidation-only pushes cost a tenth of this — dropping buckets is
+	// far cheaper than executing a query.
+	Service time.Duration
+
+	// WarmOps is how many operations to run before the counted window,
+	// with the capacity gate disarmed: warming is driven by the number of
+	// operations the caches have seen, so gating it would just hand the
+	// bigger fleets a warmer start.
+	WarmOps int
+
+	// Measure is the counted window.
+	Measure time.Duration
+
+	// Seed drives data population and the client sessions.
+	Seed int64
+}
+
+// DefaultScaleoutOptions returns the committed BENCH_scaleout.json
+// configuration.
+func DefaultScaleoutOptions() ScaleoutOptions {
+	return ScaleoutOptions{
+		Fleets:  []int{1, 2, 4},
+		Clients: 64,
+		Service: 5 * time.Millisecond,
+		WarmOps: 16000,
+		Measure: 8 * time.Second,
+		Seed:    1,
+	}
+}
+
+// ScaleoutRow is one fleet size's measurement.
+type ScaleoutRow struct {
+	Nodes   int     `json:"nodes"`
+	Queries int64   `json:"queries"`
+	Updates int64   `json:"updates"`
+	QPS     float64 `json:"qps"`
+	Speedup float64 `json:"speedup_vs_1"`
+
+	// HitRate is the fleet-wide cache hit rate over the measure window;
+	// PerNodeHit breaks it down by node. Template affinity keeps every
+	// template's bucket whole on one node, so the aggregate rate should
+	// track the single-node deployment.
+	HitRate    float64   `json:"hit_rate"`
+	PerNodeHit []float64 `json:"per_node_hit_rate"`
+
+	// FanoutSent counts invalidation-only pushes actually sent;
+	// FanoutSkipped counts the pushes the static analysis proved
+	// unnecessary — the messages a naive broadcast would have sent.
+	FanoutSent    int64 `json:"fanout_sent"`
+	FanoutSkipped int64 `json:"fanout_skipped"`
+	Broadcasts    int64 `json:"broadcasts"`
+	ProxyErrors   int64 `json:"proxy_errors"`
+}
+
+// ScaleoutResult is the full sweep.
+type ScaleoutResult struct {
+	Benchmark string        `json:"benchmark"`
+	Clients   int           `json:"clients"`
+	Service   time.Duration `json:"service_per_op_ns"`
+	WarmOps   int           `json:"warm_ops"`
+	Measure   time.Duration `json:"measure_ns"`
+	Rows      []ScaleoutRow `json:"results"`
+}
+
+// Scaleout measures routed throughput as real nodes are added: for each
+// fleet size it stands up the full HTTP deployment — dssprouter's
+// RouterServer fronting capacity-gated NodeServer processes over one
+// shared home server — and drives it with closed-loop client sessions.
+// The single-machine capacity gate (one service slot per node) is what
+// lets one host measure a fleet honestly: adding a node adds exactly one
+// slot, and the consistent-hash split decides how much of the offered
+// load each slot absorbs.
+func Scaleout(appName string, o ScaleoutOptions) (*ScaleoutResult, error) {
+	if len(o.Fleets) == 0 {
+		o = DefaultScaleoutOptions()
+	}
+	switch appName {
+	case "auction", "bboard", "bookstore":
+	default:
+		return nil, fmt.Errorf("unknown application %q", appName)
+	}
+	res := &ScaleoutResult{
+		Benchmark: appName,
+		Clients:   o.Clients,
+		Service:   o.Service,
+		WarmOps:   o.WarmOps,
+		Measure:   o.Measure,
+	}
+	for _, n := range o.Fleets {
+		row, err := runScaleoutFleet(appName, n, o)
+		if err != nil {
+			return nil, fmt.Errorf("fleet of %d: %w", n, err)
+		}
+		if len(res.Rows) > 0 && res.Rows[0].Nodes == 1 && res.Rows[0].QPS > 0 {
+			row.Speedup = row.QPS / res.Rows[0].QPS
+		} else if n == 1 {
+			row.Speedup = 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// capacityGate models one CPU per node: a single request slot, held for
+// the operation's service time. Queries and updates pay the full service
+// time, invalidation-only pushes a tenth; everything else (metrics,
+// decision reads) passes ungated. The slot is released before the real
+// handler runs — a node waiting on the home server is doing I/O, not
+// burning its CPU, so a miss's home round trip must not serialize the
+// node's other requests. The gate only charges once armed flips, so the
+// warm-up phase runs at full host speed.
+func capacityGate(inner http.Handler, service time.Duration, armed *atomic.Bool) http.Handler {
+	slot := make(chan struct{}, 1)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var cost time.Duration
+		switch r.URL.Path {
+		case httpapi.PathQuery, httpapi.PathUpdate:
+			cost = service
+		case httpapi.PathInvalidate:
+			cost = service / 10
+		default:
+			inner.ServeHTTP(w, r)
+			return
+		}
+		if armed.Load() {
+			slot <- struct{}{}
+			time.Sleep(cost)
+			<-slot
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+func runScaleoutFleet(appName string, nodes int, o ScaleoutOptions) (ScaleoutRow, error) {
+	row := ScaleoutRow{Nodes: nodes}
+	b := benchmarkByName(appName)
+	app := b.App()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	if err := b.Populate(db, rand.New(rand.NewSource(o.Seed))); err != nil {
+		return row, err
+	}
+	home := homeserver.New(db, app, codec)
+	homeSrv := httptest.NewServer(httpapi.HomeHandler(home))
+	defer homeSrv.Close()
+	analysis := core.Analyze(app, core.DefaultOptions())
+
+	// One shared client with enough idle connections that 32 concurrent
+	// drivers never churn through handshakes.
+	httpClient := &http.Client{
+		Timeout: httpapi.DefaultTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        16 * o.Clients,
+			MaxIdleConnsPerHost: 4 * o.Clients,
+		},
+	}
+
+	var gateArmed atomic.Bool
+	fleet := make([]*dssp.Node, nodes)
+	urls := make([]string, nodes)
+	for i := range fleet {
+		fleet[i] = dssp.NewNode(app, analysis, cache.Options{})
+		srv := httptest.NewServer(capacityGate(
+			httpapi.NewNodeServer(fleet[i], homeSrv.URL, httpClient).Handler(), o.Service, &gateArmed))
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	rs := httpapi.NewRouterServer(analysis, urls, httpapi.RouterOptions{Client: httpClient})
+	routerSrv := httptest.NewServer(rs.Handler())
+	defer routerSrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		measuring        atomic.Bool
+		total            atomic.Int64 // every completed op, for warm-up progress
+		queries, updates atomic.Int64 // completed ops inside the measure window
+		firstErr         atomic.Pointer[error]
+		sessMu           sync.Mutex // benchmark session state is single-threaded by contract
+		wg               sync.WaitGroup
+	)
+	fail := func(err error) {
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+		cancel()
+	}
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + 1000 + int64(c)))
+			sessMu.Lock()
+			sess := b.NewSession(rng)
+			sessMu.Unlock()
+			cl := httpapi.NewClient(codec, routerSrv.URL, httpClient)
+			for ctx.Err() == nil {
+				sessMu.Lock()
+				page := sess.NextPage()
+				sessMu.Unlock()
+				for _, op := range page {
+					if ctx.Err() != nil {
+						return
+					}
+					params := make([]interface{}, len(op.Params))
+					for j, v := range op.Params {
+						params[j] = v
+					}
+					if op.Template.Kind == template.KQuery {
+						if _, err := cl.Query(ctx, op.Template, params...); err != nil {
+							if ctx.Err() == nil {
+								fail(err)
+							}
+							return
+						}
+						total.Add(1)
+						if measuring.Load() {
+							queries.Add(1)
+						}
+					} else {
+						if _, _, err := cl.Update(ctx, op.Template, params...); err != nil {
+							if ctx.Err() == nil {
+								fail(err)
+							}
+							return
+						}
+						total.Add(1)
+						if measuring.Load() {
+							updates.Add(1)
+						}
+					}
+				}
+			}
+		}(c)
+	}
+
+	for total.Load() < int64(o.WarmOps) && ctx.Err() == nil {
+		time.Sleep(50 * time.Millisecond)
+	}
+	pre := make([]cache.Stats, nodes)
+	for i, n := range fleet {
+		pre[i] = n.Cache.Stats()
+	}
+	gateArmed.Store(true)
+	measuring.Store(true)
+	t0 := time.Now()
+	time.Sleep(o.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(t0)
+	post := make([]cache.Stats, nodes)
+	for i, n := range fleet {
+		post[i] = n.Cache.Stats()
+	}
+	// Read the router's instruments before cancelling: tearing the drivers
+	// down aborts their in-flight requests, and those cancellations would
+	// otherwise show up as proxy errors after a perfectly healthy run.
+	reg := rs.Reg
+	fanout := reg.Histogram(obs.MRouterFanoutNodes)
+	// The histogram encodes an n-node fan-out as n microseconds; the exec
+	// node is always among them, so pushes sent = total touched − updates.
+	row.FanoutSent = fanout.Sum().Microseconds() - fanout.Count()
+	row.FanoutSkipped = reg.Counter(obs.MRouterFanoutSkipped).Value()
+	row.Broadcasts = reg.Counter(obs.MRouterBroadcasts).Value()
+	for _, kind := range []string{obs.KindQuery, obs.KindUpdate, obs.KindInvalidate} {
+		row.ProxyErrors += reg.Counter(obs.MRouterProxyErrors, obs.L(obs.LKind, kind)).Value()
+	}
+	cancel()
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return row, *p
+	}
+	if row.ProxyErrors > 0 {
+		return row, errors.New("proxied calls failed during a healthy-fleet run")
+	}
+
+	row.Queries = queries.Load()
+	row.Updates = updates.Load()
+	row.QPS = float64(row.Queries+row.Updates) / elapsed.Seconds()
+	var hits, misses int64
+	for i := range fleet {
+		h := int64(post[i].Hits - pre[i].Hits)
+		m := int64(post[i].Misses - pre[i].Misses)
+		hits += h
+		misses += m
+		row.PerNodeHit = append(row.PerNodeHit, rate(h, m))
+	}
+	row.HitRate = rate(hits, misses)
+	return row, nil
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Format renders the sweep the way the paper's scale-out discussion
+// reads: throughput and hit rate per fleet size, plus the invalidation
+// messages the analysis saved over a naive broadcast.
+func (r *ScaleoutResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale-out: %s, %d closed-loop clients, %v service slot per node\n",
+		r.Benchmark, r.Clients, r.Service)
+	rows := [][]string{{"nodes", "qps", "speedup", "hit rate", "per-node hit rate", "inv sent", "inv skipped", "broadcasts"}}
+	for _, row := range r.Rows {
+		var per []string
+		for _, h := range row.PerNodeHit {
+			per = append(per, fmt.Sprintf("%.1f%%", 100*h))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%.0f", row.QPS),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.1f%%", 100*row.HitRate),
+			strings.Join(per, " "),
+			fmt.Sprintf("%d", row.FanoutSent),
+			fmt.Sprintf("%d", row.FanoutSkipped),
+			fmt.Sprintf("%d", row.Broadcasts),
+		})
+	}
+	table(&b, rows)
+	b.WriteString("Skipped pushes are invalidations a naive broadcast would have sent to nodes\n" +
+		"the static analysis proved untouched by the update.\n")
+	return b.String()
+}

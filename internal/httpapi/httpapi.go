@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"dssp/internal/cache"
 	"dssp/internal/dssp"
 	"dssp/internal/homeserver"
 	"dssp/internal/obs"
@@ -55,9 +56,11 @@ func defaultClient(client *http.Client) *http.Client {
 
 // Paths of the HTTP API.
 const (
-	PathQuery      = "/v1/query"       // node: sealed query -> sealed result
-	PathUpdate     = "/v1/update"      // node: sealed update -> ack
-	PathMetrics    = "/v1/metrics"     // node and home: metrics snapshot (JSON or Prometheus text)
+	PathQuery      = "/v1/query"       // node and router: sealed query -> sealed result
+	PathUpdate     = "/v1/update"      // node and router: sealed update -> ack
+	PathInvalidate = "/v1/invalidate"  // node: already-confirmed sealed update -> invalidation ack (router fan-out)
+	PathDecisions  = "/v1/decisions"   // node: invalidation-decision log + cache dump, JSON (debugging, parity checks)
+	PathMetrics    = "/v1/metrics"     // every process: metrics snapshot (JSON or Prometheus text)
 	PathExecQuery  = "/v1/exec/query"  // home: sealed query -> sealed result
 	PathExecUpdate = "/v1/exec/update" // home: sealed update -> ack
 )
@@ -75,6 +78,21 @@ type QueryResponse struct {
 type UpdateResponse struct {
 	Affected    int
 	Invalidated int
+}
+
+// InvalidateResponse is the node's answer to a fanned-out invalidation:
+// the update was confirmed elsewhere and this node only monitored it.
+type InvalidateResponse struct {
+	Invalidated int
+}
+
+// DecisionsResponse is a node's invalidation-decision log and cache
+// fingerprint, served as JSON from PathDecisions so deployment checks
+// (the scale-out smoke test) can diff node state without process access.
+type DecisionsResponse struct {
+	Decisions []cache.Decision `json:"decisions"`
+	Dump      []string         `json:"dump"`
+	Stats     cache.Stats      `json:"stats"`
 }
 
 // ExecQueryResponse is the home server's answer to a forwarded query.
@@ -315,6 +333,8 @@ func (s *NodeServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathQuery, s.handleQuery)
 	mux.HandleFunc("POST "+PathUpdate, s.handleUpdate)
+	mux.HandleFunc("POST "+PathInvalidate, s.handleInvalidate)
+	mux.HandleFunc("GET "+PathDecisions, s.handleDecisions)
 	mux.Handle("GET "+PathMetrics, MetricsHandler(s.Reg))
 	return mux
 }
@@ -341,6 +361,39 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeGob(s.Reg, w, QueryResponse{Result: reply.Result, Hit: reply.Hit})
+}
+
+// handleInvalidate monitors an update that was already confirmed at the
+// home server through some other node: the shard router's pruned
+// invalidation fan-out. The node never re-executes it — the sealed update
+// goes straight into the pipeline's invalidation monitor, joining the
+// current batch when a monitoring interval is configured.
+func (s *NodeServer) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	var su wire.SealedUpdate
+	if err := readGob(r.Body, &su); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	su.TraceID = trace(su.TraceID, r)
+	ch := make(chan int, 1)
+	s.Pipe.MonitorUpdate(su, func(invalidated int) { ch <- invalidated })
+	select {
+	case n := <-ch:
+		writeGob(s.Reg, w, InvalidateResponse{Invalidated: n})
+	case <-r.Context().Done():
+		http.Error(w, r.Context().Err().Error(), http.StatusGatewayTimeout)
+	}
+}
+
+// handleDecisions serves the node's decision log, cache dump, and counter
+// snapshot as JSON.
+func (s *NodeServer) handleDecisions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(DecisionsResponse{
+		Decisions: s.Node.Cache.Decisions(),
+		Dump:      s.Node.Cache.Dump(),
+		Stats:     s.Node.Cache.Stats(),
+	})
 }
 
 func (s *NodeServer) handleUpdate(w http.ResponseWriter, r *http.Request) {

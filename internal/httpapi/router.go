@@ -1,0 +1,148 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+
+	"dssp/internal/core"
+	"dssp/internal/obs"
+	"dssp/internal/pipeline"
+	"dssp/internal/shard"
+	"dssp/internal/wire"
+)
+
+// NodeProxy is the HTTP deployment's shard.Backend: one remote dsspnode
+// process reached over the node API. Queries and invalidations are
+// idempotent and ride the shared retry path (one retry with backoff on
+// connection errors — replaying an invalidation against already-emptied
+// buckets is a no-op); updates are never retried, because a lost ack does
+// not prove the update was not applied.
+type NodeProxy struct {
+	URL    string
+	Client *http.Client
+	Reg    *obs.Registry
+}
+
+// NewNodeProxy points a proxy at one node's base URL. A nil client gets a
+// DefaultTimeout-bounded one.
+func NewNodeProxy(url string, client *http.Client, reg *obs.Registry) NodeProxy {
+	return NodeProxy{URL: url, Client: defaultClient(client), Reg: reg}
+}
+
+// Query proxies a sealed query to the node.
+func (p NodeProxy) Query(ctx context.Context, sq wire.SealedQuery) (wire.SealedResult, bool, error) {
+	var resp QueryResponse
+	err := post(ctx, p.Client, p.URL+PathQuery, sq.TraceID, sq, &resp, true, p.Reg)
+	return resp.Result, resp.Hit, err
+}
+
+// Update proxies a sealed update through the node's full update pathway.
+func (p NodeProxy) Update(ctx context.Context, su wire.SealedUpdate) (int, int, error) {
+	var resp UpdateResponse
+	err := post(ctx, p.Client, p.URL+PathUpdate, su.TraceID, su, &resp, false, p.Reg)
+	return resp.Affected, resp.Invalidated, err
+}
+
+// Invalidate pushes an already-confirmed update to the node's
+// invalidation monitor.
+func (p NodeProxy) Invalidate(ctx context.Context, su wire.SealedUpdate) (int, error) {
+	var resp InvalidateResponse
+	err := post(ctx, p.Client, p.URL+PathInvalidate, su.TraceID, su, &resp, true, p.Reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "INVALIDATE-ERR:", err)
+	}
+	return resp.Invalidated, err
+}
+
+// RouterOptions tune a router server.
+type RouterOptions struct {
+	// MaxFanout caps concurrent invalidation pushes per update.
+	// 0 means shard.DefaultMaxFanout.
+	MaxFanout int
+
+	// Client is the HTTP client for all node round trips; nil gets a
+	// DefaultTimeout-bounded one.
+	Client *http.Client
+}
+
+// RouterServer fronts a fleet of dsspnode processes with the shard
+// router, speaking the same node API the single-node deployment does —
+// clients cannot tell a router from a node, which is what lets the
+// deployment scale out without touching the application. Like a node,
+// the router is untrusted: it needs the application's template list (to
+// precompute the fan-out plan from the public static analysis) but holds
+// no keys.
+type RouterServer struct {
+	Router *shard.Router
+	Reg    *obs.Registry
+	Tracer *obs.Tracer
+
+	// Pipe is the routed deployment's pathway: the shared pipeline over
+	// the router's cache/transport halves, which adds fleet-wide
+	// single-flight miss coalescing on top of the per-node pipelines.
+	Pipe *pipeline.Pipeline
+}
+
+// NewRouterServer wires a router over the node base URLs, in fleet
+// order. The analysis must be computed with the same options the nodes
+// use, or the fan-out plan and the nodes' own invalidation would
+// disagree about which templates an update can touch.
+func NewRouterServer(analysis *core.Analysis, nodeURLs []string, opts RouterOptions) *RouterServer {
+	client := defaultClient(opts.Client)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, obs.WallClock())
+	backends := make([]shard.Backend, len(nodeURLs))
+	for i, url := range nodeURLs {
+		backends[i] = NewNodeProxy(url, client, reg)
+	}
+	planner := shard.NewPlanner(shard.NewAffinity(len(nodeURLs)), analysis)
+	router := shard.NewRouter(planner, backends, tracer, shard.Options{MaxFanout: opts.MaxFanout})
+	return &RouterServer{
+		Router: router,
+		Reg:    reg,
+		Tracer: tracer,
+		Pipe:   pipeline.New(router, router, tracer, pipeline.Options{}),
+	}
+}
+
+// Handler returns the router's HTTP API — the node API, served by the
+// fleet.
+func (s *RouterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathQuery, s.handleQuery)
+	mux.HandleFunc("POST "+PathUpdate, s.handleUpdate)
+	mux.Handle("GET "+PathMetrics, MetricsHandler(s.Reg))
+	return mux
+}
+
+func (s *RouterServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var sq wire.SealedQuery
+	if err := readGob(r.Body, &sq); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sq.TraceID = trace(sq.TraceID, r)
+	reply, err := s.Pipe.QuerySync(r.Context(), sq)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeGob(s.Reg, w, QueryResponse{Result: reply.Result, Hit: reply.Hit})
+}
+
+func (s *RouterServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var su wire.SealedUpdate
+	if err := readGob(r.Body, &su); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	su.TraceID = trace(su.TraceID, r)
+	reply, err := s.Pipe.UpdateSync(r.Context(), su)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeGob(s.Reg, w, UpdateResponse{Affected: reply.Affected, Invalidated: reply.Invalidated})
+}

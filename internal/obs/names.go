@@ -65,6 +65,22 @@ const (
 	// gob) and idempotent-query retries after connection errors.
 	MHTTPWriteErrors = "dssp_http_write_errors_total"
 	MHTTPRetries     = "dssp_http_retries_total"
+
+	// Shard-router instruments. fanout_nodes is a histogram of how many
+	// nodes each update actually touched (execution plus pruned
+	// invalidation fan-out), encoded like the batch-size histogram — an
+	// n-node fan-out is recorded as n microseconds. fanout_skipped counts
+	// the invalidation messages the A>0 routing index proved unnecessary
+	// (nodes a naive deployment would have broadcast to); broadcasts
+	// counts updates that had to reach every node because their template
+	// was hidden or unknown. proxy_errors counts failed proxied calls
+	// (label: kind), after the per-node retry/backoff gave up. node_seconds
+	// is the per-node round-trip latency histogram (labels: node, kind).
+	MRouterFanoutNodes   = "dssp_router_fanout_nodes"
+	MRouterFanoutSkipped = "dssp_router_fanout_skipped_total"
+	MRouterBroadcasts    = "dssp_router_broadcasts_total"
+	MRouterProxyErrors   = "dssp_router_proxy_errors_total"
+	MRouterNodeSeconds   = "dssp_router_node_seconds"
 )
 
 // Label keys.
@@ -75,6 +91,7 @@ const (
 	LTenant         = "tenant"
 	LClass          = "class"
 	LKind           = "kind"
+	LNode           = "node"
 )
 
 // Pipeline stages of one request, in flow order. Seal and open run on the
@@ -90,10 +107,13 @@ const (
 	StageOpen       = "open"
 )
 
-// Request kinds.
+// Request kinds. KindInvalidate is the shard router's invalidation-only
+// fan-out message: the update is already confirmed at the home server and
+// the target node only monitors it.
 const (
-	KindQuery  = "query"
-	KindUpdate = "update"
+	KindQuery      = "query"
+	KindUpdate     = "update"
+	KindInvalidate = "invalidate"
 )
 
 // BlindTemplate is the template label value used when the template

@@ -55,6 +55,12 @@ type ExecQueryResult struct {
 	Result  wire.SealedResult
 	Empty   bool
 	Scanned int
+
+	// Hit reports that a downstream cache served the query. Transports
+	// that talk straight to the home server leave it false; the shard
+	// router's transport fronts whole caching nodes and propagates the
+	// owning node's hit so the routed deployment reports hits faithfully.
+	Hit bool
 }
 
 // Transport carries sealed wire messages from the node to the home server
@@ -232,7 +238,7 @@ func (p *Pipeline) Query(ctx context.Context, sq wire.SealedQuery, done func(Que
 			return
 		}
 		p.request(obs.KindQuery, tmpl, start)
-		done(QueryReply{Result: er.Result, Scanned: er.Scanned}, nil)
+		done(QueryReply{Result: er.Result, Hit: er.Hit, Scanned: er.Scanned}, nil)
 		for _, w := range waiters {
 			w(QueryReply{Result: er.Result, Coalesced: true}, nil)
 		}

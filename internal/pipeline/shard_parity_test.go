@@ -1,0 +1,234 @@
+package pipeline_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"dssp/internal/apps"
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/dssp"
+	"dssp/internal/encrypt"
+	"dssp/internal/homeserver"
+	"dssp/internal/httpapi"
+	"dssp/internal/pipeline"
+	"dssp/internal/shard"
+	"dssp/internal/simrun"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// The sharded deployments must be indistinguishable from the single-node
+// pipeline: template affinity puts every template's bucket on exactly one
+// node, and decisions are only recorded against non-empty buckets, so
+// each node's decision log must equal the single-node log filtered to the
+// templates that node owns, and the union of the nodes' cache dumps must
+// equal the single-node dump. Any divergence means the router invalidated
+// too much, too little, or in the wrong order.
+
+const shardedFleet = 3
+
+// nodeState is one fleet node's observable cache state after a run.
+type nodeState struct {
+	decisions []cache.Decision
+	dump      []string
+	stats     cache.Stats
+}
+
+// driveSealed replays the parity script through a routed pipeline,
+// sealing and opening at the client exactly as dssp.Client does.
+func driveSealed(t *testing.T, app *template.App, codec *wire.Codec, pipe *pipeline.Pipeline) {
+	t.Helper()
+	ctx := context.Background()
+	for _, op := range parityScript {
+		if op.query {
+			vals, err := dssp.Params(op.param)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sq, err := codec.SealQuery(app.Query(op.template), vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reply, err := pipe.QuerySync(ctx, sq)
+			if err != nil {
+				t.Fatalf("sharded %s(%v): %v", op.template, op.param, err)
+			}
+			if _, err := codec.OpenResult(reply.Result); err != nil {
+				t.Fatalf("sharded %s(%v): open: %v", op.template, op.param, err)
+			}
+			continue
+		}
+		vals, err := dssp.Params(op.param)
+		if err != nil {
+			t.Fatal(err)
+		}
+		su, err := codec.SealUpdate(app.Update(op.template), vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pipe.UpdateSync(ctx, su); err != nil {
+			t.Fatalf("sharded %s(%v): %v", op.template, op.param, err)
+		}
+	}
+}
+
+// runShardedInproc routes the script through a shard router over an
+// in-process fleet: each node has its own pipeline and direct transport
+// to one shared home server — the shard.PipeBackend wiring.
+func runShardedInproc(t *testing.T) []nodeState {
+	t.Helper()
+	app := apps.Toystore()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	seedParityToys(t, db)
+	home := homeserver.New(db, app, codec)
+	analysis := core.Analyze(app, core.DefaultOptions())
+
+	nodes := make([]*dssp.Node, shardedFleet)
+	backends := make([]shard.Backend, shardedFleet)
+	for i := range nodes {
+		nodes[i] = dssp.NewNode(app, analysis, cache.Options{})
+		backends[i] = shard.PipeBackend{
+			Pipe: pipeline.New(nodes[i], pipeline.NewDirectTransport(home), nil, pipeline.Options{}),
+		}
+	}
+	router := shard.NewRouter(shard.NewPlanner(shard.NewAffinity(shardedFleet), analysis), backends, nil, shard.Options{})
+	driveSealed(t, app, codec, pipeline.New(router, router, nil, pipeline.Options{}))
+
+	out := make([]nodeState, shardedFleet)
+	for i, n := range nodes {
+		out[i] = nodeState{normalize(n.Cache.Decisions()), n.Cache.Dump(), n.Cache.Stats()}
+	}
+	return out
+}
+
+// runShardedHTTP routes the script through the full HTTP deployment:
+// dssprouter's RouterServer fronting NodeServer processes, a home server
+// behind them, and the standard client against the router — which speaks
+// the node API, so the client is the unmodified single-node one.
+func runShardedHTTP(t *testing.T) []nodeState {
+	t.Helper()
+	app := apps.Toystore()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	seedParityToys(t, db)
+	home := homeserver.New(db, app, codec)
+	homeSrv := httptest.NewServer(httpapi.HomeHandler(home))
+	defer homeSrv.Close()
+	analysis := core.Analyze(app, core.DefaultOptions())
+
+	nodes := make([]*dssp.Node, shardedFleet)
+	urls := make([]string, shardedFleet)
+	for i := range nodes {
+		nodes[i] = dssp.NewNode(app, analysis, cache.Options{})
+		srv := httptest.NewServer(httpapi.NewNodeServer(nodes[i], homeSrv.URL, homeSrv.Client()).Handler())
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	routerSrv := httptest.NewServer(httpapi.NewRouterServer(analysis, urls, httpapi.RouterOptions{}).Handler())
+	defer routerSrv.Close()
+
+	client := httpapi.NewClient(codec, routerSrv.URL, routerSrv.Client())
+	ctx := context.Background()
+	for _, op := range parityScript {
+		if op.query {
+			if _, err := client.Query(ctx, app.Query(op.template), op.param); err != nil {
+				t.Fatalf("routed http %s(%v): %v", op.template, op.param, err)
+			}
+		} else if _, _, err := client.Update(ctx, app.Update(op.template), op.param); err != nil {
+			t.Fatalf("routed http %s(%v): %v", op.template, op.param, err)
+		}
+	}
+
+	out := make([]nodeState, shardedFleet)
+	for i, n := range nodes {
+		out[i] = nodeState{normalize(n.Cache.Decisions()), n.Cache.Dump(), n.Cache.Stats()}
+	}
+	return out
+}
+
+// ownedDecisions filters the single-node reference log down to the
+// templates one fleet node owns.
+func ownedDecisions(ref []cache.Decision, aff *shard.Affinity, node int) []cache.Decision {
+	out := []cache.Decision{}
+	for _, d := range ref {
+		if aff.OwnerOfTemplate(d.QueryTemplate) == node {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func assertShardedParity(t *testing.T, name string, ref adapterResult, fleet []nodeState) {
+	t.Helper()
+	aff := shard.NewAffinity(len(fleet))
+
+	var merged []string
+	for _, n := range fleet {
+		merged = append(merged, n.dump...)
+	}
+	sort.Strings(merged)
+	if !reflect.DeepEqual(merged, ref.dump) {
+		t.Errorf("%s: merged cache dump diverges from single-node:\n got: %v\nwant: %v", name, merged, ref.dump)
+	}
+
+	for i, n := range fleet {
+		want := ownedDecisions(ref.decisions, aff, i)
+		got := n.decisions
+		if got == nil {
+			got = []cache.Decision{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s node %d: decision log diverges from the single-node log filtered to its templates:\n got: %+v\nwant: %+v",
+				name, i, got, want)
+		}
+	}
+}
+
+func TestShardedAdapterParity(t *testing.T) {
+	ref := runDirect(t)
+	assertShardedParity(t, "inproc", ref, runShardedInproc(t))
+	assertShardedParity(t, "http", ref, runShardedHTTP(t))
+}
+
+// The simulator's Affinity mode and the HTTP router must agree node for
+// node: same ownership map, same exec-node choice, same pruned fan-out —
+// so replaying the same script leaves identical per-node cache counters.
+func TestSimHTTPPerNodeParity(t *testing.T) {
+	cfg := simrun.DefaultConfig(&scriptBench{app: apps.Toystore()}, 1)
+	cfg.Duration = 30 * time.Second
+	cfg.ThinkMean = time.Millisecond
+	cfg.Nodes = shardedFleet
+	cfg.Affinity = true
+	r, err := simrun.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpFleet := runShardedHTTP(t)
+
+	if len(r.PerNode) != len(httpFleet) {
+		t.Fatalf("sim ran %d nodes, http ran %d", len(r.PerNode), len(httpFleet))
+	}
+	for i := range httpFleet {
+		sim, http := r.PerNode[i], httpFleet[i].stats
+		if sim.Hits != http.Hits || sim.Misses != http.Misses || sim.Stores != http.Stores ||
+			sim.Invalidations != http.Invalidations {
+			t.Errorf("node %d: sim hits/misses/stores/invalidations %d/%d/%d/%d, http %d/%d/%d/%d",
+				i, sim.Hits, sim.Misses, sim.Stores, sim.Invalidations,
+				http.Hits, http.Misses, http.Stores, http.Invalidations)
+		}
+	}
+
+	// The script's one update must account for every non-exec node:
+	// fanned out or proven skippable, nothing silently dropped.
+	if got, want := r.FanoutMessages+r.FanoutSkipped, shardedFleet-1; got != want {
+		t.Errorf("fan-out accounting: sent %d + skipped %d = %d, want %d",
+			r.FanoutMessages, r.FanoutSkipped, got, want)
+	}
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"dssp/internal/core"
+	"dssp/internal/invalidate"
+	"dssp/internal/wire"
+)
+
+// Affinity maps sealed statements to owning nodes. Queries whose sealed
+// form reveals a template ID are owned by the template's ring node —
+// template affinity: every entry of that template's cache bucket lives on
+// exactly one node, so adding nodes never fragments a bucket and per-node
+// hit rates match the single-node deployment. Blind queries reveal no
+// template; they are spread by their sealed lookup key (deterministic
+// under the application's keyring, so the same blind statement always
+// lands on the same node and still hits).
+type Affinity struct {
+	ring *Ring
+}
+
+// NewAffinity builds the affinity map for an n-node fleet.
+func NewAffinity(n int) *Affinity {
+	return &Affinity{ring: NewRing(n)}
+}
+
+// Nodes returns the fleet size.
+func (a *Affinity) Nodes() int { return a.ring.Nodes() }
+
+// OwnerOfTemplate returns the node owning a query template's bucket.
+func (a *Affinity) OwnerOfTemplate(id string) int {
+	return a.ring.Owner("tmpl\x00" + id)
+}
+
+// OwnerOfQuery returns the node a sealed query belongs to.
+func (a *Affinity) OwnerOfQuery(sq wire.SealedQuery) int {
+	if sq.TemplateID == "" {
+		return a.ring.Owner("blind\x00" + sq.Key)
+	}
+	return a.OwnerOfTemplate(sq.TemplateID)
+}
+
+// ExecNode returns the node that forwards a sealed update to the home
+// server. Any deterministic choice is correct (the home server executes
+// the update wherever it arrives from); spreading by template — or by the
+// opaque ciphertext when the template is hidden, which deterministic
+// encryption keeps stable per statement — keeps update forwarding load
+// off any single node.
+func (a *Affinity) ExecNode(su wire.SealedUpdate) int {
+	if su.TemplateID == "" {
+		return a.ring.Owner("blindu\x00" + string(su.Opaque))
+	}
+	return a.ring.Owner("upd\x00" + su.TemplateID)
+}
+
+// Planner decides which nodes a completed update must reach. It
+// precomputes, per update template, the set of nodes owning at least one
+// query template the static analysis could not prove A = 0 for — the
+// only nodes whose caches the update can possibly affect. Nodes that have
+// served blind queries are added at plan time (their hidden buckets must
+// be blind-invalidated, and affinity cannot see inside them); updates
+// with hidden or unknown template IDs broadcast to every node, the
+// network-level analogue of the cache's blind invalidation.
+type Planner struct {
+	aff    *Affinity
+	idx    *invalidate.Router
+	owners map[string][]int // update template ID -> sorted target node set
+
+	// blindSeen[i] records that node i has been routed at least one blind
+	// query and may hold hidden-bucket entries.
+	blindSeen []atomic.Bool
+}
+
+// NewPlanner precomputes the fan-out plan for a fleet from the
+// application's static analysis.
+func NewPlanner(aff *Affinity, analysis *core.Analysis) *Planner {
+	idx := invalidate.NewRouter(analysis)
+	p := &Planner{
+		aff:       aff,
+		idx:       idx,
+		owners:    make(map[string][]int, len(analysis.App.Updates)),
+		blindSeen: make([]atomic.Bool, aff.Nodes()),
+	}
+	for _, u := range analysis.App.Updates {
+		ids, ok := idx.Affected(u.ID)
+		if !ok {
+			continue
+		}
+		set := make(map[int]bool, len(ids))
+		for _, q := range ids {
+			set[aff.OwnerOfTemplate(q)] = true
+		}
+		nodes := make([]int, 0, len(set))
+		for n := range set {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		p.owners[u.ID] = nodes
+	}
+	return p
+}
+
+// Affinity returns the fleet's ownership map.
+func (p *Planner) Affinity() *Affinity { return p.aff }
+
+// Nodes returns the fleet size.
+func (p *Planner) Nodes() int { return p.aff.Nodes() }
+
+// NoteQuery returns the node that owns a sealed query, recording blind
+// traffic so later updates know which hidden buckets exist where.
+func (p *Planner) NoteQuery(sq wire.SealedQuery) int {
+	ni := p.aff.OwnerOfQuery(sq)
+	if sq.TemplateID == "" {
+		p.blindSeen[ni].Store(true)
+	}
+	return ni
+}
+
+// ExecNode returns the node that forwards the update to the home server.
+func (p *Planner) ExecNode(su wire.SealedUpdate) int {
+	return p.aff.ExecNode(su)
+}
+
+// Targets returns the sorted set of nodes whose caches a completed update
+// must be monitored on, and whether the plan is a blind broadcast (hidden
+// or unknown update template — every node must see it). The exec node is
+// not implicitly included: callers that route the update's execution
+// through a node's own update pathway get that node's invalidation for
+// free and fan the rest out.
+func (p *Planner) Targets(su wire.SealedUpdate) (nodes []int, broadcast bool) {
+	owned, known := p.owners[su.TemplateID]
+	if su.TemplateID == "" || !known {
+		all := make([]int, p.Nodes())
+		for i := range all {
+			all[i] = i
+		}
+		return all, true
+	}
+	set := make(map[int]bool, len(owned)+1)
+	for _, n := range owned {
+		set[n] = true
+	}
+	for i := range p.blindSeen {
+		if p.blindSeen[i].Load() {
+			set[i] = true
+		}
+	}
+	nodes = make([]int, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes, false
+}

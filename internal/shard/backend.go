@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"context"
+
+	"dssp/internal/pipeline"
+	"dssp/internal/wire"
+)
+
+// PipeBackend adapts one node's pipeline to the Backend interface for
+// in-process fleets — the parity tests, the scale-out experiment, and any
+// deployment that keeps the whole fleet in one process. The HTTP
+// deployment's counterpart is httpapi.NodeProxy.
+type PipeBackend struct {
+	Pipe *pipeline.Pipeline
+}
+
+// Query serves a sealed query through the node's pipeline.
+func (b PipeBackend) Query(ctx context.Context, sq wire.SealedQuery) (wire.SealedResult, bool, error) {
+	reply, err := b.Pipe.QuerySync(ctx, sq)
+	return reply.Result, reply.Hit, err
+}
+
+// Update routes a sealed update through the node's full update pathway.
+func (b PipeBackend) Update(ctx context.Context, su wire.SealedUpdate) (int, int, error) {
+	reply, err := b.Pipe.UpdateSync(ctx, su)
+	return reply.Affected, reply.Invalidated, err
+}
+
+// Invalidate feeds an already-confirmed update into the node's
+// invalidation monitor and waits for its count — at the next flush when
+// the node batches per monitoring interval, immediately otherwise.
+func (b PipeBackend) Invalidate(ctx context.Context, su wire.SealedUpdate) (int, error) {
+	ch := make(chan int, 1)
+	b.Pipe.MonitorUpdate(su, func(invalidated int) { ch <- invalidated })
+	select {
+	case n := <-ch:
+		return n, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}

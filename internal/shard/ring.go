@@ -1,0 +1,101 @@
+// Package shard scales the DSSP deployment out: a router fronts N
+// dsspnode processes and splits the key space by template affinity, so
+// every query template's cache entries live on exactly one node and hit
+// rates are preserved as nodes are added. The same static analysis that
+// prunes invalidation inside one cache (invalidate.Router) prunes the
+// cross-node invalidation fan-out here: a completed update is pushed only
+// to the nodes owning a query template the analysis could not prove
+// A = 0 for — the scalability/security analysis becomes a network-level
+// optimization.
+//
+// The router is untrusted infrastructure, exactly like a node: it holds
+// no keys and steers only by what sealed messages reveal. Blind
+// statements reveal no template, so blind queries are spread by their
+// sealed lookup key and blind (or forged) updates fall back to a
+// broadcast — conservative, like every other blind pathway in the
+// system.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual points each node contributes to
+// the ring. More points smooth the key-space split; 64 keeps the spread
+// within a few percent for small fleets while the ring stays tiny.
+const ringReplicas = 64
+
+// Ring is a consistent-hash ring over nodes 0..n-1. It is deterministic
+// in n alone, so every process that builds a Ring for the same fleet size
+// — router, simulator, tests — agrees on ownership without coordination.
+// Removing or adding a node moves only the keys adjacent to its points,
+// the property that keeps a resize from cold-starting every cache.
+type Ring struct {
+	n      int
+	hashes []uint64 // sorted virtual points
+	owners []int    // owners[i] is the node owning hashes[i]
+}
+
+// NewRing builds the ring for an n-node fleet.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic(fmt.Sprintf("shard: ring needs at least one node, got %d", n))
+	}
+	r := &Ring{n: n}
+	type point struct {
+		hash uint64
+		node int
+	}
+	points := make([]point, 0, n*ringReplicas)
+	for node := 0; node < n; node++ {
+		for rep := 0; rep < ringReplicas; rep++ {
+			points = append(points, point{hash64(fmt.Sprintf("node-%d-rep-%d", node, rep)), node})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].node < points[j].node
+	})
+	r.hashes = make([]uint64, len(points))
+	r.owners = make([]int, len(points))
+	for i, p := range points {
+		r.hashes[i] = p.hash
+		r.owners[i] = p.node
+	}
+	return r
+}
+
+// Nodes returns the fleet size the ring was built for.
+func (r *Ring) Nodes() int { return r.n }
+
+// Owner maps a key to its owning node: the first virtual point at or
+// after the key's hash, wrapping around.
+func (r *Ring) Owner(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i]
+}
+
+// hash64 hashes a key onto the ring. Raw FNV-1a disperses short, similar
+// strings ("node-0-rep-1", template IDs) poorly — their hashes cluster in
+// a narrow band, which collapses the ring onto one node — so the FNV
+// value is passed through a 64-bit avalanche finalizer to spread it over
+// the full space.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

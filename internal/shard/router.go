@@ -1,0 +1,263 @@
+package shard
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dssp/internal/obs"
+	"dssp/internal/pipeline"
+	"dssp/internal/wire"
+)
+
+// Backend is one DSSP node as the router sees it: a sealed-message
+// surface only, because the router — untrusted, like the nodes — never
+// opens anything. Invalidate is the fan-out half of the update pathway:
+// the update is already confirmed at the home server and the node only
+// monitors it (no second execution).
+type Backend interface {
+	Query(ctx context.Context, sq wire.SealedQuery) (res wire.SealedResult, hit bool, err error)
+	Update(ctx context.Context, su wire.SealedUpdate) (affected, invalidated int, err error)
+	Invalidate(ctx context.Context, su wire.SealedUpdate) (invalidated int, err error)
+}
+
+// DefaultMaxFanout bounds how many invalidation pushes one update issues
+// concurrently.
+const DefaultMaxFanout = 4
+
+// Options tune a Router.
+type Options struct {
+	// MaxFanout caps concurrent invalidation pushes per update batch.
+	// 0 means DefaultMaxFanout.
+	MaxFanout int
+}
+
+// Router steers sealed traffic across a fleet of DSSP nodes. It
+// implements both pipeline.Cache and pipeline.Transport, so a pipeline
+// built as pipeline.New(r, r, …) is the routed deployment's pathway:
+// the cache half always misses (the router holds no entries of its own;
+// StoreResult is a no-op) and the transport half proxies to the owning
+// node — which means the pipeline's single-flight miss coalescing now
+// works fleet-wide, and the update pathway's confirm-then-monitor
+// ordering drives the fan-out at exactly the right moment.
+//
+// Queries go to the one node owning their template (or sealed key, for
+// blind traffic). An update executes through exactly one node's full
+// update pathway — that node invalidates its own cache as usual — and
+// the router then pushes invalidation-only messages, in parallel under a
+// concurrency bound, to the other nodes the Planner could not prove
+// untouched. Nodes outside the plan never hear about the update at all:
+// the skipped messages are the scale-out payoff of the static analysis.
+type Router struct {
+	planner  *Planner
+	backends []Backend
+	tracer   *obs.Tracer
+	reg      *obs.Registry
+	sem      chan struct{}
+
+	fanoutNodes   *obs.Histogram
+	fanoutSkipped *obs.Counter
+	broadcasts    *obs.Counter
+
+	// execInv stashes the exec node's invalidation count between the
+	// transport's ExecUpdate and the cache half's OnUpdateCompleted for
+	// the same update, keyed by trace ID. A stack per key keeps totals
+	// right even if trace IDs collide (e.g. pre-tracing messages with an
+	// empty ID).
+	mu      sync.Mutex
+	execInv map[string][]int
+}
+
+// NewRouter builds a router over a fleet. backends must match the
+// planner's fleet size, index for index. tracer supplies the clock and
+// registry for the router's instruments; nil disables them.
+func NewRouter(planner *Planner, backends []Backend, tracer *obs.Tracer, opts Options) *Router {
+	if len(backends) != planner.Nodes() {
+		panic("shard: backend count does not match planner fleet size")
+	}
+	if opts.MaxFanout <= 0 {
+		opts.MaxFanout = DefaultMaxFanout
+	}
+	r := &Router{
+		planner:  planner,
+		backends: backends,
+		tracer:   tracer,
+		sem:      make(chan struct{}, opts.MaxFanout),
+		execInv:  make(map[string][]int),
+	}
+	if tracer != nil {
+		r.reg = tracer.Registry()
+	}
+	if r.reg != nil {
+		// Eager registration: every routed deployment exposes the same
+		// metric shape, busy or idle. Per-node latency histograms are
+		// registered lazily per (node, kind) on first use.
+		r.fanoutNodes = r.reg.Histogram(obs.MRouterFanoutNodes)
+		r.fanoutSkipped = r.reg.Counter(obs.MRouterFanoutSkipped)
+		r.broadcasts = r.reg.Counter(obs.MRouterBroadcasts)
+	}
+	return r
+}
+
+// Planner returns the router's fan-out planner.
+func (r *Router) Planner() *Planner { return r.planner }
+
+// now reads the router's clock (zero without a tracer).
+func (r *Router) now() time.Duration {
+	if r.tracer == nil {
+		return 0
+	}
+	return r.tracer.Now()
+}
+
+// observeNode records one proxied round trip in the per-node latency
+// histogram.
+func (r *Router) observeNode(ni int, kind string, start time.Duration) {
+	if r.reg == nil {
+		return
+	}
+	r.reg.Histogram(obs.MRouterNodeSeconds,
+		obs.L(obs.LNode, strconv.Itoa(ni)), obs.L(obs.LKind, kind)).
+		Observe(r.now() - start)
+}
+
+// proxyError counts one failed proxied call (after the backend's own
+// retry gave up). Registered lazily on first error, like the httpapi
+// error counters.
+func (r *Router) proxyError(kind string) {
+	if r.reg != nil {
+		r.reg.Counter(obs.MRouterProxyErrors, obs.L(obs.LKind, kind)).Inc()
+	}
+}
+
+// HandleQuery implements pipeline.Cache. The router caches nothing
+// itself, so every query "misses" into the transport half, which proxies
+// it to the owning node's cache.
+func (r *Router) HandleQuery(wire.SealedQuery) (wire.SealedResult, bool) {
+	return wire.SealedResult{}, false
+}
+
+// StoreResult implements pipeline.Cache as a no-op: the owning node
+// already stored the result on its own miss path.
+func (r *Router) StoreResult(wire.SealedQuery, wire.SealedResult, bool) {}
+
+// ExecQuery implements pipeline.Transport: proxy the sealed query to its
+// owning node and surface that node's hit/miss through the pipeline.
+func (r *Router) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
+	ni := r.planner.NoteQuery(sq)
+	start := r.now()
+	res, hit, err := r.backends[ni].Query(ctx, sq)
+	r.observeNode(ni, obs.KindQuery, start)
+	if err != nil {
+		r.proxyError(obs.KindQuery)
+		done(pipeline.ExecQueryResult{}, err)
+		return
+	}
+	done(pipeline.ExecQueryResult{Result: res, Hit: hit}, nil)
+}
+
+// ExecUpdate implements pipeline.Transport: route the update through one
+// node's full update pathway (home execution plus that node's own
+// invalidation) and stash the node's invalidation count for the fan-out
+// step to fold in. A failed exec means the update was never confirmed,
+// so no fan-out follows.
+func (r *Router) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
+	exec := r.planner.ExecNode(su)
+	start := r.now()
+	affected, invalidated, err := r.backends[exec].Update(ctx, su)
+	r.observeNode(exec, obs.KindUpdate, start)
+	if err != nil {
+		r.proxyError(obs.KindUpdate)
+		done(0, err)
+		return
+	}
+	r.mu.Lock()
+	r.execInv[su.TraceID] = append(r.execInv[su.TraceID], invalidated)
+	r.mu.Unlock()
+	done(affected, nil)
+}
+
+// popExecInv retrieves the stashed exec-node invalidation count for an
+// update the pipeline just confirmed.
+func (r *Router) popExecInv(trace string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stack := r.execInv[trace]
+	if len(stack) == 0 {
+		return 0
+	}
+	n := stack[len(stack)-1]
+	if len(stack) == 1 {
+		delete(r.execInv, trace)
+	} else {
+		r.execInv[trace] = stack[:len(stack)-1]
+	}
+	return n
+}
+
+// OnUpdateCompleted implements pipeline.Cache: the pipeline calls it once
+// the home server (via the exec node) has confirmed the update, which is
+// exactly when the invalidation fan-out must run. Returns the fleet-wide
+// invalidation count.
+func (r *Router) OnUpdateCompleted(su wire.SealedUpdate) int {
+	return r.fanOut(su)
+}
+
+// OnUpdatesCompleted implements pipeline.Cache for a batched monitoring
+// interval at the router: each update fans out in turn.
+func (r *Router) OnUpdatesCompleted(us []wire.SealedUpdate) []int {
+	counts := make([]int, len(us))
+	for i, su := range us {
+		counts[i] = r.fanOut(su)
+	}
+	return counts
+}
+
+// fanOut pushes one confirmed update's invalidation to every planned node
+// except the exec node (whose own pathway already invalidated), in
+// parallel under the concurrency bound. A node that fails after retries
+// is counted and skipped — the batch still reaches the surviving nodes.
+func (r *Router) fanOut(su wire.SealedUpdate) int {
+	exec := r.planner.ExecNode(su)
+	targets, broadcast := r.planner.Targets(su)
+	if broadcast && r.broadcasts != nil {
+		r.broadcasts.Inc()
+	}
+
+	total := int64(r.popExecInv(su.TraceID))
+	touched := 1 // the exec node
+	var wg sync.WaitGroup
+	for _, ni := range targets {
+		if ni == exec {
+			continue
+		}
+		touched++
+		ni := ni
+		wg.Add(1)
+		r.sem <- struct{}{}
+		go func() {
+			defer func() { <-r.sem; wg.Done() }()
+			start := r.now()
+			inv, err := r.backends[ni].Invalidate(context.Background(), su)
+			r.observeNode(ni, obs.KindInvalidate, start)
+			if err != nil {
+				r.proxyError(obs.KindInvalidate)
+				return
+			}
+			atomic.AddInt64(&total, int64(inv))
+		}()
+	}
+	wg.Wait()
+
+	if r.fanoutNodes != nil {
+		// Encoded like the batch-size histogram: an n-node fan-out is
+		// recorded as n microseconds.
+		r.fanoutNodes.Observe(time.Duration(touched) * time.Microsecond)
+	}
+	if skipped := r.planner.Nodes() - touched; skipped > 0 && r.fanoutSkipped != nil {
+		r.fanoutSkipped.Add(int64(skipped))
+	}
+	return int(atomic.LoadInt64(&total))
+}

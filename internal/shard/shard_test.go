@@ -1,0 +1,352 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"dssp/internal/apps"
+	"dssp/internal/core"
+	"dssp/internal/invalidate"
+	"dssp/internal/obs"
+	"dssp/internal/pipeline"
+	"dssp/internal/wire"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, ob := a.Owner(key), b.Owner(key)
+		if oa != ob {
+			t.Fatalf("ring not deterministic: key %q -> %d vs %d", key, oa, ob)
+		}
+		if oa < 0 || oa >= 4 {
+			t.Fatalf("owner out of range: %d", oa)
+		}
+		seen[oa] = true
+	}
+	for n := 0; n < 4; n++ {
+		if !seen[n] {
+			t.Errorf("node %d owns none of 1000 keys; ring badly unbalanced", n)
+		}
+	}
+}
+
+// Growing the fleet must move keys only onto the new node — the
+// consistent-hashing property that keeps a resize from reshuffling (and
+// cold-starting) every existing node's cache.
+func TestRingGrowthMovesKeysOnlyToNewNode(t *testing.T) {
+	r3, r4 := NewRing(3), NewRing(4)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o3, o4 := r3.Owner(key), r4.Owner(key)
+		if o3 != o4 {
+			moved++
+			if o4 != 3 {
+				t.Fatalf("key %q moved %d -> %d; growth may only move keys to the new node", key, o3, o4)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the new node; ring is ignoring it")
+	}
+}
+
+func TestAffinityOwnership(t *testing.T) {
+	aff := NewAffinity(4)
+	exposed := wire.SealedQuery{TemplateID: "Q1", Key: "Q1\x00bear"}
+	if got, want := aff.OwnerOfQuery(exposed), aff.OwnerOfTemplate("Q1"); got != want {
+		t.Errorf("exposed query owner %d, template owner %d; template affinity broken", got, want)
+	}
+	// Blind queries spread by sealed key: same key -> same node, and the
+	// template owner is irrelevant (the router cannot see the template).
+	blind := wire.SealedQuery{TemplateID: "", Key: "tok-abc"}
+	if got := aff.OwnerOfQuery(blind); got != aff.OwnerOfQuery(blind) {
+		t.Error("blind query owner not deterministic")
+	}
+}
+
+func TestPlannerTargetsMatchAnalysis(t *testing.T) {
+	app := apps.NewAuction().App()
+	analysis := core.Analyze(app, core.DefaultOptions())
+	idx := invalidate.NewRouter(analysis)
+	const fleet = 4
+	p := NewPlanner(NewAffinity(fleet), analysis)
+
+	pruned := 0
+	for _, u := range app.Updates {
+		su := wire.SealedUpdate{TemplateID: u.ID}
+		targets, broadcast := p.Targets(su)
+		if broadcast {
+			t.Fatalf("%s: known template must not broadcast", u.ID)
+		}
+		ids, ok := idx.Affected(u.ID)
+		if !ok {
+			t.Fatalf("%s: missing from invalidation index", u.ID)
+		}
+		want := make(map[int]bool)
+		for _, q := range ids {
+			want[p.Affinity().OwnerOfTemplate(q)] = true
+		}
+		var wantSorted []int
+		for n := range want {
+			wantSorted = append(wantSorted, n)
+		}
+		sort.Ints(wantSorted)
+		if fmt.Sprint(targets) != fmt.Sprint(wantSorted) {
+			t.Errorf("%s: targets %v, want owners of A>0 templates %v", u.ID, targets, wantSorted)
+		}
+		if len(targets) < fleet {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Error("no auction update had a pruned target set; the analysis is buying nothing at the network level")
+	}
+}
+
+func TestPlannerBlindSeenJoinsEveryPlan(t *testing.T) {
+	app := apps.Toystore()
+	analysis := core.Analyze(app, core.DefaultOptions())
+	p := NewPlanner(NewAffinity(4), analysis)
+
+	blind := wire.SealedQuery{TemplateID: "", Key: "blind-token-1"}
+	ni := p.NoteQuery(blind)
+	for _, u := range app.Updates {
+		targets, _ := p.Targets(wire.SealedUpdate{TemplateID: u.ID})
+		found := false
+		for _, n := range targets {
+			if n == ni {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: node %d served blind traffic but is missing from targets %v", u.ID, ni, targets)
+		}
+	}
+}
+
+func TestPlannerUnknownTemplateBroadcasts(t *testing.T) {
+	app := apps.Toystore()
+	p := NewPlanner(NewAffinity(3), core.Analyze(app, core.DefaultOptions()))
+	for _, id := range []string{"", "FORGED-TEMPLATE"} {
+		targets, broadcast := p.Targets(wire.SealedUpdate{TemplateID: id})
+		if !broadcast {
+			t.Errorf("template %q: want broadcast fallback", id)
+		}
+		if len(targets) != 3 {
+			t.Errorf("template %q: broadcast targets %v, want all 3 nodes", id, targets)
+		}
+	}
+}
+
+// fakeBackend records the sealed messages it receives and serves
+// configurable answers.
+type fakeBackend struct {
+	mu          sync.Mutex
+	queries     []wire.SealedQuery
+	updates     []wire.SealedUpdate
+	invalidates []wire.SealedUpdate
+
+	hit         bool
+	affected    int
+	invalidated int
+	fail        error
+}
+
+func (f *fakeBackend) Query(_ context.Context, sq wire.SealedQuery) (wire.SealedResult, bool, error) {
+	f.mu.Lock()
+	f.queries = append(f.queries, sq)
+	f.mu.Unlock()
+	return wire.SealedResult{}, f.hit, f.fail
+}
+
+func (f *fakeBackend) Update(_ context.Context, su wire.SealedUpdate) (int, int, error) {
+	f.mu.Lock()
+	f.updates = append(f.updates, su)
+	f.mu.Unlock()
+	return f.affected, f.invalidated, f.fail
+}
+
+func (f *fakeBackend) Invalidate(_ context.Context, su wire.SealedUpdate) (int, error) {
+	f.mu.Lock()
+	f.invalidates = append(f.invalidates, su)
+	f.mu.Unlock()
+	return f.invalidated, f.fail
+}
+
+// routedFixture builds a router over fake backends and the pipeline in
+// front of it, mirroring the real deployment's wiring.
+func routedFixture(t *testing.T, fleet int) (*Router, []*fakeBackend, *pipeline.Pipeline, *obs.Registry) {
+	t.Helper()
+	app := apps.Toystore()
+	planner := NewPlanner(NewAffinity(fleet), core.Analyze(app, core.DefaultOptions()))
+	fakes := make([]*fakeBackend, fleet)
+	backends := make([]Backend, fleet)
+	for i := range fakes {
+		fakes[i] = &fakeBackend{affected: 1, invalidated: 1}
+		backends[i] = fakes[i]
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, obs.WallClock())
+	r := NewRouter(planner, backends, tracer, Options{})
+	return r, fakes, pipeline.New(r, r, tracer, pipeline.Options{}), reg
+}
+
+func TestRouterQueryRoutesToOwner(t *testing.T) {
+	r, fakes, pipe, _ := routedFixture(t, 4)
+	owner := r.Planner().Affinity().OwnerOfTemplate("Q1")
+	fakes[owner].hit = true
+
+	sq := wire.SealedQuery{TemplateID: "Q1", Key: "Q1\x00bear", TraceID: "t-q"}
+	reply, err := pipe.QuerySync(context.Background(), sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Hit {
+		t.Error("owning node hit, but the routed reply reports a miss")
+	}
+	for i, f := range fakes {
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if got := len(f.queries); got != want {
+			t.Errorf("node %d saw %d queries, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRouterUpdateFanOut(t *testing.T) {
+	r, fakes, pipe, reg := routedFixture(t, 4)
+	su := wire.SealedUpdate{TemplateID: "U1", TraceID: "t-u1"}
+	exec := r.Planner().ExecNode(su)
+	targets, _ := r.Planner().Targets(su)
+
+	reply, err := pipe.UpdateSync(context.Background(), su)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	touched := map[int]bool{exec: true}
+	for _, n := range targets {
+		touched[n] = true
+	}
+	wantInvalidated := len(touched) // each fake reports 1
+	if reply.Invalidated != wantInvalidated {
+		t.Errorf("invalidated %d, want %d (one per touched node)", reply.Invalidated, wantInvalidated)
+	}
+	for i, f := range fakes {
+		wantU, wantI := 0, 0
+		if i == exec {
+			wantU = 1
+		} else if touched[i] {
+			wantI = 1
+		}
+		if len(f.updates) != wantU || len(f.invalidates) != wantI {
+			t.Errorf("node %d: %d updates / %d invalidates, want %d / %d",
+				i, len(f.updates), len(f.invalidates), wantU, wantI)
+		}
+	}
+	if skipped := reg.Counter(obs.MRouterFanoutSkipped).Value(); skipped != int64(4-len(touched)) {
+		t.Errorf("fanout_skipped %d, want %d", skipped, 4-len(touched))
+	}
+	if bc := reg.Counter(obs.MRouterBroadcasts).Value(); bc != 0 {
+		t.Errorf("broadcasts %d for a known template, want 0", bc)
+	}
+}
+
+// A node down during the fan-out must not stop the batch: surviving
+// nodes still get the invalidation, the failure is counted, and the
+// update itself still succeeds (it was confirmed before the fan-out).
+func TestRouterFanOutSurvivesNodeDown(t *testing.T) {
+	r, fakes, pipe, reg := routedFixture(t, 4)
+	su := wire.SealedUpdate{TemplateID: "U1", TraceID: "t-down"}
+	exec := r.Planner().ExecNode(su)
+	targets, _ := r.Planner().Targets(su)
+
+	var down int = -1
+	for _, n := range targets {
+		if n != exec {
+			down = n
+			break
+		}
+	}
+	if down == -1 {
+		t.Skip("fan-out plan has no node besides the exec node at this fleet size")
+	}
+	fakes[down].fail = errors.New("connection refused")
+
+	reply, err := pipe.UpdateSync(context.Background(), su)
+	if err != nil {
+		t.Fatalf("update failed outright; a down fan-out target must not fail the update: %v", err)
+	}
+	for _, n := range targets {
+		if n == exec || n == down {
+			continue
+		}
+		if len(fakes[n].invalidates) != 1 {
+			t.Errorf("surviving node %d missed the invalidation", n)
+		}
+	}
+	touched := map[int]bool{exec: true}
+	for _, n := range targets {
+		touched[n] = true
+	}
+	if want := len(touched) - 1; reply.Invalidated != want {
+		t.Errorf("invalidated %d, want %d (down node contributes nothing)", reply.Invalidated, want)
+	}
+	if n := reg.Counter(obs.MRouterProxyErrors, obs.L(obs.LKind, obs.KindInvalidate)).Value(); n != 1 {
+		t.Errorf("proxy_errors{kind=invalidate} = %d, want 1", n)
+	}
+}
+
+// A down owning node fails the query after the backend's retry path gives
+// up — queries have exactly one home, so there is nothing to fail over
+// to.
+func TestRouterQueryNodeDown(t *testing.T) {
+	r, fakes, pipe, reg := routedFixture(t, 4)
+	sq := wire.SealedQuery{TemplateID: "Q2", Key: "Q2\x001", TraceID: "t-qd"}
+	owner := r.Planner().Affinity().OwnerOfQuery(sq)
+	fakes[owner].fail = errors.New("connection refused")
+
+	if _, err := pipe.QuerySync(context.Background(), sq); err == nil {
+		t.Fatal("query to a down owning node must surface the error")
+	}
+	if n := reg.Counter(obs.MRouterProxyErrors, obs.L(obs.LKind, obs.KindQuery)).Value(); n != 1 {
+		t.Errorf("proxy_errors{kind=query} = %d, want 1", n)
+	}
+}
+
+func TestRouterForgedTemplateBroadcasts(t *testing.T) {
+	r, fakes, pipe, reg := routedFixture(t, 4)
+	su := wire.SealedUpdate{TemplateID: "FORGED", TraceID: "t-forged"}
+	exec := r.Planner().ExecNode(su)
+
+	if _, err := pipe.UpdateSync(context.Background(), su); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fakes {
+		if i == exec {
+			if len(f.updates) != 1 {
+				t.Errorf("exec node %d saw %d updates, want 1", i, len(f.updates))
+			}
+			continue
+		}
+		if len(f.invalidates) != 1 {
+			t.Errorf("node %d saw %d invalidations; a forged template must reach every node", i, len(f.invalidates))
+		}
+	}
+	if bc := reg.Counter(obs.MRouterBroadcasts).Value(); bc != 1 {
+		t.Errorf("broadcasts = %d, want 1", bc)
+	}
+	if skipped := reg.Counter(obs.MRouterFanoutSkipped).Value(); skipped != 0 {
+		t.Errorf("fanout_skipped = %d during a broadcast, want 0", skipped)
+	}
+}

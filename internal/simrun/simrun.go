@@ -19,6 +19,7 @@ import (
 	"dssp/internal/metrics"
 	"dssp/internal/obs"
 	"dssp/internal/pipeline"
+	"dssp/internal/shard"
 	"dssp/internal/sim"
 	"dssp/internal/storage"
 	"dssp/internal/template"
@@ -47,8 +48,19 @@ type Config struct {
 	// paper's prototype used one). Clients are spread round-robin across
 	// nodes; every node monitors completed updates for invalidation, the
 	// non-issuing nodes one home-link latency later. More nodes add DSSP
-	// CPU but fragment the cache.
+	// CPU but — without Affinity — fragment the cache.
 	Nodes int
+
+	// Affinity mirrors the shard router's scale-out topology: each
+	// operation is routed to the node owning its sealed statement
+	// (template affinity for exposed traffic, sealed key for blind), so
+	// every template's entries live on exactly one node and per-node hit
+	// rates match the single-node deployment. Completed updates fan out
+	// only to the nodes the shard planner could not prove untouched,
+	// instead of to everyone; the messages sent and saved land in
+	// Result.FanoutMessages/FanoutSkipped. Off, clients stick to their
+	// round-robin node and updates broadcast — the pre-scale-out model.
+	Affinity bool
 
 	// MonitorInterval batches each node's invalidation per monitoring
 	// interval, on virtual time: confirmed updates accumulate in the
@@ -104,6 +116,17 @@ type Result struct {
 	// log and final cache contents, for the adapter parity tests.
 	Decisions []cache.Decision
 	CacheDump []string
+
+	// PerNode holds each node's own cache counters, in fleet order — the
+	// per-node hit rates the sim↔HTTP scale-out parity test compares.
+	PerNode []cache.Stats
+
+	// FanoutMessages and FanoutSkipped count, in Affinity mode, the
+	// cross-node invalidation messages actually sent versus the ones the
+	// planner's A>0 index proved unnecessary (a naive deployment would
+	// have broadcast them). Both zero when Affinity is off.
+	FanoutMessages int
+	FanoutSkipped  int
 }
 
 // simTransport carries sealed messages between one DSSP node and the home
@@ -133,6 +156,11 @@ type simTransport struct {
 	pipes    []*pipeline.Pipeline
 	self     int
 	res      *Result
+
+	// planner, in Affinity mode, prunes the update fan-out to the nodes
+	// the shard analysis could not prove untouched; nil broadcasts to
+	// every other node (the pre-scale-out model).
+	planner *shard.Planner
 
 	// Mirrors of the home server's admission instruments, fed from the
 	// simulated home CPU queue so the snapshot has the same shape as
@@ -188,16 +216,32 @@ func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done 
 			tID := t.trueTemplate(su.Opaque)
 			t.tracer.Observe(su.TraceID, obs.StageHomeExec, tID, t.world.Now()-t.costs.HomeUpdateCost, t.costs.HomeUpdateCost)
 			t.reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, tID)).Inc()
-			// Every other node monitors the completed update too, one
-			// home-link propagation later, through its pipeline monitor —
-			// which records the invalidate span and, with a monitoring
-			// interval configured, batches it with the node's own stream.
-			// The issuing node invalidates in the pipeline when done
-			// resolves.
-			for oi := range t.pipes {
-				if oi == t.self {
-					continue
+			// Other nodes monitor the completed update too, one home-link
+			// propagation later, through their pipeline monitors — which
+			// record the invalidate span and, with a monitoring interval
+			// configured, batch it with the node's own stream. The issuing
+			// node invalidates in the pipeline when done resolves. With a
+			// planner (Affinity mode) the fan-out reaches only the nodes
+			// the A>0 index could not prove untouched; without one it
+			// broadcasts, the pre-scale-out model.
+			targets := make([]int, 0, len(t.pipes))
+			if t.planner != nil {
+				planned, _ := t.planner.Targets(su)
+				for _, oi := range planned {
+					if oi != t.self {
+						targets = append(targets, oi)
+					}
 				}
+				t.res.FanoutMessages += len(targets)
+				t.res.FanoutSkipped += len(t.pipes) - len(targets) - 1
+			} else {
+				for oi := range t.pipes {
+					if oi != t.self {
+						targets = append(targets, oi)
+					}
+				}
+			}
+			for _, oi := range targets {
 				oi := oi
 				t.world.After(t.network.HomeLatency, func() {
 					t.pipes[oi].MonitorUpdate(su, func(invalidated int) {
@@ -278,6 +322,14 @@ func Simulate(cfg Config) (*Result, error) {
 	waitU := reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindUpdate))
 	reg.Counter(obs.MHomeMonitorReleases)
 
+	// The shard planner, in Affinity mode: the same ownership map and
+	// pruned fan-out plan the HTTP router uses, so the simulated topology
+	// is the deployed one.
+	var planner *shard.Planner
+	if cfg.Affinity {
+		planner = shard.NewPlanner(shard.NewAffinity(cfg.Nodes), analysis)
+	}
+
 	// One pipeline per node — the same pathway every other deployment
 	// routes through — over a virtual-time transport. The pipes slice is
 	// shared with every transport before it is filled: fan-out only runs
@@ -288,6 +340,7 @@ func Simulate(cfg Config) (*Result, error) {
 			world: &world, reg: reg, tracer: tracer, codec: codec,
 			home: home, homeCPU: homeCPU, toHome: toHome, fromHome: fromHome,
 			costs: cfg.Costs, network: cfg.Network, pipes: pipes, self: i, res: res,
+			planner:    planner,
 			queueDepth: queueDepth, waitQ: waitQ, waitU: waitU,
 		}
 		pipes[i] = pipeline.New(nodes[i], tr, tracer, pipeline.Options{
@@ -306,21 +359,28 @@ func Simulate(cfg Config) (*Result, error) {
 		world.After(d, fn)
 	}
 
-	// runOp performs one DB operation against the given node and calls
-	// done at the client when the op's response arrives. The emulated
-	// client seals and opens (trusted-side stages under the true template
-	// ID); everything between rides the node's shared pipeline, which
-	// records the node-side stages under whatever the sealed message
-	// reveals.
+	// runOp performs one DB operation against a node and calls done at
+	// the client when the op's response arrives. The emulated client
+	// seals and opens (trusted-side stages under the true template ID);
+	// everything between rides the node's shared pipeline, which records
+	// the node-side stages under whatever the sealed message reveals.
+	// Sealing happens up front (it costs no virtual time and consumes no
+	// simulation randomness) because in Affinity mode the sealed form
+	// decides the node: the owner for queries, the exec node for updates
+	// — exactly how the shard router steers. Without affinity the op
+	// stays on the client's round-robin node.
 	runOp := func(ni int, op workload.Op, done func()) {
 		opStart := world.Now()
-		clientDelay(cfg.Costs.RequestBytes, func() {
-			nodeCPUs[ni].Submit(cfg.Costs.DSSPOpCost, func() {
-				if op.Template.Kind == template.KQuery {
-					sq, err := codec.SealQuery(op.Template, op.Params)
-					if err != nil {
-						panic(err)
-					}
+		if op.Template.Kind == template.KQuery {
+			sq, err := codec.SealQuery(op.Template, op.Params)
+			if err != nil {
+				panic(err)
+			}
+			if planner != nil {
+				ni = planner.NoteQuery(sq)
+			}
+			clientDelay(cfg.Costs.RequestBytes, func() {
+				nodeCPUs[ni].Submit(cfg.Costs.DSSPOpCost, func() {
 					tracer.Observe(sq.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
 					pipes[ni].Query(context.Background(), sq, func(reply pipeline.QueryReply, err error) {
 						if err != nil {
@@ -332,14 +392,21 @@ func Simulate(cfg Config) (*Result, error) {
 							done()
 						})
 					})
-					return
-				}
-				// Update: route to the home server; the DSSP monitors the
-				// completed update and invalidates (Figure 2).
-				su, err := codec.SealUpdate(op.Template, op.Params)
-				if err != nil {
-					panic(err)
-				}
+				})
+			})
+			return
+		}
+		// Update: route to the home server; the DSSP monitors the
+		// completed update and invalidates (Figure 2).
+		su, err := codec.SealUpdate(op.Template, op.Params)
+		if err != nil {
+			panic(err)
+		}
+		if planner != nil {
+			ni = planner.ExecNode(su)
+		}
+		clientDelay(cfg.Costs.RequestBytes, func() {
+			nodeCPUs[ni].Submit(cfg.Costs.DSSPOpCost, func() {
 				tracer.Observe(su.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
 				pipes[ni].Update(context.Background(), su, func(reply pipeline.UpdateReply, err error) {
 					if err != nil {
@@ -387,6 +454,7 @@ func Simulate(cfg Config) (*Result, error) {
 
 	for _, n := range nodes {
 		st := n.Cache.Stats()
+		res.PerNode = append(res.PerNode, st)
 		res.Cache.Hits += st.Hits
 		res.Cache.Misses += st.Misses
 		res.Cache.Stores += st.Stores

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Scale-out smoke test: replay the same toystore script once through a
+# dssprouter fronting two dsspnode processes and once through a single
+# node. The deployments must be indistinguishable: the fleet's merged
+# invalidation-decision log and cache dump (served by /v1/decisions) diff
+# clean against the single-node run's.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KEY=scaleout-smoke
+ROUTER_PORT=18600 HOME_PORT=18601 NODE0_PORT=18602 NODE1_PORT=18603
+SOLO_HOME_PORT=18611 SOLO_NODE_PORT=18612
+BIN=$(mktemp -d) OUT=$(mktemp -d)
+
+cleanup() {
+  jobs -p | xargs -r kill 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/dssphome ./cmd/dsspnode ./cmd/dssprouter ./cmd/dsspclient
+
+wait_up() {
+  for _ in $(seq 1 100); do
+    if curl -sf -o /dev/null "$1/v1/metrics"; then return 0; fi
+    sleep 0.1
+  done
+  echo "smoke: server at $1 did not come up" >&2
+  exit 1
+}
+
+# The pipeline parity script: miss/store, miss/store, hit, invalidating
+# update, re-miss, miss/store.
+replay() {
+  local url=$1
+  "$BIN/dsspclient" -app toystore -key "$KEY" -node "$url" -query Q1 -params bear >/dev/null
+  "$BIN/dsspclient" -app toystore -key "$KEY" -node "$url" -query Q2 -params 1 >/dev/null
+  "$BIN/dsspclient" -app toystore -key "$KEY" -node "$url" -query Q2 -params 1 >/dev/null
+  "$BIN/dsspclient" -app toystore -key "$KEY" -node "$url" -update U1 -params 1 >/dev/null
+  "$BIN/dsspclient" -app toystore -key "$KEY" -node "$url" -query Q1 -params bear >/dev/null
+  "$BIN/dsspclient" -app toystore -key "$KEY" -node "$url" -query Q2 -params 5 >/dev/null
+}
+
+echo "smoke: routed fleet (dssprouter + 2 dsspnode + dssphome)"
+"$BIN/dssphome" -app toystore -key "$KEY" -addr ":$HOME_PORT" &
+wait_up "http://localhost:$HOME_PORT"
+"$BIN/dsspnode" -app toystore -addr ":$NODE0_PORT" -home "http://localhost:$HOME_PORT" &
+"$BIN/dsspnode" -app toystore -addr ":$NODE1_PORT" -home "http://localhost:$HOME_PORT" &
+wait_up "http://localhost:$NODE0_PORT"
+wait_up "http://localhost:$NODE1_PORT"
+"$BIN/dssprouter" -app toystore -addr ":$ROUTER_PORT" \
+  -nodes "http://localhost:$NODE0_PORT,http://localhost:$NODE1_PORT" &
+wait_up "http://localhost:$ROUTER_PORT"
+
+replay "http://localhost:$ROUTER_PORT"
+curl -sf "http://localhost:$NODE0_PORT/v1/decisions" >"$OUT/node0.json"
+curl -sf "http://localhost:$NODE1_PORT/v1/decisions" >"$OUT/node1.json"
+cleanup
+
+# Canonical observable state: merge the fleet's logs, drop the per-run
+# trace IDs, sort. Template affinity guarantees disjoint per-node logs,
+# so the sorted merge must equal the sorted single-node log exactly.
+jq -s -S '{decisions: (map(.decisions // []) | add
+                       | map({UpdateTemplate, QueryTemplate, Class, Dropped}) | sort),
+           dump: (map(.dump // []) | add | sort)}' \
+  "$OUT/node0.json" "$OUT/node1.json" >"$OUT/fleet.json"
+
+echo "smoke: single-node reference (dsspnode + dssphome)"
+"$BIN/dssphome" -app toystore -key "$KEY" -addr ":$SOLO_HOME_PORT" &
+wait_up "http://localhost:$SOLO_HOME_PORT"
+"$BIN/dsspnode" -app toystore -addr ":$SOLO_NODE_PORT" -home "http://localhost:$SOLO_HOME_PORT" &
+wait_up "http://localhost:$SOLO_NODE_PORT"
+replay "http://localhost:$SOLO_NODE_PORT"
+curl -sf "http://localhost:$SOLO_NODE_PORT/v1/decisions" |
+  jq -s -S '{decisions: (map(.decisions // []) | add
+                         | map({UpdateTemplate, QueryTemplate, Class, Dropped}) | sort),
+             dump: (map(.dump // []) | add | sort)}' >"$OUT/solo.json"
+
+diff -u "$OUT/solo.json" "$OUT/fleet.json"
+echo "smoke: routed fleet matches single node (decision log + cache dump)"
