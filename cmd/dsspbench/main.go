@@ -18,6 +18,9 @@
 //	dsspbench -exp coalesce               # single-flight miss coalescing under a hot-key storm
 //	dsspbench -exp scaleout -app auction  # routed fleet throughput at 1/2/4 nodes (-out writes JSON)
 //	dsspbench -exp obs -app bboard        # short run's metrics snapshot (-format json|prom)
+//	dsspbench -exp leakage -apps auction,bboard,bookstore,toystore
+//	                                      # adversary's-eye leakage audit per exposure level (-out writes JSON)
+//	dsspbench -exp trace -app bboard      # stitched fleet-wide traces through router + 2 nodes + home
 //	dsspbench -exp all                    # everything (simulations included)
 //
 // Simulation-based experiments (figure3, figure8) accept -full for the
@@ -41,14 +44,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|scaleout|obs|all")
-	app := flag.String("app", "bboard", "application for figure4/route/obs/scaleout: auction|bboard|bookstore")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|scaleout|obs|leakage|trace|all")
+	app := flag.String("app", "bboard", "application for figure4/route/obs/scaleout/trace: auction|bboard|bookstore|toystore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
 	maxUsers := flag.Int("maxusers", 4000, "cap for the scalability search")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	format := flag.String("format", "prom", "output format for -exp obs: prom|json")
-	out := flag.String("out", "", "for -exp scaleout: also write the results as JSON to this file")
+	out := flag.String("out", "", "for -exp scaleout/leakage: also write the results as JSON to this file")
+	appList := flag.String("apps", "", "comma-separated application list for -exp leakage (default: -app)")
 	flag.Parse()
 
 	opts := experiments.DefaultRunOptions()
@@ -56,24 +60,95 @@ func main() {
 	opts.MaxUsers = *maxUsers
 	opts.Seed = *seed
 
-	if *exp == "obs" {
-		if err := runObs(*app, *format, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "dsspbench:", err)
-			os.Exit(1)
-		}
+	switch *exp {
+	case "obs":
+		exit(runObs(*app, *format, opts))
 		return
-	}
-	if *exp == "scaleout" {
-		if err := runScaleout(*app, *out, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "dsspbench:", err)
-			os.Exit(1)
+	case "scaleout":
+		exit(runScaleout(*app, *out, opts))
+		return
+	case "leakage":
+		names := []string{*app}
+		if *appList != "" {
+			names = strings.Split(*appList, ",")
 		}
+		exit(runLeakage(names, *out, opts))
+		return
+	case "trace":
+		exit(runTrace(*app, opts))
 		return
 	}
 	if err := run(*exp, *app, *pair, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dsspbench:", err)
 		os.Exit(1)
 	}
+}
+
+// exit reports a fatal experiment error and terminates, or returns
+// quietly on success.
+func exit(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsspbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runLeakage runs the adversary's-eye audit for each application across
+// the four uniform exposure levels and, when asked, writes the committed
+// benchmark artifact (BENCH_leakage.json shape). A monotonicity
+// violation — more exposure showing the adversary less — is an error.
+func runLeakage(appNames []string, out string, opts experiments.RunOptions) error {
+	for _, n := range appNames {
+		if _, err := benchmark(n); err != nil {
+			return err
+		}
+	}
+	r, err := experiments.LeakageAudit(appNames, 40, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Format())
+	if bad := r.CheckMonotone(); len(bad) > 0 {
+		return fmt.Errorf("leakage audit not monotone in exposure: %s", strings.Join(bad, "; "))
+	}
+	if out == "" {
+		return nil
+	}
+	artifact := struct {
+		Description string                     `json:"description"`
+		Environment map[string]interface{}     `json:"environment"`
+		Leakage     *experiments.LeakageResult `json:"leakage"`
+	}{
+		Description: fmt.Sprintf("Adversary's-eye leakage audit at the DSSP trust boundary: "+
+			"go run ./cmd/dsspbench -exp leakage -apps %s. Each application simulated under every uniform "+
+			"exposure level with a leakage observer on the node's sealed traffic; rows report what the "+
+			"adversary sees (distinct keys, template/parameter visibility, plaintext fraction, "+
+			"update-invalidation correlation) alongside the hit rate that exposure level buys.",
+			strings.Join(appNames, ",")),
+		Environment: map[string]interface{}{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+			"date":   time.Now().Format("2006-01-02"),
+		},
+		Leakage: r,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+// runTrace drives three requests through a real router + two-node + home
+// HTTP fleet and prints each one's stitched critical-path breakdown.
+func runTrace(app string, opts experiments.RunOptions) error {
+	r, err := experiments.TraceDemo(app, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Format())
+	return nil
 }
 
 // runObs runs one short simulation and prints its metrics snapshot — the
@@ -261,6 +336,8 @@ func benchmark(name string) (workload.Benchmark, error) {
 		return apps.NewBBoard(), nil
 	case "bookstore":
 		return apps.NewBookstore(), nil
+	case "toystore":
+		return apps.NewToystoreBench(), nil
 	default:
 		return nil, fmt.Errorf("unknown application %q", name)
 	}

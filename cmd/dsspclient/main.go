@@ -14,7 +14,7 @@ import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +22,7 @@ import (
 	"dssp/internal/apps"
 	"dssp/internal/encrypt"
 	"dssp/internal/httpapi"
+	"dssp/internal/obs"
 	"dssp/internal/template"
 	"dssp/internal/wire"
 )
@@ -37,21 +38,38 @@ func main() {
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "end-to-end deadline for the request")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("proc", "dsspclient")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 	if *keyPhrase == "" || (*queryID == "") == (*updateID == "") {
-		fmt.Fprintln(os.Stderr, "dsspclient: -key and exactly one of -query/-update are required")
+		logger.Error("-key and exactly one of -query/-update are required")
 		os.Exit(2)
 	}
 	app, err := resolveApp(*appName)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad application", err)
 	}
 	exps, err := parseExposures(*exposures)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad exposure override", err)
 	}
 	master := sha256.Sum256([]byte(*keyPhrase))
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), exps)
 	client := httpapi.NewClient(codec, *node, nil)
+	// A local span store captures each request's trace ID, so the log line
+	// names the trace that the fleet's /v1/trace endpoints can resolve.
+	store := obs.NewSpanStore(0)
+	client.Tracer = obs.NewTracer(obs.NewRegistry(), obs.WallClock()).
+		SetIdentity(obs.ProcClient, "").
+		SetStore(store)
+	lastTrace := func() string {
+		if ids := store.TraceIDs(1); len(ids) == 1 {
+			return ids[0]
+		}
+		return ""
+	}
 	params := parseParams(*paramsArg)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -59,12 +77,16 @@ func main() {
 	if *queryID != "" {
 		t := app.Query(*queryID)
 		if t == nil {
-			log.Fatalf("dsspclient: unknown query template %q", *queryID)
+			logger.Error("unknown query template", "template", *queryID)
+			os.Exit(1)
 		}
 		r, err := client.Query(ctx, t, params...)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("query failed", "template", *queryID, "trace", lastTrace(), "err", err)
+			os.Exit(1)
 		}
+		logger.Info("query done", "template", *queryID, "trace", lastTrace(),
+			"hit", r.Outcome.Hit, "rows", r.Outcome.Rows)
 		fmt.Printf("%s  (cache hit: %v)\n", strings.Join(r.Result.Columns, "\t"), r.Outcome.Hit)
 		for _, row := range r.Result.Rows {
 			cells := make([]string, len(row))
@@ -77,12 +99,16 @@ func main() {
 	}
 	t := app.Update(*updateID)
 	if t == nil {
-		log.Fatalf("dsspclient: unknown update template %q", *updateID)
+		logger.Error("unknown update template", "template", *updateID)
+		os.Exit(1)
 	}
 	affected, invalidated, err := client.Update(ctx, t, params...)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("update failed", "template", *updateID, "trace", lastTrace(), "err", err)
+		os.Exit(1)
 	}
+	logger.Info("update done", "template", *updateID, "trace", lastTrace(),
+		"affected", affected, "invalidated", invalidated)
 	fmt.Printf("rows affected: %d, cache entries invalidated: %d\n", affected, invalidated)
 }
 

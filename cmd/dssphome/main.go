@@ -11,16 +11,19 @@
 //
 //	dssphome -app toystore -addr :8401 -key secret
 //	dssphome -app bookstore -addr :8401 -key secret -seed 1
+//	dssphome -app toystore -addr :8401 -key secret -pprof localhost:6062
 package main
 
 import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
+
+	_ "net/http/pprof"
 
 	"dssp/internal/apps"
 	"dssp/internal/encrypt"
@@ -40,16 +43,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "benchmark data seed")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing statements, FIFO queue beyond (0 = unbounded)")
 	monitor := flag.Duration("monitor-interval", 0, "hold update confirmations and release them once per interval (0 = confirm immediately)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("proc", "dssphome")
 	if *keyPhrase == "" {
-		fmt.Fprintln(os.Stderr, "dssphome: -key is required")
+		logger.Error("-key is required")
 		os.Exit(2)
 	}
 
 	app, db, err := buildApp(*appName, *seed)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("build application", "err", err)
+		os.Exit(1)
 	}
 	master := sha256.Sum256([]byte(*keyPhrase))
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), nil)
@@ -57,9 +63,29 @@ func main() {
 	home.SetAdmissionLimit(*maxConcurrent)
 	home.SetMonitoringInterval(*monitor)
 
-	log.Printf("home server for %q on %s (%d query templates, %d update templates, metrics: GET %s)",
-		app.Name, *addr, len(app.Queries), len(app.Updates), httpapi.PathMetrics)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.HomeHandler(home)))
+	servePprof(logger, *pprofAddr)
+	logger.Info("home server listening",
+		"app", app.Name, "addr", *addr,
+		"query_templates", len(app.Queries), "update_templates", len(app.Updates),
+		"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
+	if err := http.ListenAndServe(*addr, httpapi.HomeHandler(home)); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// servePprof exposes net/http/pprof's DefaultServeMux handlers on their
+// own listener, so profiling never shares a port with sealed traffic.
+func servePprof(logger *slog.Logger, addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			logger.Error("pprof serve failed", "err", err)
+		}
+	}()
 }
 
 // buildApp resolves the application and populates its master database.

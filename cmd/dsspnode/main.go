@@ -12,14 +12,17 @@
 //
 //	dsspnode -app toystore -addr :8400 -home http://localhost:8401
 //	dsspnode -app bookstore -addr :8400 -home http://home:8401 -capacity 100000
+//	dsspnode -app toystore -addr :8400 -id 0 -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+
+	_ "net/http/pprof"
 
 	"dssp/internal/apps"
 	"dssp/internal/cache"
@@ -33,25 +36,52 @@ func main() {
 	appName := flag.String("app", "toystore", "application: toystore|auction|bboard|bookstore")
 	addr := flag.String("addr", ":8400", "listen address")
 	home := flag.String("home", "http://localhost:8401", "home server base URL")
+	nodeID := flag.String("id", "", "this node's fleet position, labelling its spans in stitched traces")
 	capacity := flag.Int("capacity", 0, "cache capacity in entries (0 = unbounded)")
 	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (§4.5)")
 	monitor := flag.Duration("monitor-interval", 0, "batch invalidation per monitoring interval (0 = invalidate inline per update)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("proc", "dsspnode")
+	if *nodeID != "" {
+		logger = logger.With("node", *nodeID)
+	}
 	app, err := resolveApp(*appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("bad application", "err", err)
 		os.Exit(2)
 	}
 	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
 	node := dssp.NewNode(app, analysis, cache.Options{Capacity: *capacity})
 	srv := httpapi.NewNodeServerWithOptions(node, *home, nil, httpapi.NodeOptions{
 		MonitorInterval: *monitor,
+		NodeID:          *nodeID,
 	})
 
-	log.Printf("DSSP node for %q on %s (home: %s, capacity: %d, monitor interval: %v, metrics: GET %s)",
-		app.Name, *addr, *home, *capacity, *monitor, httpapi.PathMetrics)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	servePprof(logger, *pprofAddr)
+	logger.Info("DSSP node listening",
+		"app", app.Name, "addr", *addr, "home", *home,
+		"capacity", *capacity, "monitor_interval", *monitor,
+		"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// servePprof exposes net/http/pprof's DefaultServeMux handlers on their
+// own listener, so profiling never shares a port with sealed traffic.
+func servePprof(logger *slog.Logger, addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			logger.Error("pprof serve failed", "err", err)
+		}
+	}()
 }
 
 func resolveApp(name string) (*template.App, error) {

@@ -20,15 +20,18 @@
 //
 //	dssprouter -app toystore -addr :8399 -nodes http://n0:8400,http://n1:8410
 //	dssprouter -app auction -addr :8399 -nodes http://n0:8400,http://n1:8410,http://n2:8420,http://n3:8430 -max-fanout 8
+//	dssprouter -app toystore -addr :8399 -nodes http://n0:8400 -pprof localhost:6061
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
+
+	_ "net/http/pprof"
 
 	"dssp/internal/apps"
 	"dssp/internal/core"
@@ -42,11 +45,13 @@ func main() {
 	nodes := flag.String("nodes", "", "comma-separated node base URLs, in fleet order (same order on every router)")
 	maxFanout := flag.Int("max-fanout", 0, "max concurrent invalidation pushes per update (0 = default)")
 	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (must match the nodes)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("proc", "dssprouter")
 	app, err := resolveApp(*appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("bad application", "err", err)
 		os.Exit(2)
 	}
 	var urls []string
@@ -56,15 +61,34 @@ func main() {
 		}
 	}
 	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "dssprouter: -nodes requires at least one node URL")
+		logger.Error("-nodes requires at least one node URL")
 		os.Exit(2)
 	}
 	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
 	srv := httpapi.NewRouterServer(analysis, urls, httpapi.RouterOptions{MaxFanout: *maxFanout})
 
-	log.Printf("DSSP router for %q on %s fronting %d nodes (%s), metrics: GET %s",
-		app.Name, *addr, len(urls), strings.Join(urls, ", "), httpapi.PathMetrics)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	servePprof(logger, *pprofAddr)
+	logger.Info("DSSP router listening",
+		"app", app.Name, "addr", *addr, "fleet", len(urls), "nodes", strings.Join(urls, ","),
+		"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// servePprof exposes net/http/pprof's DefaultServeMux handlers on their
+// own listener, so profiling never shares a port with sealed traffic.
+func servePprof(logger *slog.Logger, addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			logger.Error("pprof serve failed", "err", err)
+		}
+	}()
 }
 
 func resolveApp(name string) (*template.App, error) {

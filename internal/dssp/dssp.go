@@ -83,6 +83,11 @@ type Client struct {
 	// statement; the pipeline is built once.
 	MonitorInterval time.Duration
 
+	// Leakage, when set, audits the sealed traffic at the node trust
+	// boundary (the adversary's-eye measurement). Set before the first
+	// statement.
+	Leakage pipeline.LeakageObserver
+
 	pipeOnce sync.Once
 	pipe     *pipeline.Pipeline
 }
@@ -92,7 +97,7 @@ type Client struct {
 func (c *Client) Pipeline() *pipeline.Pipeline {
 	c.pipeOnce.Do(func() {
 		c.pipe = pipeline.New(c.Node, pipeline.NewDirectTransport(c.Home), c.Tracer,
-			pipeline.Options{MonitorInterval: c.MonitorInterval})
+			pipeline.Options{MonitorInterval: c.MonitorInterval, Leakage: c.Leakage})
 	})
 	return c.pipe
 }
@@ -115,7 +120,10 @@ func (c *Client) Query(t *template.Template, params ...interface{}) (*QueryResul
 	if err != nil {
 		return nil, err
 	}
-	c.Tracer.Observe(sq.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
+	sq.ParentSpan = c.Tracer.ObserveSpan(obs.SpanRecord{
+		Trace: sq.TraceID, Stage: obs.StageSeal, Template: t.ID,
+		Start: start, Duration: c.Tracer.Now() - start,
+	})
 	reply, err := c.Pipeline().QuerySync(context.Background(), sq)
 	if err != nil {
 		return nil, err
@@ -146,7 +154,10 @@ func (c *Client) Update(t *template.Template, params ...interface{}) (affected, 
 	if err != nil {
 		return 0, 0, err
 	}
-	c.Tracer.Observe(su.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
+	su.ParentSpan = c.Tracer.ObserveSpan(obs.SpanRecord{
+		Trace: su.TraceID, Stage: obs.StageSeal, Template: t.ID,
+		Start: start, Duration: c.Tracer.Now() - start,
+	})
 	reply, err := c.Pipeline().UpdateSync(context.Background(), su)
 	if err != nil {
 		return 0, 0, err

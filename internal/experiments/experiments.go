@@ -76,6 +76,8 @@ func benchmarkByName(name string) workload.Benchmark {
 		return apps.NewBBoard()
 	case "bookstore":
 		return apps.NewBookstore()
+	case "toystore":
+		return apps.NewToystoreBench()
 	default:
 		panic("unknown benchmark " + name)
 	}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestLeakageAuditMonotone runs the adversary's-eye audit on the
+// toystore at a reduced scale and checks the acceptance property: higher
+// exposure levels must show the adversary at least as much structure as
+// lower ones, while the hit rate climbs.
+func TestLeakageAuditMonotone(t *testing.T) {
+	opts := DefaultRunOptions()
+	opts.Duration = 40 * time.Second
+	opts.Warmup = 5 * time.Second
+	r, err := LeakageAudit([]string{"toystore"}, 20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want one per exposure level", len(r.Rows))
+	}
+	if bad := r.CheckMonotone(); len(bad) > 0 {
+		t.Errorf("audit not monotone in exposure: %v", bad)
+	}
+
+	blind, view := r.Rows[0].Leakage, r.Rows[3].Leakage
+	if blind.VisibleTemplates != 0 || blind.VisibleParams != 0 {
+		t.Errorf("blind exposure leaked structure: %d templates, %d params",
+			blind.VisibleTemplates, blind.VisibleParams)
+	}
+	if blind.DistinctKeys == 0 {
+		t.Error("blind exposure hid the access pattern; even sealed keys repeat")
+	}
+	if view.VisibleTemplates == 0 || view.VisibleParams == 0 || view.PlaintextFrac <= blind.PlaintextFrac {
+		t.Errorf("view exposure shows no extra structure over blind: %+v", view)
+	}
+	if r.Rows[3].HitRate <= r.Rows[0].HitRate {
+		t.Errorf("hit rate did not improve with exposure: blind %.2f, view %.2f",
+			r.Rows[0].HitRate, r.Rows[3].HitRate)
+	}
+
+	// The JSON artifact round-trips with per-exposure rows intact — the
+	// shape the CI smoke step asserts on.
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LeakageResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 4 || back.Rows[0].Leakage.Queries == 0 {
+		t.Errorf("artifact lost rows: %+v", back.Rows)
+	}
+}

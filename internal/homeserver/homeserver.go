@@ -69,7 +69,7 @@ func New(db *storage.Database, app *template.App, codec *wire.Codec) *Server {
 // and per-template load counters — is recorded there.
 func (s *Server) SetObs(reg *obs.Registry, clock obs.Clock) {
 	s.reg = reg
-	s.tracer = obs.NewTracer(reg, clock)
+	s.tracer = obs.NewTracer(reg, clock).SetIdentity(obs.ProcHome, "")
 	s.queueDepth = reg.Gauge(obs.MHomeQueueDepth)
 	s.waitQ = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindQuery))
 	s.waitU = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindUpdate))
@@ -94,17 +94,24 @@ func (s *Server) SetMonitoringInterval(d time.Duration) { s.mon.setInterval(d) }
 // Set before serving traffic.
 func (s *Server) SetAdmissionLimit(n int) { s.adm.setLimit(n) }
 
-// admit acquires an execution slot, recording the wait, and returns the
-// release function.
-func (s *Server) admit(wait *obs.Histogram) func() {
+// admit acquires an execution slot, recording the wait both in the
+// admission histogram and as an admission_wait span of the request's
+// trace, and returns the release function.
+func (s *Server) admit(wait *obs.Histogram, trace, parent, tmpl string) func() {
+	sp := s.tracer.StartSpan(trace, parent, obs.StageAdmission, tmpl)
 	start := s.tracer.Now()
 	s.adm.acquire(s.queueDepth)
 	wait.Observe(s.tracer.Now() - start)
+	sp.End()
 	return func() { s.adm.release(s.queueDepth) }
 }
 
 // Obs returns the registry the server's instruments live in.
 func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Tracer returns the server's tracer, so the HTTP deployment can attach
+// a span store for the /v1/trace endpoints.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // QueriesServed and UpdatesApplied report load counters for the
 // experiments.
@@ -123,8 +130,8 @@ func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bo
 	if t.Kind != template.KQuery {
 		return wire.SealedResult{}, false, 0, fmt.Errorf("homeserver: payload %s is not a query", t.ID)
 	}
-	release := s.admit(s.waitQ)
-	sp := s.tracer.Start(sq.TraceID, obs.StageHomeExec, t.ID)
+	release := s.admit(s.waitQ, sq.TraceID, sq.ParentSpan, t.ID)
+	sp := s.tracer.StartSpan(sq.TraceID, sq.ParentSpan, obs.StageHomeExec, t.ID)
 	s.mu.RLock()
 	r, execErr := engine.ExecQuery(s.DB, t.Stmt.(*sqlparse.SelectStmt), params)
 	s.mu.RUnlock()
@@ -153,8 +160,8 @@ func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
 	if !t.Kind.IsUpdate() {
 		return 0, fmt.Errorf("homeserver: payload %s is not an update", t.ID)
 	}
-	release := s.admit(s.waitU)
-	sp := s.tracer.Start(su.TraceID, obs.StageHomeExec, t.ID)
+	release := s.admit(s.waitU, su.TraceID, su.ParentSpan, t.ID)
+	sp := s.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageHomeExec, t.ID)
 	s.mu.Lock()
 	n, execErr := engine.ExecUpdate(s.DB, t.Stmt, params)
 	s.mu.Unlock()

@@ -24,7 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -61,12 +61,20 @@ const (
 	PathInvalidate = "/v1/invalidate"  // node: already-confirmed sealed update -> invalidation ack (router fan-out)
 	PathDecisions  = "/v1/decisions"   // node: invalidation-decision log + cache dump, JSON (debugging, parity checks)
 	PathMetrics    = "/v1/metrics"     // every process: metrics snapshot (JSON or Prometheus text)
+	PathTrace      = "/v1/trace/"      // every process: one trace's spans, JSON ({id} appended)
+	PathTraces     = "/v1/traces"      // every process: retained trace IDs, JSON
 	PathExecQuery  = "/v1/exec/query"  // home: sealed query -> sealed result
 	PathExecUpdate = "/v1/exec/update" // home: sealed update -> ack
 )
 
-// TraceHeader carries the request's trace ID between processes.
-const TraceHeader = "X-DSSP-Trace"
+// TraceHeader carries the request's trace ID between processes;
+// SpanParentHeader carries the sender's in-progress span ID, so the
+// receiver's spans nest under it when the sealed message predates (or
+// lost) its embedded ParentSpan field.
+const (
+	TraceHeader      = "X-DSSP-Trace"
+	SpanParentHeader = "X-DSSP-Span-Parent"
+)
 
 // QueryResponse is the node's answer to a sealed query.
 type QueryResponse struct {
@@ -119,7 +127,7 @@ func writeGob(reg *obs.Registry, w http.ResponseWriter, v any) {
 	}
 	w.Header().Set("Content-Type", "application/x-gob")
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		log.Printf("httpapi: response write failed (%d bytes): %v", buf.Len(), err)
+		slog.Warn("httpapi: response write failed", "bytes", buf.Len(), "err", err)
 		if reg != nil {
 			reg.Counter(obs.MHTTPWriteErrors).Inc()
 		}
@@ -136,12 +144,12 @@ func readGob(r io.Reader, v any) error {
 // after a short backoff — a response that arrived, whatever its status,
 // is never retried, and updates never are (a lost ack does not prove the
 // update was not applied). reg, when non-nil, counts retries.
-func post(ctx context.Context, client *http.Client, url, trace string, req, resp any, idempotent bool, reg *obs.Registry) error {
+func post(ctx context.Context, client *http.Client, url, trace, parent string, req, resp any, idempotent bool, reg *obs.Registry) error {
 	body, err := encodeGob(req)
 	if err != nil {
 		return err
 	}
-	r, err := doPost(ctx, client, url, trace, body)
+	r, err := doPost(ctx, client, url, trace, parent, body)
 	if err != nil && idempotent && ctx.Err() == nil {
 		if reg != nil {
 			reg.Counter(obs.MHTTPRetries).Inc()
@@ -151,7 +159,7 @@ func post(ctx context.Context, client *http.Client, url, trace string, req, resp
 		case <-ctx.Done():
 			return err
 		}
-		r, err = doPost(ctx, client, url, trace, body)
+		r, err = doPost(ctx, client, url, trace, parent, body)
 	}
 	if err != nil {
 		return err
@@ -174,7 +182,7 @@ func encodeGob(v any) ([]byte, error) {
 
 // doPost performs one HTTP exchange; the body is a byte slice so retries
 // can resend it.
-func doPost(ctx context.Context, client *http.Client, url, trace string, body []byte) (*http.Response, error) {
+func doPost(ctx context.Context, client *http.Client, url, trace, parent string, body []byte) (*http.Response, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -182,6 +190,9 @@ func doPost(ctx context.Context, client *http.Client, url, trace string, body []
 	hreq.Header.Set("Content-Type", "application/x-gob")
 	if trace != "" {
 		hreq.Header.Set(TraceHeader, trace)
+	}
+	if parent != "" {
+		hreq.Header.Set(SpanParentHeader, parent)
 	}
 	return client.Do(hreq)
 }
@@ -205,6 +216,91 @@ func MetricsHandler(reg *obs.Registry) http.Handler {
 	})
 }
 
+// TracesResponse lists the trace IDs a process's span store retains,
+// oldest first.
+type TracesResponse struct {
+	Traces []string `json:"traces"`
+}
+
+// TraceHandler serves one trace's spans from a process's span store as
+// JSON ({id} path parameter). Unknown or evicted traces answer 404; a
+// process without a store answers 404 for everything.
+func TraceHandler(store *obs.SpanStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := store.Trace(r.PathValue("id"))
+		if len(spans) == 0 {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(spans)
+	})
+}
+
+// TraceIDsHandler serves the span store's retained trace IDs as JSON.
+func TraceIDsHandler(store *obs.SpanStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(TracesResponse{Traces: store.TraceIDs(obs.DefaultStoreTraces)})
+	})
+}
+
+// FetchTrace retrieves one trace's spans from a process's /v1/trace
+// endpoint. A 404 (trace unknown there) returns an empty slice and no
+// error, so callers can sweep a whole fleet and stitch what they get.
+func FetchTrace(client *http.Client, baseURL, traceID string) ([]obs.SpanRecord, error) {
+	client = defaultClient(client)
+	resp, err := client.Get(baseURL + PathTrace + traceID)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: %s%s%s: %s", baseURL, PathTrace, traceID, resp.Status)
+	}
+	var spans []obs.SpanRecord
+	err = json.NewDecoder(resp.Body).Decode(&spans)
+	return spans, err
+}
+
+// FetchTraceIDs retrieves the trace IDs a process retains.
+func FetchTraceIDs(client *http.Client, baseURL string) ([]string, error) {
+	client = defaultClient(client)
+	resp, err := client.Get(baseURL + PathTraces)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: %s%s: %s", baseURL, PathTraces, resp.Status)
+	}
+	var tr TracesResponse
+	err = json.NewDecoder(resp.Body).Decode(&tr)
+	return tr.Traces, err
+}
+
+// StitchFleet fetches one trace from every process of a fleet (client-
+// side spans may be passed in local) and stitches the union into one
+// tree. Processes that never saw the trace contribute nothing.
+func StitchFleet(client *http.Client, baseURLs []string, traceID string, local []obs.SpanRecord) (obs.StitchedTrace, error) {
+	all := append([]obs.SpanRecord(nil), local...)
+	for _, base := range baseURLs {
+		spans, err := FetchTrace(client, base, traceID)
+		if err != nil {
+			return obs.StitchedTrace{}, err
+		}
+		all = append(all, spans...)
+	}
+	stitched := obs.Stitch(all)
+	if len(stitched) == 0 {
+		return obs.StitchedTrace{Trace: traceID}, nil
+	}
+	return stitched[0], nil
+}
+
 // FetchMetrics retrieves a process's /v1/metrics snapshot as JSON.
 func FetchMetrics(client *http.Client, baseURL string) (obs.Snapshot, error) {
 	client = defaultClient(client)
@@ -221,10 +317,16 @@ func FetchMetrics(client *http.Client, baseURL string) (obs.Snapshot, error) {
 	return snap, err
 }
 
-// HomeHandler exposes a home server over HTTP, including its metrics.
+// HomeHandler exposes a home server over HTTP, including its metrics and
+// traces. Building the handler attaches a span store to the home tracer,
+// so the home-side spans (admission_wait, home_exec) of every trace are
+// servable; call it after SetObs, which replaces the tracer.
 func HomeHandler(home *homeserver.Server) http.Handler {
+	home.Tracer().SetStore(obs.NewSpanStore(0))
 	mux := http.NewServeMux()
 	mux.Handle("GET "+PathMetrics, MetricsHandler(home.Obs()))
+	mux.Handle("GET "+PathTraces, TraceIDsHandler(home.Tracer().Store()))
+	mux.Handle("GET "+PathTrace+"{id}", TraceHandler(home.Tracer().Store()))
 	mux.HandleFunc("POST "+PathExecQuery, func(w http.ResponseWriter, r *http.Request) {
 		var sq wire.SealedQuery
 		if err := readGob(r.Body, &sq); err != nil {
@@ -285,13 +387,13 @@ type httpTransport struct {
 
 func (t httpTransport) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
 	var exec ExecQueryResponse
-	err := post(ctx, t.client, t.homeURL+PathExecQuery, sq.TraceID, sq, &exec, true, t.reg)
+	err := post(ctx, t.client, t.homeURL+PathExecQuery, sq.TraceID, sq.ParentSpan, sq, &exec, true, t.reg)
 	done(pipeline.ExecQueryResult{Result: exec.Result, Empty: exec.Empty, Scanned: exec.Scanned}, err)
 }
 
 func (t httpTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
 	var exec ExecUpdateResponse
-	err := post(ctx, t.client, t.homeURL+PathExecUpdate, su.TraceID, su, &exec, false, t.reg)
+	err := post(ctx, t.client, t.homeURL+PathExecUpdate, su.TraceID, su.ParentSpan, su, &exec, false, t.reg)
 	done(exec.Affected, err)
 }
 
@@ -302,6 +404,14 @@ type NodeOptions struct {
 	// together when the interval expires, amortizing bucket walks. 0
 	// invalidates inline per update.
 	MonitorInterval time.Duration
+
+	// NodeID labels this node's spans in stitched traces (fleet member
+	// name; empty for a singleton deployment).
+	NodeID string
+
+	// Leakage, when set, audits the sealed traffic at this node's trust
+	// boundary (the adversary's-eye measurement; nil disables).
+	Leakage pipeline.LeakageObserver
 }
 
 // NewNodeServer wires a node to its home server endpoint. The server
@@ -316,7 +426,9 @@ func NewNodeServer(node *dssp.Node, homeURL string, client *http.Client) *NodeSe
 func NewNodeServerWithOptions(node *dssp.Node, homeURL string, client *http.Client, opts NodeOptions) *NodeServer {
 	client = defaultClient(client)
 	reg := node.Cache.Obs()
-	tracer := obs.NewTracer(reg, obs.WallClock())
+	tracer := obs.NewTracer(reg, obs.WallClock()).
+		SetIdentity(obs.ProcNode, opts.NodeID).
+		SetStore(obs.NewSpanStore(0))
 	return &NodeServer{
 		Node:    node,
 		HomeURL: homeURL,
@@ -324,7 +436,7 @@ func NewNodeServerWithOptions(node *dssp.Node, homeURL string, client *http.Clie
 		Reg:     reg,
 		Tracer:  tracer,
 		Pipe: pipeline.New(node, httpTransport{client: client, homeURL: homeURL, reg: reg},
-			tracer, pipeline.Options{MonitorInterval: opts.MonitorInterval}),
+			tracer, pipeline.Options{MonitorInterval: opts.MonitorInterval, Leakage: opts.Leakage}),
 	}
 }
 
@@ -336,6 +448,8 @@ func (s *NodeServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathInvalidate, s.handleInvalidate)
 	mux.HandleFunc("GET "+PathDecisions, s.handleDecisions)
 	mux.Handle("GET "+PathMetrics, MetricsHandler(s.Reg))
+	mux.Handle("GET "+PathTraces, TraceIDsHandler(s.Tracer.Store()))
+	mux.Handle("GET "+PathTrace+"{id}", TraceHandler(s.Tracer.Store()))
 	return mux
 }
 
@@ -348,6 +462,15 @@ func trace(sealed string, r *http.Request) string {
 	return r.Header.Get(TraceHeader)
 }
 
+// spanParent picks the request's parent span ID: the sealed message's, or
+// the HTTP header.
+func spanParent(sealed string, r *http.Request) string {
+	if sealed != "" {
+		return sealed
+	}
+	return r.Header.Get(SpanParentHeader)
+}
+
 func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var sq wire.SealedQuery
 	if err := readGob(r.Body, &sq); err != nil {
@@ -355,6 +478,7 @@ func (s *NodeServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sq.TraceID = trace(sq.TraceID, r)
+	sq.ParentSpan = spanParent(sq.ParentSpan, r)
 	reply, err := s.Pipe.QuerySync(r.Context(), sq)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -375,6 +499,7 @@ func (s *NodeServer) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	su.TraceID = trace(su.TraceID, r)
+	su.ParentSpan = spanParent(su.ParentSpan, r)
 	ch := make(chan int, 1)
 	s.Pipe.MonitorUpdate(su, func(invalidated int) { ch <- invalidated })
 	select {
@@ -403,6 +528,7 @@ func (s *NodeServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	su.TraceID = trace(su.TraceID, r)
+	su.ParentSpan = spanParent(su.ParentSpan, r)
 	reply, err := s.Pipe.UpdateSync(r.Context(), su)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -444,9 +570,14 @@ func (c *Client) Query(ctx context.Context, t *template.Template, params ...inte
 	if err != nil {
 		return nil, err
 	}
-	c.Tracer.Observe(sq.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
+	// The seal span is the trace's root; every downstream hop nests under
+	// it via the sealed message's ParentSpan / the span-parent header.
+	sq.ParentSpan = c.Tracer.ObserveSpan(obs.SpanRecord{
+		Trace: sq.TraceID, Stage: obs.StageSeal, Template: t.ID,
+		Start: start, Duration: c.Tracer.Now() - start,
+	})
 	var resp QueryResponse
-	if err := post(ctx, c.HTTP, c.NodeURL+PathQuery, sq.TraceID, sq, &resp, true, c.Tracer.Registry()); err != nil {
+	if err := post(ctx, c.HTTP, c.NodeURL+PathQuery, sq.TraceID, sq.ParentSpan, sq, &resp, true, c.Tracer.Registry()); err != nil {
 		return nil, err
 	}
 	op := c.Tracer.Start(sq.TraceID, obs.StageOpen, t.ID)
@@ -471,9 +602,12 @@ func (c *Client) Update(ctx context.Context, t *template.Template, params ...int
 	if err != nil {
 		return 0, 0, err
 	}
-	c.Tracer.Observe(su.TraceID, obs.StageSeal, t.ID, start, c.Tracer.Now()-start)
+	su.ParentSpan = c.Tracer.ObserveSpan(obs.SpanRecord{
+		Trace: su.TraceID, Stage: obs.StageSeal, Template: t.ID,
+		Start: start, Duration: c.Tracer.Now() - start,
+	})
 	var resp UpdateResponse
-	if err := post(ctx, c.HTTP, c.NodeURL+PathUpdate, su.TraceID, su, &resp, false, c.Tracer.Registry()); err != nil {
+	if err := post(ctx, c.HTTP, c.NodeURL+PathUpdate, su.TraceID, su.ParentSpan, su, &resp, false, c.Tracer.Registry()); err != nil {
 		return 0, 0, err
 	}
 	return resp.Affected, resp.Invalidated, nil

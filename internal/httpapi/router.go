@@ -2,9 +2,7 @@ package httpapi
 
 import (
 	"context"
-	"fmt"
 	"net/http"
-	"os"
 
 	"dssp/internal/core"
 	"dssp/internal/obs"
@@ -34,25 +32,23 @@ func NewNodeProxy(url string, client *http.Client, reg *obs.Registry) NodeProxy 
 // Query proxies a sealed query to the node.
 func (p NodeProxy) Query(ctx context.Context, sq wire.SealedQuery) (wire.SealedResult, bool, error) {
 	var resp QueryResponse
-	err := post(ctx, p.Client, p.URL+PathQuery, sq.TraceID, sq, &resp, true, p.Reg)
+	err := post(ctx, p.Client, p.URL+PathQuery, sq.TraceID, sq.ParentSpan, sq, &resp, true, p.Reg)
 	return resp.Result, resp.Hit, err
 }
 
 // Update proxies a sealed update through the node's full update pathway.
 func (p NodeProxy) Update(ctx context.Context, su wire.SealedUpdate) (int, int, error) {
 	var resp UpdateResponse
-	err := post(ctx, p.Client, p.URL+PathUpdate, su.TraceID, su, &resp, false, p.Reg)
+	err := post(ctx, p.Client, p.URL+PathUpdate, su.TraceID, su.ParentSpan, su, &resp, false, p.Reg)
 	return resp.Affected, resp.Invalidated, err
 }
 
 // Invalidate pushes an already-confirmed update to the node's
-// invalidation monitor.
+// invalidation monitor. Failures surface in the router's proxy-error
+// counter and are returned to the fan-out's retry path.
 func (p NodeProxy) Invalidate(ctx context.Context, su wire.SealedUpdate) (int, error) {
 	var resp InvalidateResponse
-	err := post(ctx, p.Client, p.URL+PathInvalidate, su.TraceID, su, &resp, true, p.Reg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "INVALIDATE-ERR:", err)
-	}
+	err := post(ctx, p.Client, p.URL+PathInvalidate, su.TraceID, su.ParentSpan, su, &resp, true, p.Reg)
 	return resp.Invalidated, err
 }
 
@@ -65,6 +61,10 @@ type RouterOptions struct {
 	// Client is the HTTP client for all node round trips; nil gets a
 	// DefaultTimeout-bounded one.
 	Client *http.Client
+
+	// Leakage, when set, audits the sealed traffic at the router's trust
+	// boundary — the vantage point that sees the whole fleet's stream.
+	Leakage pipeline.LeakageObserver
 }
 
 // RouterServer fronts a fleet of dsspnode processes with the shard
@@ -92,7 +92,9 @@ type RouterServer struct {
 func NewRouterServer(analysis *core.Analysis, nodeURLs []string, opts RouterOptions) *RouterServer {
 	client := defaultClient(opts.Client)
 	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(reg, obs.WallClock())
+	tracer := obs.NewTracer(reg, obs.WallClock()).
+		SetIdentity(obs.ProcRouter, "").
+		SetStore(obs.NewSpanStore(0))
 	backends := make([]shard.Backend, len(nodeURLs))
 	for i, url := range nodeURLs {
 		backends[i] = NewNodeProxy(url, client, reg)
@@ -103,7 +105,7 @@ func NewRouterServer(analysis *core.Analysis, nodeURLs []string, opts RouterOpti
 		Router: router,
 		Reg:    reg,
 		Tracer: tracer,
-		Pipe:   pipeline.New(router, router, tracer, pipeline.Options{}),
+		Pipe:   pipeline.New(router, router, tracer, pipeline.Options{Leakage: opts.Leakage}),
 	}
 }
 
@@ -114,6 +116,8 @@ func (s *RouterServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathQuery, s.handleQuery)
 	mux.HandleFunc("POST "+PathUpdate, s.handleUpdate)
 	mux.Handle("GET "+PathMetrics, MetricsHandler(s.Reg))
+	mux.Handle("GET "+PathTraces, TraceIDsHandler(s.Tracer.Store()))
+	mux.Handle("GET "+PathTrace+"{id}", TraceHandler(s.Tracer.Store()))
 	return mux
 }
 
@@ -124,6 +128,7 @@ func (s *RouterServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sq.TraceID = trace(sq.TraceID, r)
+	sq.ParentSpan = spanParent(sq.ParentSpan, r)
 	reply, err := s.Pipe.QuerySync(r.Context(), sq)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -139,6 +144,7 @@ func (s *RouterServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	su.TraceID = trace(su.TraceID, r)
+	su.ParentSpan = spanParent(su.ParentSpan, r)
 	reply, err := s.Pipe.UpdateSync(r.Context(), su)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)

@@ -95,16 +95,33 @@ const (
 )
 
 // Pipeline stages of one request, in flow order. Seal and open run on the
-// trusted side; cache_lookup, network (the full upstream round trip a
-// cache miss or update pays, home execution included), and invalidate on
-// the DSSP node; home_exec at the home server.
+// trusted side; route at the shard router (one span per proxied call,
+// labelled with the target node); cache_lookup, network (the full
+// upstream round trip a cache miss or update pays, home execution
+// included), coalesce_wait (a miss parked on another miss's in-flight
+// fetch), and invalidate on the DSSP node; admission_wait and home_exec
+// at the home server.
 const (
-	StageSeal       = "seal"
-	StageLookup     = "cache_lookup"
-	StageNetwork    = "network"
-	StageHomeExec   = "home_exec"
-	StageInvalidate = "invalidate"
-	StageOpen       = "open"
+	StageSeal         = "seal"
+	StageRoute        = "route"
+	StageLookup       = "cache_lookup"
+	StageNetwork      = "network"
+	StageCoalesceWait = "coalesce_wait"
+	StageAdmission    = "admission_wait"
+	StageHomeExec     = "home_exec"
+	StageInvalidate   = "invalidate"
+	StageOpen         = "open"
+)
+
+// Process roles a span can be recorded at (SpanRecord.Process): the
+// trusted client, the untrusted router and node tiers, and the trusted
+// home server. The simulator uses the same roles on virtual time, so
+// stitched traces have the same shape in both runtimes.
+const (
+	ProcClient = "client"
+	ProcRouter = "router"
+	ProcNode   = "node"
+	ProcHome   = "home"
 )
 
 // Request kinds. KindInvalidate is the shard router's invalidation-only

@@ -152,17 +152,43 @@ type instrument struct {
 	hist   *Histogram
 }
 
+// DefaultLabelCap bounds how many distinct labeled instruments one metric
+// name may register. Label values come from sealed traffic (template IDs,
+// tenant names), so without a cap an adversary flooding a node with
+// forged template IDs would grow the registry — and every snapshot —
+// without limit. At the cap, excess label sets coalesce into one overflow
+// instrument per name whose label values are all OverflowLabelValue: the
+// storm stays measurable, the memory stays bounded.
+const DefaultLabelCap = 512
+
+// OverflowLabelValue replaces every label value of an instrument that
+// would exceed its metric name's cardinality cap.
+const OverflowLabelValue = "(other)"
+
 // Registry holds an application's instruments, keyed by name plus labels.
 // Instrument lookup takes a short lock; the instruments themselves are
 // lock-free, so hot paths can cache the returned handles.
 type Registry struct {
-	mu   sync.Mutex
-	inst map[string]*instrument
+	mu       sync.Mutex
+	inst     map[string]*instrument
+	labelCap int
+	perName  map[string]int
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default cardinality cap.
 func NewRegistry() *Registry {
-	return &Registry{inst: make(map[string]*instrument)}
+	return &Registry{inst: make(map[string]*instrument), labelCap: DefaultLabelCap, perName: make(map[string]int)}
+}
+
+// SetLabelCap bounds distinct labeled instruments per metric name
+// (n <= 0 restores DefaultLabelCap). Call before serving traffic.
+func (r *Registry) SetLabelCap(n int) {
+	if n <= 0 {
+		n = DefaultLabelCap
+	}
+	r.mu.Lock()
+	r.labelCap = n
+	r.mu.Unlock()
 }
 
 func sortLabels(labels []Label) []Label {
@@ -195,6 +221,21 @@ func (r *Registry) get(name, typ string, labels []Label) *instrument {
 		}
 		return in
 	}
+	if len(sorted) > 0 && r.perName[name] >= r.labelCap {
+		// Over the cap: coalesce into the overflow instrument for this
+		// name's label-key set, registering it if this is the first spill.
+		for i := range sorted {
+			sorted[i].Value = OverflowLabelValue
+		}
+		key = metricKey(name, sorted)
+		if in, ok := r.inst[key]; ok {
+			if in.typ != typ {
+				panic("obs: metric " + name + " registered as " + in.typ + ", requested as " + typ)
+			}
+			return in
+		}
+	}
+	r.perName[name]++
 	in := &instrument{name: name, labels: sorted, typ: typ}
 	switch typ {
 	case TypeCounter:

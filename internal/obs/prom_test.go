@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusLabelEscaping: label values travel from sealed traffic
+// into the exposition, so backslashes, quotes, and newlines must come
+// out escaped per the text format, never raw.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dssp_cache_hits", L(LTemplate, `Q"1\weird`+"\nline")).Inc()
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `dssp_cache_hits{template="Q\"1\\weird\nline"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped sample %q missing from exposition:\n%s", want, out)
+	}
+	if strings.Contains(out, "\nline") && !strings.Contains(out, `\nline`) {
+		t.Errorf("raw newline leaked into a label value:\n%s", out)
+	}
+	// Every line must still be a well-formed sample or comment.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "# ") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestPrometheusHistogramBucketOrdering: _bucket series must appear in
+// ascending le order with cumulative counts, ending at le="+Inf" whose
+// count equals _count.
+func TestPrometheusHistogramBucketOrdering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dssp_stage_seconds", L(LStage, "seal"))
+	for _, d := range []time.Duration{
+		50 * time.Microsecond, time.Millisecond, 20 * time.Millisecond, 3 * time.Second, time.Minute,
+	} {
+		h.Observe(d)
+	}
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	var les []float64
+	var cums []int64
+	var count int64
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "dssp_stage_seconds_bucket"):
+			i := strings.Index(line, `le="`)
+			rest := line[i+len(`le="`):]
+			leStr := rest[:strings.Index(rest, `"`)]
+			le := 0.0
+			if leStr == "+Inf" {
+				le = 1e300
+			} else {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("bad le %q: %v", leStr, err)
+				}
+			}
+			les = append(les, le)
+			v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket count in %q: %v", line, err)
+			}
+			cums = append(cums, v)
+		case strings.HasPrefix(line, "dssp_stage_seconds_count"):
+			count, _ = strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		}
+	}
+	if len(les) < 2 {
+		t.Fatalf("no bucket series emitted:\n%s", b.String())
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			t.Errorf("bucket bounds not ascending at %d: %g then %g", i, les[i-1], les[i])
+		}
+		if cums[i] < cums[i-1] {
+			t.Errorf("bucket counts not cumulative at %d: %d then %d", i, cums[i-1], cums[i])
+		}
+	}
+	if les[len(les)-1] != 1e300 {
+		t.Error("bucket series does not end at le=\"+Inf\"")
+	}
+	if cums[len(cums)-1] != 5 || count != 5 {
+		t.Errorf("+Inf bucket %d and _count %d must both equal the 5 observations",
+			cums[len(cums)-1], count)
+	}
+}
+
+// TestPrometheusMultiNodeMerge: per-node snapshots merge counter values
+// and histogram buckets metric by metric — the fleet view an operator
+// scrapes — and the merged exposition declares each metric's TYPE once.
+func TestPrometheusMultiNodeMerge(t *testing.T) {
+	mkNode := func(hits int64, obsCount int) Snapshot {
+		r := NewRegistry()
+		for i := int64(0); i < hits; i++ {
+			r.Counter("dssp_cache_hits", L(LTemplate, "Q1")).Inc()
+		}
+		h := r.Histogram("dssp_stage_seconds", L(LStage, "cache_lookup"))
+		for i := 0; i < obsCount; i++ {
+			h.Observe(time.Millisecond)
+		}
+		return r.Snapshot()
+	}
+	merged := Merge(mkNode(3, 2), mkNode(5, 4))
+
+	if m := merged.Find("dssp_cache_hits", map[string]string{LTemplate: "Q1"}); m == nil || m.Value != 8 {
+		t.Fatalf("merged counter = %+v, want value 8", m)
+	}
+	if m := merged.Find("dssp_stage_seconds", map[string]string{LStage: "cache_lookup"}); m == nil || m.Count != 6 {
+		t.Fatalf("merged histogram = %+v, want count 6", m)
+	}
+
+	var b strings.Builder
+	if err := merged.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dssp_cache_hits", "dssp_stage_seconds"} {
+		if got := strings.Count(b.String(), "# TYPE "+name+" "); got != 1 {
+			t.Errorf("TYPE %s declared %d times, want once:\n%s", name, got, b.String())
+		}
+	}
+	if !strings.Contains(b.String(), "dssp_stage_seconds_count{stage=\"cache_lookup\"} 6") {
+		t.Errorf("merged _count sample missing:\n%s", b.String())
+	}
+}

@@ -12,10 +12,11 @@ import (
 // Trace IDs are cheap process-unique strings: a random per-process prefix
 // plus a sequence number. They ride inside wire sealed messages and the
 // X-DSSP-Trace HTTP header, so one query or update can be followed across
-// client, node, and home server. They never become metric labels (that
-// would be unbounded cardinality); they key the tracer's span log.
+// client, router, node, and home server. They never become metric labels
+// (that would be unbounded cardinality); they key the tracer's span log.
 var (
 	traceSeq    atomic.Int64
+	spanSeq     atomic.Int64
 	tracePrefix = func() string {
 		var b [4]byte
 		if _, err := rand.Read(b[:]); err != nil {
@@ -30,9 +31,24 @@ func NewTraceID() string {
 	return fmt.Sprintf("%s-%06d", tracePrefix, traceSeq.Add(1))
 }
 
-// SpanRecord is one completed stage of one traced request.
+// NewSpanID returns a fresh process-unique span ID. Span IDs link a
+// request's stages into a tree: each hop records its spans with the
+// upstream span as parent, carried in the sealed message's ParentSpan
+// field and the X-DSSP-Span-Parent HTTP header.
+func NewSpanID() string {
+	return fmt.Sprintf("%s-s%06d", tracePrefix, spanSeq.Add(1))
+}
+
+// SpanRecord is one completed stage of one traced request. ID and Parent
+// link spans into a per-trace tree across processes; Process and Node say
+// where the span was recorded (client, router, node, home — and which
+// fleet member), so a stitched trace reads as a topology, not a flat list.
 type SpanRecord struct {
 	Trace    string        `json:"trace"`
+	ID       string        `json:"id,omitempty"`
+	Parent   string        `json:"parent,omitempty"`
+	Process  string        `json:"process,omitempty"`
+	Node     string        `json:"node,omitempty"`
 	Stage    string        `json:"stage"`
 	Template string        `json:"template"`
 	Start    time.Duration `json:"start_ns"`
@@ -40,12 +56,19 @@ type SpanRecord struct {
 }
 
 // Tracer records per-stage spans: each span lands in the registry's
-// dssp_stage_seconds histogram (labels: stage, template) and in a bounded
-// ring of recent SpanRecords for inspection. A nil *Tracer is a valid
+// dssp_stage_seconds histogram (labels: stage, template), in a bounded
+// ring of recent SpanRecords, and — when a SpanStore is attached — in the
+// per-trace store the /v1/trace endpoints serve. A nil *Tracer is a valid
 // no-op, so instrumented code needs no nil checks.
 type Tracer struct {
 	reg   *Registry
 	clock Clock
+
+	// process and node identify where this tracer's spans are recorded;
+	// set once at construction time (SetIdentity), before concurrent use.
+	process, node string
+
+	store *SpanStore
 
 	mu   sync.Mutex
 	ring []SpanRecord
@@ -59,6 +82,37 @@ const ringSize = 512
 // NewTracer builds a tracer recording into reg against clock.
 func NewTracer(reg *Registry, clock Clock) *Tracer {
 	return &Tracer{reg: reg, clock: clock, ring: make([]SpanRecord, ringSize)}
+}
+
+// SetIdentity labels every span this tracer records with a process role
+// ("client", "router", "node", "home") and a node name (fleet member id,
+// empty for singletons). Call once, before the tracer sees traffic. It
+// returns the tracer for chaining; a nil tracer stays a no-op.
+func (t *Tracer) SetIdentity(process, node string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.process, t.node = process, node
+	return t
+}
+
+// SetStore attaches a bounded per-trace span store; spans recorded after
+// the call are indexed by trace ID there. Call once, before traffic.
+func (t *Tracer) SetStore(s *SpanStore) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.store = s
+	return t
+}
+
+// Store returns the tracer's span store (nil for a nil tracer or when no
+// store is attached).
+func (t *Tracer) Store() *SpanStore {
+	if t == nil {
+		return nil
+	}
+	return t.store
 }
 
 // Registry returns the tracer's registry (nil for a nil tracer).
@@ -81,18 +135,39 @@ func (t *Tracer) Now() time.Duration {
 // duration. The simulator uses this form to attach modeled (virtual)
 // service times; wall-clock code usually uses Start/End instead.
 func (t *Tracer) Observe(trace, stage, tmpl string, start, dur time.Duration) {
+	t.ObserveSpan(SpanRecord{Trace: trace, Stage: stage, Template: tmpl, Start: start, Duration: dur})
+}
+
+// ObserveSpan records one completed span wholesale, filling in the
+// tracer's identity where the record leaves Process/Node empty and
+// assigning a fresh span ID when the record has none. It returns the
+// span's ID so callers can hand it to downstream hops as their parent.
+func (t *Tracer) ObserveSpan(rec SpanRecord) string {
 	if t == nil {
-		return
+		return ""
 	}
-	t.reg.Histogram(MStageSeconds, L(LStage, stage), L(LTemplate, tmpl)).Observe(dur)
+	if rec.ID == "" {
+		rec.ID = NewSpanID()
+	}
+	if rec.Process == "" {
+		rec.Process = t.process
+	}
+	if rec.Node == "" {
+		rec.Node = t.node
+	}
+	t.reg.Histogram(MStageSeconds, L(LStage, rec.Stage), L(LTemplate, rec.Template)).Observe(rec.Duration)
 	t.mu.Lock()
-	t.ring[t.next] = SpanRecord{Trace: trace, Stage: stage, Template: tmpl, Start: start, Duration: dur}
+	t.ring[t.next] = rec
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.full = true
 	}
 	t.mu.Unlock()
+	if t.store != nil {
+		t.store.Add(rec)
+	}
+	return rec.ID
 }
 
 // Span is an in-progress stage measurement. The zero Span (from a nil
@@ -101,15 +176,35 @@ type Span struct {
 	tr           *Tracer
 	trace, stage string
 	tmpl         string
+	id, parent   string
+	node         string
 	start        time.Duration
 }
 
-// Start opens a span for one stage of one traced request.
+// Start opens a span for one stage of one traced request, with no parent.
 func (t *Tracer) Start(trace, stage, tmpl string) Span {
+	return t.StartSpan(trace, "", stage, tmpl)
+}
+
+// StartSpan opens a span under a parent span ID. The span's own ID is
+// assigned immediately, so it can be propagated downstream (sealed
+// message ParentSpan field, X-DSSP-Span-Parent header) before End.
+func (t *Tracer) StartSpan(trace, parent, stage, tmpl string) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{tr: t, trace: trace, stage: stage, tmpl: tmpl, start: t.clock.Now()}
+	return Span{tr: t, trace: trace, stage: stage, tmpl: tmpl,
+		id: NewSpanID(), parent: parent, start: t.clock.Now()}
+}
+
+// ID returns the span's pre-assigned ID ("" for a no-op span).
+func (s Span) ID() string { return s.id }
+
+// WithNode overrides the span's node label (e.g. the router labels its
+// route spans with the target node instead of its own identity).
+func (s Span) WithNode(node string) Span {
+	s.node = node
+	return s
 }
 
 // End closes the span, recording its duration on the tracer's clock.
@@ -117,11 +212,25 @@ func (s Span) End() {
 	if s.tr == nil {
 		return
 	}
-	s.tr.Observe(s.trace, s.stage, s.tmpl, s.start, s.tr.clock.Now()-s.start)
+	s.tr.ObserveSpan(SpanRecord{
+		Trace: s.trace, ID: s.id, Parent: s.parent, Node: s.node,
+		Stage: s.stage, Template: s.tmpl,
+		Start: s.start, Duration: s.tr.clock.Now() - s.start,
+	})
 }
 
-// Spans returns the recorded spans of one trace, oldest first.
+// Spans returns the recorded spans of one trace, oldest first. When a
+// store is attached it is consulted first (it retains whole traces);
+// otherwise the bounded ring is scanned.
 func (t *Tracer) Spans(trace string) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	if t.store != nil {
+		if spans := t.store.Trace(trace); len(spans) > 0 {
+			return spans
+		}
+	}
 	var out []SpanRecord
 	for _, r := range t.Recent(ringSize) {
 		if r.Trace == trace {
@@ -149,4 +258,101 @@ func (t *Tracer) Recent(n int) []SpanRecord {
 		all = all[len(all)-n:]
 	}
 	return all
+}
+
+// DefaultStoreTraces bounds how many distinct traces a SpanStore retains;
+// storeMaxSpans bounds the spans kept per trace. Both caps make the store
+// safe to leave on in production: memory is O(traces × spans), not
+// O(requests).
+const (
+	DefaultStoreTraces = 256
+	storeMaxSpans      = 128
+)
+
+// SpanStore is a bounded in-memory index of spans by trace ID: the
+// backing store of the /v1/trace/{id} and /v1/traces endpoints. Traces
+// are evicted FIFO once the cap is reached; spans beyond the per-trace
+// cap are dropped (a trace that long indicates a propagation loop, not a
+// real request). Safe for concurrent use; shareable between tracers, so
+// the simulator's client/node/home tracers can feed one fleet-wide store.
+type SpanStore struct {
+	mu     sync.Mutex
+	max    int
+	traces map[string][]SpanRecord
+	order  []string // trace IDs, oldest first
+}
+
+// NewSpanStore builds a store retaining up to maxTraces traces
+// (DefaultStoreTraces when <= 0).
+func NewSpanStore(maxTraces int) *SpanStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultStoreTraces
+	}
+	return &SpanStore{max: maxTraces, traces: make(map[string][]SpanRecord)}
+}
+
+// Add indexes one span under its trace ID. Spans without a trace ID are
+// not indexable and are dropped.
+func (s *SpanStore) Add(r SpanRecord) {
+	if s == nil || r.Trace == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spans, known := s.traces[r.Trace]
+	if !known {
+		if len(s.order) >= s.max {
+			evict := s.order[0]
+			s.order = s.order[1:]
+			delete(s.traces, evict)
+		}
+		s.order = append(s.order, r.Trace)
+	}
+	if len(spans) < storeMaxSpans {
+		s.traces[r.Trace] = append(spans, r)
+	}
+}
+
+// Trace returns a copy of one trace's spans in arrival order (nil when
+// the trace is unknown or evicted).
+func (s *SpanStore) Trace(id string) []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spans := s.traces[id]
+	if spans == nil {
+		return nil
+	}
+	return append([]SpanRecord(nil), spans...)
+}
+
+// TraceIDs returns up to n retained trace IDs, oldest first.
+func (s *SpanStore) TraceIDs(n int) []string {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := s.order
+	if len(ids) > n {
+		ids = ids[len(ids)-n:]
+	}
+	return append([]string(nil), ids...)
+}
+
+// All returns every retained span, grouped by trace in trace-arrival
+// order — the flattened input Stitch expects.
+func (s *SpanStore) All() []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []SpanRecord
+	for _, id := range s.order {
+		out = append(out, s.traces[id]...)
+	}
+	return out
 }

@@ -73,7 +73,14 @@ func (b *batcher) flush() {
 	// batch walk, keeping the per-template stage histograms meaningful.
 	share := (b.p.tracer.Now() - start) / time.Duration(len(batch))
 	for i, pu := range batch {
-		b.p.tracer.Observe(us[i].TraceID, obs.StageInvalidate, obs.Tmpl(us[i].TemplateID), start, share)
+		b.p.tracer.ObserveSpan(obs.SpanRecord{
+			Trace: us[i].TraceID, Parent: us[i].ParentSpan,
+			Stage: obs.StageInvalidate, Template: obs.Tmpl(us[i].TemplateID),
+			Start: start, Duration: share,
+		})
+		if b.p.opts.Leakage != nil {
+			b.p.opts.Leakage.ObserveInvalidation(us[i], counts[i])
+		}
 		pu.done(counts[i])
 	}
 }
@@ -86,9 +93,12 @@ func (b *batcher) flush() {
 // nodes' completed updates into each node's monitor through it.
 func (p *Pipeline) MonitorUpdate(su wire.SealedUpdate, done func(invalidated int)) {
 	if p.batcher == nil {
-		inv := p.tracer.Start(su.TraceID, obs.StageInvalidate, obs.Tmpl(su.TemplateID))
+		inv := p.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageInvalidate, obs.Tmpl(su.TemplateID))
 		n := p.cache.OnUpdateCompleted(su)
 		inv.End()
+		if p.opts.Leakage != nil {
+			p.opts.Leakage.ObserveInvalidation(su, n)
+		}
 		done(n)
 		return
 	}

@@ -118,6 +118,34 @@ type Options struct {
 	// time.AfterFunc; the simulator passes its virtual-time scheduler so
 	// the interval elapses on the simulated clock.
 	After func(d time.Duration, fn func())
+
+	// Leakage, when set, is the adversary's-eye audit at this node's
+	// trust boundary: it sees exactly the sealed traffic the pipeline
+	// sees, never plaintext the exposure level hides. nil disables the
+	// audit (the production default — it is a measurement instrument).
+	Leakage LeakageObserver
+}
+
+// LeakageObserver records what an untrusted observer at this pipeline's
+// vantage point (a DSSP node, or the shard router) learns from the
+// sealed traffic passing through. Implemented by leakage.Observer.
+type LeakageObserver interface {
+	// ObserveQuery sees every sealed query arriving at the vantage point
+	// and whether the cache answered it (access-pattern leakage).
+	ObserveQuery(sq wire.SealedQuery, hit bool)
+
+	// ObserveResult sees every sealed result transiting the vantage
+	// point: a hit served from the cache, or a miss returning from home.
+	ObserveResult(sq wire.SealedQuery, res wire.SealedResult)
+
+	// ObserveUpdate sees every sealed update routed through the vantage
+	// point.
+	ObserveUpdate(su wire.SealedUpdate)
+
+	// ObserveInvalidation sees each completed update's invalidation
+	// applied at this vantage point, with the entry count it dropped
+	// (update→invalidation correlation leakage).
+	ObserveInvalidation(su wire.SealedUpdate, invalidated int)
 }
 
 // flight is one in-progress home-server fetch that concurrent misses on
@@ -184,10 +212,16 @@ func (p *Pipeline) request(kind, tmpl string, start time.Duration) {
 func (p *Pipeline) Query(ctx context.Context, sq wire.SealedQuery, done func(QueryReply, error)) {
 	tmpl := obs.Tmpl(sq.TemplateID)
 	start := p.tracer.Now()
-	lk := p.tracer.Start(sq.TraceID, obs.StageLookup, tmpl)
+	lk := p.tracer.StartSpan(sq.TraceID, sq.ParentSpan, obs.StageLookup, tmpl)
 	res, hit := p.cache.HandleQuery(sq)
 	lk.End()
+	if p.opts.Leakage != nil {
+		p.opts.Leakage.ObserveQuery(sq, hit)
+	}
 	if hit {
+		if p.opts.Leakage != nil {
+			p.opts.Leakage.ObserveResult(sq, res)
+		}
 		p.request(obs.KindQuery, tmpl, start)
 		done(QueryReply{Result: res, Hit: true}, nil)
 		return
@@ -196,8 +230,12 @@ func (p *Pipeline) Query(ctx context.Context, sq wire.SealedQuery, done func(Que
 	if !p.opts.DisableCoalescing {
 		p.mu.Lock()
 		if f, ok := p.flights[sq.Key]; ok {
-			// Join the in-flight fetch; the leader resolves us.
+			// Join the in-flight fetch; the leader resolves us. The wait
+			// is a real pipeline stage — the whole point of coalescing is
+			// that this span replaces a home round trip.
+			cw := p.tracer.StartSpan(sq.TraceID, sq.ParentSpan, obs.StageCoalesceWait, tmpl)
 			f.waiters = append(f.waiters, func(r QueryReply, err error) {
+				cw.End()
 				if err == nil {
 					p.request(obs.KindQuery, tmpl, start)
 				}
@@ -213,11 +251,17 @@ func (p *Pipeline) Query(ctx context.Context, sq wire.SealedQuery, done func(Que
 		p.mu.Unlock()
 	}
 
-	net := p.tracer.Start(sq.TraceID, obs.StageNetwork, tmpl)
+	net := p.tracer.StartSpan(sq.TraceID, sq.ParentSpan, obs.StageNetwork, tmpl)
+	if id := net.ID(); id != "" {
+		sq.ParentSpan = id // downstream hops (transport, home) nest under the network span
+	}
 	p.transport.ExecQuery(ctx, sq, func(er ExecQueryResult, err error) {
 		net.End()
 		if err == nil {
 			p.cache.StoreResult(sq, er.Result, er.Empty)
+			if p.opts.Leakage != nil {
+				p.opts.Leakage.ObserveResult(sq, er.Result)
+			}
 		}
 
 		var waiters []func(QueryReply, error)
@@ -253,7 +297,13 @@ func (p *Pipeline) Query(ctx context.Context, sq wire.SealedQuery, done func(Que
 func (p *Pipeline) Update(ctx context.Context, su wire.SealedUpdate, done func(UpdateReply, error)) {
 	tmpl := obs.Tmpl(su.TemplateID)
 	start := p.tracer.Now()
-	net := p.tracer.Start(su.TraceID, obs.StageNetwork, tmpl)
+	if p.opts.Leakage != nil {
+		p.opts.Leakage.ObserveUpdate(su)
+	}
+	net := p.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageNetwork, tmpl)
+	if id := net.ID(); id != "" {
+		su.ParentSpan = id
+	}
 	p.transport.ExecUpdate(ctx, su, func(affected int, err error) {
 		net.End()
 		if err != nil {

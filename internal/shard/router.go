@@ -147,8 +147,16 @@ func (r *Router) StoreResult(wire.SealedQuery, wire.SealedResult, bool) {}
 // owning node and surface that node's hit/miss through the pipeline.
 func (r *Router) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
 	ni := r.planner.NoteQuery(sq)
+	// One route span per proxied call, labelled with the target node; the
+	// node's own spans nest under it via the forwarded ParentSpan.
+	sp := r.tracer.StartSpan(sq.TraceID, sq.ParentSpan, obs.StageRoute, obs.Tmpl(sq.TemplateID)).
+		WithNode(strconv.Itoa(ni))
+	if id := sp.ID(); id != "" {
+		sq.ParentSpan = id
+	}
 	start := r.now()
 	res, hit, err := r.backends[ni].Query(ctx, sq)
+	sp.End()
 	r.observeNode(ni, obs.KindQuery, start)
 	if err != nil {
 		r.proxyError(obs.KindQuery)
@@ -165,8 +173,14 @@ func (r *Router) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(p
 // so no fan-out follows.
 func (r *Router) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
 	exec := r.planner.ExecNode(su)
+	sp := r.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageRoute, obs.Tmpl(su.TemplateID)).
+		WithNode(strconv.Itoa(exec))
+	if id := sp.ID(); id != "" {
+		su.ParentSpan = id
+	}
 	start := r.now()
 	affected, invalidated, err := r.backends[exec].Update(ctx, su)
+	sp.End()
 	r.observeNode(exec, obs.KindUpdate, start)
 	if err != nil {
 		r.proxyError(obs.KindUpdate)
@@ -239,8 +253,15 @@ func (r *Router) fanOut(su wire.SealedUpdate) int {
 		r.sem <- struct{}{}
 		go func() {
 			defer func() { <-r.sem; wg.Done() }()
+			fsu := su
+			sp := r.tracer.StartSpan(fsu.TraceID, fsu.ParentSpan, obs.StageRoute, obs.Tmpl(fsu.TemplateID)).
+				WithNode(strconv.Itoa(ni))
+			if id := sp.ID(); id != "" {
+				fsu.ParentSpan = id
+			}
 			start := r.now()
-			inv, err := r.backends[ni].Invalidate(context.Background(), su)
+			inv, err := r.backends[ni].Invalidate(context.Background(), fsu)
+			sp.End()
 			r.observeNode(ni, obs.KindInvalidate, start)
 			if err != nil {
 				r.proxyError(obs.KindInvalidate)

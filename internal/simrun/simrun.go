@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"dssp/internal/cache"
@@ -16,6 +17,7 @@ import (
 	"dssp/internal/dssp"
 	"dssp/internal/encrypt"
 	"dssp/internal/homeserver"
+	"dssp/internal/leakage"
 	"dssp/internal/metrics"
 	"dssp/internal/obs"
 	"dssp/internal/pipeline"
@@ -75,6 +77,11 @@ type Config struct {
 	AnalysisOpts core.Options
 
 	CacheOpts cache.Options
+
+	// Leakage, when true, attaches an adversary's-eye observer at the
+	// node trust boundary (on virtual time); the audit lands in
+	// Result.Leakage.
+	Leakage bool
 }
 
 // DefaultConfig fills in the paper's §5.2 parameters for a benchmark.
@@ -109,8 +116,13 @@ type Result struct {
 	// stage latencies recorded in virtual time.
 	Metrics obs.Snapshot
 
-	// Traces holds the most recent per-stage spans (virtual time).
+	// Traces holds the retained per-stage spans (virtual time), grouped
+	// by trace — the input obs.Stitch expects.
 	Traces []obs.SpanRecord
+
+	// Leakage is the adversary's-eye audit at the node trust boundary,
+	// present when Config.Leakage was set.
+	Leakage *leakage.Report
 
 	// Decisions and CacheDump fingerprint node 0's invalidation-decision
 	// log and final cache contents, for the adapter parity tests.
@@ -188,11 +200,17 @@ func (t *simTransport) ExecQuery(_ context.Context, sq wire.SealedQuery, done fu
 		service := t.costs.HomeQueryBase + time.Duration(scanned)*t.costs.HomeQueryPerRow
 		submit := t.world.Now()
 		t.homeCPU.Submit(service, func() {
-			t.waitQ.Observe(t.world.Now() - submit - service)
+			wait := t.world.Now() - submit - service
+			t.waitQ.Observe(wait)
 			t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
 			t.res.HomeQueries++
 			tID := t.trueTemplate(sq.Opaque)
-			t.tracer.Observe(sq.TraceID, obs.StageHomeExec, tID, t.world.Now()-service, service)
+			// Home-side spans mirror the real home server's admit-then-
+			// execute order, parented to the node's network span.
+			t.tracer.ObserveSpan(obs.SpanRecord{Trace: sq.TraceID, Parent: sq.ParentSpan,
+				Stage: obs.StageAdmission, Template: tID, Start: submit, Duration: wait})
+			t.tracer.ObserveSpan(obs.SpanRecord{Trace: sq.TraceID, Parent: sq.ParentSpan,
+				Stage: obs.StageHomeExec, Template: tID, Start: t.world.Now() - service, Duration: service})
 			t.reg.Counter(obs.MHomeQueries, obs.L(obs.LTemplate, tID)).Inc()
 			t.fromHome.Send(sealed.Size(), func() {
 				done(pipeline.ExecQueryResult{Result: sealed, Empty: empty, Scanned: scanned}, nil)
@@ -206,7 +224,8 @@ func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done 
 	t.toHome.Send(t.costs.RequestBytes+len(su.Opaque), func() {
 		submit := t.world.Now()
 		t.homeCPU.Submit(t.costs.HomeUpdateCost, func() {
-			t.waitU.Observe(t.world.Now() - submit - t.costs.HomeUpdateCost)
+			wait := t.world.Now() - submit - t.costs.HomeUpdateCost
+			t.waitU.Observe(wait)
 			t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
 			affected, err := t.home.ExecUpdate(su)
 			if err != nil {
@@ -214,7 +233,10 @@ func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done 
 			}
 			t.res.HomeUpdates++
 			tID := t.trueTemplate(su.Opaque)
-			t.tracer.Observe(su.TraceID, obs.StageHomeExec, tID, t.world.Now()-t.costs.HomeUpdateCost, t.costs.HomeUpdateCost)
+			t.tracer.ObserveSpan(obs.SpanRecord{Trace: su.TraceID, Parent: su.ParentSpan,
+				Stage: obs.StageAdmission, Template: tID, Start: submit, Duration: wait})
+			t.tracer.ObserveSpan(obs.SpanRecord{Trace: su.TraceID, Parent: su.ParentSpan,
+				Stage: obs.StageHomeExec, Template: tID, Start: t.world.Now() - t.costs.HomeUpdateCost, Duration: t.costs.HomeUpdateCost})
 			t.reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, tID)).Inc()
 			// Other nodes monitor the completed update too, one home-link
 			// propagation later, through their pipeline monitors — which
@@ -289,10 +311,16 @@ func Simulate(cfg Config) (*Result, error) {
 
 	// One registry for the whole run, clocked on virtual time, so the
 	// snapshot has exactly the shape /v1/metrics serves in a real
-	// deployment — only the clock differs.
+	// deployment — only the clock differs. Spans, though, are recorded by
+	// per-role tracers (client, node-i, home) feeding one shared span
+	// store, so a stitched sim trace carries the same process/node
+	// topology a stitched fleet trace does.
 	var world sim.Sim
 	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(reg, obs.ClockFunc(world.Now))
+	store := obs.NewSpanStore(0)
+	clock := obs.ClockFunc(world.Now)
+	clientTracer := obs.NewTracer(reg, clock).SetIdentity(obs.ProcClient, "").SetStore(store)
+	homeTracer := obs.NewTracer(reg, clock).SetIdentity(obs.ProcHome, "").SetStore(store)
 
 	cacheOpts := cfg.CacheOpts
 	cacheOpts.Obs = reg
@@ -330,23 +358,37 @@ func Simulate(cfg Config) (*Result, error) {
 		planner = shard.NewPlanner(shard.NewAffinity(cfg.Nodes), analysis)
 	}
 
+	// The adversary's-eye audit, shared by every node pipeline: the
+	// observer stands at the node trust boundary, and an adversary who
+	// controls the DSSP sees all nodes at once.
+	var audit *leakage.Observer
+	if cfg.Leakage {
+		audit = leakage.NewObserver("node", clock)
+	}
+
 	// One pipeline per node — the same pathway every other deployment
 	// routes through — over a virtual-time transport. The pipes slice is
 	// shared with every transport before it is filled: fan-out only runs
 	// once the world does, when all pipelines exist.
 	pipes := make([]*pipeline.Pipeline, cfg.Nodes)
 	for i := range pipes {
+		nodeTracer := obs.NewTracer(reg, clock).
+			SetIdentity(obs.ProcNode, strconv.Itoa(i)).SetStore(store)
 		tr := &simTransport{
-			world: &world, reg: reg, tracer: tracer, codec: codec,
+			world: &world, reg: reg, tracer: homeTracer, codec: codec,
 			home: home, homeCPU: homeCPU, toHome: toHome, fromHome: fromHome,
 			costs: cfg.Costs, network: cfg.Network, pipes: pipes, self: i, res: res,
 			planner:    planner,
 			queueDepth: queueDepth, waitQ: waitQ, waitU: waitU,
 		}
-		pipes[i] = pipeline.New(nodes[i], tr, tracer, pipeline.Options{
+		popts := pipeline.Options{
 			MonitorInterval: cfg.MonitorInterval,
 			After:           func(d time.Duration, fn func()) { world.After(d, fn) },
-		})
+		}
+		if audit != nil {
+			popts.Leakage = audit
+		}
+		pipes[i] = pipeline.New(nodes[i], tr, nodeTracer, popts)
 	}
 
 	// clientDelay models the per-client duplex access link (no cross-
@@ -381,14 +423,17 @@ func Simulate(cfg Config) (*Result, error) {
 			}
 			clientDelay(cfg.Costs.RequestBytes, func() {
 				nodeCPUs[ni].Submit(cfg.Costs.DSSPOpCost, func() {
-					tracer.Observe(sq.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
+					// The seal span is the trace's root, exactly as in the
+					// HTTP client; node-side spans nest under it.
+					sq.ParentSpan = clientTracer.ObserveSpan(obs.SpanRecord{
+						Trace: sq.TraceID, Stage: obs.StageSeal, Template: op.Template.ID, Start: opStart})
 					pipes[ni].Query(context.Background(), sq, func(reply pipeline.QueryReply, err error) {
 						if err != nil {
 							panic(err)
 						}
 						res.Ops++
 						clientDelay(reply.Result.Size(), func() {
-							tracer.Observe(sq.TraceID, obs.StageOpen, op.Template.ID, world.Now(), 0)
+							clientTracer.Observe(sq.TraceID, obs.StageOpen, op.Template.ID, world.Now(), 0)
 							done()
 						})
 					})
@@ -407,7 +452,8 @@ func Simulate(cfg Config) (*Result, error) {
 		}
 		clientDelay(cfg.Costs.RequestBytes, func() {
 			nodeCPUs[ni].Submit(cfg.Costs.DSSPOpCost, func() {
-				tracer.Observe(su.TraceID, obs.StageSeal, op.Template.ID, opStart, 0)
+				su.ParentSpan = clientTracer.ObserveSpan(obs.SpanRecord{
+					Trace: su.TraceID, Stage: obs.StageSeal, Template: op.Template.ID, Start: opStart})
 				pipes[ni].Update(context.Background(), su, func(reply pipeline.UpdateReply, err error) {
 					if err != nil {
 						panic(fmt.Sprintf("update %s%v: %v", op.Template.ID, op.Params, err))
@@ -473,9 +519,13 @@ func Simulate(cfg Config) (*Result, error) {
 		res.HomeBusyFrac = float64(homeCPU.BusyTime()) / float64(elapsed*time.Duration(cfg.Costs.HomeCapacity))
 	}
 	res.Metrics = reg.Snapshot()
-	res.Traces = tracer.Recent(256)
+	res.Traces = store.All()
 	res.Decisions = nodes[0].Cache.Decisions()
 	res.CacheDump = nodes[0].Cache.Dump()
+	if audit != nil {
+		rep := audit.Report()
+		res.Leakage = &rep
+	}
 	return res, nil
 }
 

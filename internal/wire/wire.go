@@ -48,6 +48,12 @@ type SealedQuery struct {
 	// and reveals nothing about the statement.
 	TraceID string
 
+	// ParentSpan is the span ID of the upstream hop's in-progress stage:
+	// each process records its spans under it and overwrites it with its
+	// own span ID before forwarding, so the fleet's spans stitch into one
+	// tree. Like TraceID, it is observability metadata only.
+	ParentSpan string
+
 	// TemplateID is exposed at template exposure and above.
 	TemplateID string
 
@@ -66,6 +72,7 @@ type SealedQuery struct {
 type SealedUpdate struct {
 	Exposure   template.Exposure
 	TraceID    string // observability metadata, as in SealedQuery
+	ParentSpan string // observability metadata, as in SealedQuery
 	TemplateID string
 	Params     []sqlparse.Value
 	Opaque     []byte

@@ -55,6 +55,29 @@ wait_up "http://localhost:$ROUTER_PORT"
 replay "http://localhost:$ROUTER_PORT"
 curl -sf "http://localhost:$NODE0_PORT/v1/decisions" >"$OUT/node0.json"
 curl -sf "http://localhost:$NODE1_PORT/v1/decisions" >"$OUT/node1.json"
+
+# Fleet-wide trace: one more request, then fetch its spans back from
+# every process's /v1/trace endpoint. The client logs the trace ID; the
+# stitched union must carry that one ID through the router proxy, the
+# owning node's cache probe, and the home server's execution.
+echo "smoke: stitching one request's trace across router, nodes, and home"
+TRACE=$("$BIN/dsspclient" -app toystore -key "$KEY" -node "http://localhost:$ROUTER_PORT" \
+  -query Q2 -params 3 2>&1 >/dev/null | grep -o 'trace=[^ ]*' | head -1 | cut -d= -f2)
+[ -n "$TRACE" ] || { echo "smoke: dsspclient logged no trace ID" >&2; exit 1; }
+: >"$OUT/spans.json"
+for port in "$ROUTER_PORT" "$NODE0_PORT" "$NODE1_PORT" "$HOME_PORT"; do
+  # A process that never saw the trace answers 404; count it as no spans.
+  curl -sf "http://localhost:$port/v1/trace/$TRACE" >>"$OUT/spans.json" || echo '[]' >>"$OUT/spans.json"
+  echo >>"$OUT/spans.json"
+done
+jq -s --arg id "$TRACE" '
+  add
+  | if (map(select(.trace != $id)) | length) > 0 then error("span with foreign trace ID") else . end
+  | [.[].stage] as $stages
+  | if ($stages | contains(["route"]) and contains(["cache_lookup"]) and contains(["home_exec"]))
+    then "smoke: trace \($id) covers \($stages | join(", "))"
+    else error("trace misses a hop: \($stages | join(", "))") end' \
+  -r "$OUT/spans.json"
 cleanup
 
 # Canonical observable state: merge the fleet's logs, drop the per-run
