@@ -2,6 +2,7 @@ package cache
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"dssp/internal/invalidate"
@@ -21,6 +22,14 @@ import (
 // after k in-order applications is the same either way, and cross-bucket
 // state is never consulted. Only Stats.BucketWalks — the physical
 // lock-and-probe work — shrinks.
+//
+// The pass is built to stay off the allocator: per-batch working state
+// (the plans, the merged visit set) lives in a pooled batchScratch, visit
+// lists are the router's own slices or the cache's precomputed
+// all-queries list (both immutable), per-update membership tests go to
+// the routing index's A = 0 table instead of a per-plan set, and each
+// update's inspection work is prepared once (invalidate.Prepare) instead
+// of once per cached entry.
 
 // updatePlan is one batch member's routing decision, made before any lock
 // is taken, plus its share of the batch's outcome, emitted to the decision
@@ -28,18 +37,63 @@ import (
 type updatePlan struct {
 	u    wire.SealedUpdate
 	uLbl string
-	ui   invalidate.UpdateInstance
+	pu   *invalidate.PreparedUpdate
 
 	// blind marks an update the cache cannot steer by: a hidden template
 	// ID, or one this application does not know. It drops every bucket it
 	// reaches, exactly as OnUpdate's dropAllBuckets does.
 	blind  bool
 	routed bool
-	ids    []string // visit order for the decision log
-	idSet  map[string]bool
+	ids    []string // visit order for the decision log; shared, never written
 
-	hidden    *Decision           // the hidden-bucket decision, first update only
-	perBucket map[string]Decision // decisions made during the walk, keyed by bucket
+	hidden    Decision // the hidden-bucket decision, first update only
+	hasHidden bool
+	decs      []Decision // decisions made during the walk, one per bucket
+}
+
+// reset readies a recycled plan slot for a new update, keeping the decs
+// backing array.
+func (p *updatePlan) reset(u wire.SealedUpdate) {
+	clear(p.decs)
+	p.decs = p.decs[:0]
+	p.u = u
+	p.uLbl = obs.Tmpl(u.TemplateID)
+	p.pu = nil
+	p.blind = false
+	p.routed = false
+	p.ids = nil
+	p.hidden = Decision{}
+	p.hasHidden = false
+}
+
+// batchScratch is one batch's pooled working state.
+type batchScratch struct {
+	plans    []updatePlan
+	seen     map[string]bool
+	perShard [numShards][]string
+}
+
+func (c *Cache) getBatchScratch(n int) *batchScratch {
+	bs, _ := c.batchPool.Get().(*batchScratch)
+	if bs == nil {
+		bs = &batchScratch{seen: make(map[string]bool)}
+	}
+	for len(bs.plans) < n {
+		bs.plans = append(bs.plans, updatePlan{})
+	}
+	return bs
+}
+
+func (c *Cache) putBatchScratch(bs *batchScratch) {
+	clear(bs.seen)
+	for i := range bs.perShard {
+		clear(bs.perShard[i])
+		bs.perShard[i] = bs.perShard[i][:0]
+	}
+	for i := range bs.plans {
+		bs.plans[i].reset(wire.SealedUpdate{})
+	}
+	c.batchPool.Put(bs)
 }
 
 // OnUpdateBatch applies a monitoring interval's worth of completed updates
@@ -69,31 +123,26 @@ func (c *Cache) OnUpdateBatchCounts(us []wire.SealedUpdate) []int {
 	c.batchSizes.Observe(time.Duration(len(us)) * time.Microsecond)
 
 	router := c.inv.Router()
-	plans := make([]*updatePlan, len(us))
+	bs := c.getBatchScratch(len(us))
+	defer c.putBatchScratch(bs)
+	plans := bs.plans[:len(us)]
 	anyBlind := false
 	for i, u := range us {
-		p := &updatePlan{u: u, uLbl: obs.Tmpl(u.TemplateID), perBucket: make(map[string]Decision)}
+		p := &plans[i]
+		p.reset(u)
 		ut := c.app.Update(u.TemplateID)
 		if u.TemplateID == "" || ut == nil {
 			p.blind = true
 			anyBlind = true
-		} else {
-			ids, known := router.Affected(u.TemplateID)
-			p.routed = known && !c.opts.DisableRouting
-			if !p.routed {
-				ids = make([]string, 0, len(c.app.Queries))
-				for _, qt := range c.app.Queries {
-					ids = append(ids, qt.ID)
-				}
-			}
-			p.ids = ids
-			p.idSet = make(map[string]bool, len(ids))
-			for _, id := range ids {
-				p.idSet[id] = true
-			}
-			p.ui = invalidate.UpdateInstance{Template: ut, Params: u.Params}
+			continue
 		}
-		plans[i] = p
+		ids, known := router.Affected(u.TemplateID)
+		p.routed = known && !c.opts.DisableRouting
+		if !p.routed {
+			ids = c.allQueryIDs
+		}
+		p.ids = ids
+		p.pu = c.inv.Prepare(invalidate.UpdateInstance{Template: ut, Params: u.Params})
 	}
 
 	// Hidden-template entries can only be handled blindly; every update
@@ -110,8 +159,9 @@ func (c *Cache) OnUpdateBatchCounts(us []wire.SealedUpdate) []int {
 			c.unlink(removed)
 			s.mu.Unlock()
 			c.entries.Add(int64(-len(removed)))
-			p := plans[0]
-			p.hidden = &Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: obs.BlindTemplate, Class: invalidate.Blind.String(), Dropped: len(removed)}
+			p := &plans[0]
+			p.hidden = Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: obs.BlindTemplate, Class: invalidate.Blind.String(), Dropped: len(removed)}
+			p.hasHidden = true
 			counts[0] += len(removed)
 		} else {
 			s.mu.Unlock()
@@ -123,32 +173,31 @@ func (c *Cache) OnUpdateBatchCounts(us []wire.SealedUpdate) []int {
 	// bucket that exists when their shard comes up, exactly the set
 	// dropAllBuckets would have walked (buckets only shrink during a
 	// batch — no store runs inside it — so nothing is missed).
-	seen := make(map[string]bool)
-	perShard := make(map[*shard][]string)
-	for _, p := range plans {
-		for _, id := range p.ids {
-			if seen[id] || c.app.Query(id) == nil {
+	for pi := range plans {
+		for _, id := range plans[pi].ids {
+			if bs.seen[id] || c.app.Query(id) == nil {
 				continue
 			}
-			seen[id] = true
-			s := c.shardFor(id)
-			perShard[s] = append(perShard[s], id)
+			bs.seen[id] = true
+			si := shardIndex(id)
+			bs.perShard[si] = append(bs.perShard[si], id)
 		}
 	}
 
-	for _, s := range c.shards {
-		ids := perShard[s]
+	for si, s := range c.shards {
+		ids := bs.perShard[si]
 		if len(ids) == 0 && !anyBlind {
 			continue
 		}
 		s.mu.Lock()
 		if anyBlind {
 			for id := range s.buckets {
-				if id != "" && !seen[id] {
-					seen[id] = true
+				if id != "" && !bs.seen[id] {
+					bs.seen[id] = true
 					ids = append(ids, id)
 				}
 			}
+			bs.perShard[si] = ids
 		}
 		freed := 0
 		for _, id := range ids {
@@ -158,27 +207,31 @@ func (c *Cache) OnUpdateBatchCounts(us []wire.SealedUpdate) []int {
 				continue
 			}
 			qt := c.app.Query(id)
-			for k, p := range plans {
+			for k := range plans {
 				if len(bucket) == 0 {
 					break // emptied by an earlier update of this batch
 				}
+				p := &plans[k]
 				if p.blind {
 					removed := collect(bucket)
 					delete(s.buckets, id)
 					c.unlink(removed)
 					freed += len(removed)
 					counts[k] += len(removed)
-					p.perBucket[id] = Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: id, Class: invalidate.Blind.String(), Dropped: len(removed)}
+					p.decs = append(p.decs, Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: id, Class: invalidate.Blind.String(), Dropped: len(removed)})
 					bucket = nil
 					continue
 				}
-				if !p.idSet[id] || qt == nil {
+				// Membership in this update's affected set: for a routed
+				// update that is exactly the pairs the analysis could not
+				// prove A = 0; an unrouted update visits every bucket.
+				if qt == nil || (p.routed && router.AZero(p.u.TemplateID, id)) {
 					continue // not an affected bucket for this update
 				}
-				class, removed := c.applyToBucket(s, id, qt, p.u, p.ui, bucket, router)
+				class, removed := c.applyToBucket(s, id, qt, p.u, p.pu, bucket, router)
 				freed += len(removed)
 				counts[k] += len(removed)
-				p.perBucket[id] = Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: id, Class: class.String(), Dropped: len(removed)}
+				p.decs = append(p.decs, Decision{Trace: p.u.TraceID, UpdateTemplate: p.uLbl, QueryTemplate: id, Class: class.String(), Dropped: len(removed)})
 				if _, live := s.buckets[id]; !live {
 					bucket = nil // whole-bucket drop
 				}
@@ -194,24 +247,30 @@ func (c *Cache) OnUpdateBatchCounts(us []wire.SealedUpdate) []int {
 	// exactly: the hidden-bucket decision first, then — per update — its
 	// bucket decisions in affected-list order (blind updates: sorted by
 	// bucket ID, as dropAllBuckets records them), then its routing skips.
-	for _, p := range plans {
-		if p.hidden != nil {
-			c.record(*p.hidden)
+	for pi := range plans {
+		p := &plans[pi]
+		if p.hasHidden {
+			c.record(p.hidden)
 		}
 		if p.blind {
-			ids := make([]string, 0, len(p.perBucket))
-			for id := range p.perBucket {
-				ids = append(ids, id)
-			}
-			sort.Strings(ids)
-			for _, id := range ids {
-				c.record(p.perBucket[id])
+			sort.Slice(p.decs, func(i, j int) bool {
+				return strings.Compare(p.decs[i].QueryTemplate, p.decs[j].QueryTemplate) < 0
+			})
+			for _, d := range p.decs {
+				c.record(d)
 			}
 			continue
 		}
-		for _, id := range p.ids {
-			if d, ok := p.perBucket[id]; ok {
-				c.record(d)
+		if len(p.decs) > 0 {
+			// decs holds at most one decision per bucket, appended in
+			// shard-walk order; replay them in affected-list order.
+			for _, id := range p.ids {
+				for di := range p.decs {
+					if p.decs[di].QueryTemplate == id {
+						c.record(p.decs[di])
+						break
+					}
+				}
 			}
 		}
 		if p.routed {

@@ -290,6 +290,43 @@ func TestLookupInvalidateLRURace(t *testing.T) {
 	auditLRU(t, c)
 }
 
+// TestOnUpdateBatchAllocBudget pins the allocation ceiling of the batch
+// invalidation pass: a batch against a populated, surviving cache may
+// allocate the returned counts slice plus a constant amount of prepared
+// state per update — never anything per cached entry. The budget is a
+// small constant factor above the measured cost, so pool warm-up noise
+// passes while a per-entry regression (with 64 entries per bucket) fails
+// by an order of magnitude.
+func TestOnUpdateBatchAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool reuse; allocation counts are meaningless")
+	}
+	for _, size := range []int{1, 8, 32} {
+		c, codec, app := testStack(t, stmtExposures(), Options{})
+		for i := int64(0); i < 64; i++ {
+			qt := app.Query("Q2")
+			c.Store(seal(t, codec, qt, sqlparse.IntVal(i)), codec.SealResult(qt, result(i)), false)
+		}
+		us := make([]wire.SealedUpdate, size)
+		for i := range us {
+			su, err := codec.SealUpdate(app.Update("U1"), []sqlparse.Value{sqlparse.IntVal(int64(1_000_000 + i))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			us[i] = su
+		}
+		c.OnUpdateBatch(us) // warm pools and instrument caches
+		allocs := testing.AllocsPerRun(50, func() { c.OnUpdateBatch(us) })
+		budget := float64(4*size + 8)
+		if allocs > budget {
+			t.Errorf("size=%d: OnUpdateBatch allocated %.1f/op, budget %.0f", size, allocs, budget)
+		}
+		if c.Len() == 0 {
+			t.Fatalf("size=%d: entries did not survive; budget measured empty buckets", size)
+		}
+	}
+}
+
 // BenchmarkOnUpdateBatch measures the amortization win: one batched pass
 // over n updates versus n sequential passes, against a populated cache
 // whose entries survive (statement inspection keeps them), so every
@@ -310,6 +347,7 @@ func BenchmarkOnUpdateBatch(b *testing.B) {
 				}
 				us[i] = su
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.OnUpdateBatch(us)

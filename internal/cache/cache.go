@@ -22,7 +22,6 @@
 package cache
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -182,7 +181,8 @@ type Cache struct {
 	lru       lruList
 	evictions int
 
-	// decMu guards the decision log and the invalidation/routing stats.
+	// decMu guards the decision log, the invalidation/routing stats, and
+	// the per-combination invalidation counter handles.
 	decMu          sync.Mutex
 	decisions      []Decision
 	decNext        int
@@ -190,6 +190,16 @@ type Cache struct {
 	invalidations  int
 	bucketsVisited int
 	bucketsSkipped int
+	decCounters    map[decKey]*obs.Counter
+
+	// allQueryIDs lists every query template ID in application order —
+	// the unrouted visit set, precomputed once and shared immutably so
+	// fallback passes never rebuild it.
+	allQueryIDs []string
+
+	// batchPool recycles the per-batch scratch (plans, visit sets) of
+	// OnUpdateBatchCounts.
+	batchPool sync.Pool
 
 	updatesSeen atomic.Int64
 	bucketWalks atomic.Int64
@@ -237,6 +247,11 @@ func New(app *template.App, inv *invalidate.Invalidator, opts Options) *Cache {
 		batchSizes: reg.Histogram(obs.MCacheBatchSize, tenant...),
 		entries:    reg.Gauge(obs.MCacheEntries, tenant...),
 		decisions:  make([]Decision, logSize),
+		decCounters: make(map[decKey]*obs.Counter),
+	}
+	c.allQueryIDs = make([]string, 0, len(app.Queries))
+	for _, qt := range app.Queries {
+		c.allQueryIDs = append(c.allQueryIDs, qt.ID)
 	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
@@ -255,11 +270,22 @@ func (c *Cache) labels(ls ...obs.Label) []obs.Label {
 	return append(ls, c.tenant...)
 }
 
+// shardIndex maps a template ID (empty = hidden) to its lock stripe.
+// The hash is FNV-1a 32, inlined so the invalidation hot path never
+// constructs a hash.Hash: the constants match hash/fnv, so shard
+// assignment is identical to the previous implementation.
+func shardIndex(templateID string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(templateID); i++ {
+		h ^= uint32(templateID[i])
+		h *= 16777619
+	}
+	return int(h % numShards)
+}
+
 // shardFor maps a template ID (empty = hidden) to its lock stripe.
 func (c *Cache) shardFor(templateID string) *shard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(templateID))
-	return c.shards[h.Sum32()%numShards]
+	return c.shards[shardIndex(templateID)]
 }
 
 // tmpl returns the cached per-template instruments. Called under s.mu.
@@ -282,15 +308,28 @@ func (c *Cache) countWalk() {
 	c.walksC.Inc()
 }
 
+// decKey identifies one label combination of the invalidation counter.
+type decKey struct {
+	q, u, class string
+}
+
 // record appends one invalidation decision to the bounded log and bumps
-// the invalidation counter for its label combination.
+// the invalidation counter for its label combination. Counter handles are
+// cached per combination (label-set cardinality is templates², tiny), so
+// steady-state recording never rebuilds label slices or consults the
+// registry.
 func (c *Cache) record(d Decision) {
-	c.reg.Counter(obs.MCacheInvalidations, c.labels(
-		obs.L(obs.LTemplate, d.QueryTemplate),
-		obs.L(obs.LUpdateTemplate, d.UpdateTemplate),
-		obs.L(obs.LClass, d.Class),
-	)...).Add(int64(d.Dropped))
+	key := decKey{d.QueryTemplate, d.UpdateTemplate, d.Class}
 	c.decMu.Lock()
+	ctr := c.decCounters[key]
+	if ctr == nil {
+		ctr = c.reg.Counter(obs.MCacheInvalidations, c.labels(
+			obs.L(obs.LTemplate, d.QueryTemplate),
+			obs.L(obs.LUpdateTemplate, d.UpdateTemplate),
+			obs.L(obs.LClass, d.Class),
+		)...)
+		c.decCounters[key] = ctr
+	}
 	c.invalidations += d.Dropped
 	c.bucketsVisited++
 	c.decisions[c.decNext] = d
@@ -300,6 +339,7 @@ func (c *Cache) record(d Decision) {
 		c.decFull = true
 	}
 	c.decMu.Unlock()
+	ctr.Add(int64(d.Dropped))
 	c.visitedC.Inc()
 }
 
@@ -457,14 +497,11 @@ func (c *Cache) OnUpdate(u wire.SealedUpdate) int {
 	if !routed {
 		// Unrouted pass (parity mode, or an analysis that does not cover
 		// this update template): visit every query template, in app order.
-		ids = make([]string, 0, len(c.app.Queries))
-		for _, qt := range c.app.Queries {
-			ids = append(ids, qt.ID)
-		}
+		ids = c.allQueryIDs
 	}
-	ui := invalidate.UpdateInstance{Template: ut, Params: u.Params}
+	pu := c.inv.Prepare(invalidate.UpdateInstance{Template: ut, Params: u.Params})
 	for _, id := range ids {
-		dropped += c.visitBucket(id, u, ui, uLbl, router)
+		dropped += c.visitBucket(id, u, pu, uLbl, router)
 	}
 	if routed {
 		if n, ok := router.Skipped(u.TemplateID); ok && n > 0 {
@@ -479,7 +516,7 @@ func (c *Cache) OnUpdate(u wire.SealedUpdate) int {
 
 // visitBucket applies one update against one template bucket, recording
 // the decision. It returns the number of entries dropped.
-func (c *Cache) visitBucket(id string, u wire.SealedUpdate, ui invalidate.UpdateInstance, uLbl string, router *invalidate.Router) int {
+func (c *Cache) visitBucket(id string, u wire.SealedUpdate, pu *invalidate.PreparedUpdate, uLbl string, router *invalidate.Router) int {
 	qt := c.app.Query(id)
 	if qt == nil {
 		return 0
@@ -492,7 +529,7 @@ func (c *Cache) visitBucket(id string, u wire.SealedUpdate, ui invalidate.Update
 		s.mu.Unlock()
 		return 0
 	}
-	class, removed := c.applyToBucket(s, id, qt, u, ui, bucket, router)
+	class, removed := c.applyToBucket(s, id, qt, u, pu, bucket, router)
 	s.mu.Unlock()
 	if len(removed) > 0 {
 		c.entries.Add(int64(-len(removed)))
@@ -508,7 +545,7 @@ func (c *Cache) visitBucket(id string, u wire.SealedUpdate, ui invalidate.Update
 // gauge and the decision log. Both the sequential OnUpdate path and the
 // batch walk funnel through here, which is what makes their decisions
 // identical by construction.
-func (c *Cache) applyToBucket(s *shard, id string, qt *template.Template, u wire.SealedUpdate, ui invalidate.UpdateInstance, bucket map[string]*Entry, router *invalidate.Router) (invalidate.Class, []*Entry) {
+func (c *Cache) applyToBucket(s *shard, id string, qt *template.Template, u wire.SealedUpdate, pu *invalidate.PreparedUpdate, bucket map[string]*Entry, router *invalidate.Router) (invalidate.Class, []*Entry) {
 	// All entries in a bucket share a template and hence an exposure.
 	var sample *Entry
 	for _, e := range bucket {
@@ -522,13 +559,13 @@ func (c *Cache) applyToBucket(s *shard, id string, qt *template.Template, u wire
 		removed = collect(bucket)
 		delete(s.buckets, id)
 	case invalidate.TemplateInspection:
-		if c.inv.Decide(class, ui, invalidate.CachedView{Template: qt}) == invalidate.Invalidate {
+		if c.inv.DecidePrepared(class, pu, invalidate.CachedView{Template: qt}) == invalidate.Invalidate {
 			removed = collect(bucket)
 			delete(s.buckets, id)
 		}
 	default: // statement or view inspection: per-entry decisions
 		for key, e := range bucket {
-			if c.inv.Decide(class, ui, e.view(c.app)) == invalidate.Invalidate {
+			if c.inv.DecidePrepared(class, pu, e.view(c.app)) == invalidate.Invalidate {
 				delete(bucket, key)
 				removed = append(removed, e)
 			}

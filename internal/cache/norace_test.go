@@ -1,0 +1,5 @@
+//go:build !race
+
+package cache
+
+const raceEnabled = false

@@ -41,6 +41,23 @@ type Result struct {
 // Len returns the number of result rows.
 func (r *Result) Len() int { return len(r.Rows) }
 
+// Clone returns a deep copy of the result. sqlparse.Value is a pure value
+// type, so copying each row slice severs every mutable link between the
+// copy and the original; the wire codec uses this to uphold the ownership
+// invariant for plaintext (view-exposure) results, whose sealed form would
+// otherwise alias the DSSP's cached object.
+func (r *Result) Clone() *Result {
+	cp := &Result{
+		Columns:     append([]string(nil), r.Columns...),
+		Rows:        make([][]sqlparse.Value, len(r.Rows)),
+		RowsScanned: r.RowsScanned,
+	}
+	for i, row := range r.Rows {
+		cp.Rows[i] = append([]sqlparse.Value(nil), row...)
+	}
+	return cp
+}
+
 // Fingerprint returns a canonical encoding of the result under multiset
 // semantics: row order is ignored unless ordered is true. Two results are
 // semantically equal iff their fingerprints are equal.

@@ -52,6 +52,14 @@ type Server struct {
 	// limit is configured.
 	queueDepth   *obs.Gauge
 	waitQ, waitU *obs.Histogram
+
+	// Per-template load-counter handles, cached so the execution hot
+	// paths skip the registry's lock-and-lookup (which allocates a label
+	// key per call). SetObs swaps the registry, so it also replaces
+	// these maps; they are read-mostly after the first request per
+	// template.
+	ctrMu        sync.RWMutex
+	qCtrs, uCtrs map[string]*obs.Counter
 }
 
 // New builds a home server over a populated master database. Metrics are
@@ -74,6 +82,26 @@ func (s *Server) SetObs(reg *obs.Registry, clock obs.Clock) {
 	s.waitQ = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindQuery))
 	s.waitU = reg.Histogram(obs.MHomeAdmissionWait, obs.L(obs.LKind, obs.KindUpdate))
 	s.mon.releases = reg.Counter(obs.MHomeMonitorReleases)
+	s.ctrMu.Lock()
+	s.qCtrs = make(map[string]*obs.Counter) // old handles point into the old registry
+	s.uCtrs = make(map[string]*obs.Counter)
+	s.ctrMu.Unlock()
+}
+
+// tmplCounter returns the cached per-template counter handle, registering
+// it on the template's first statement. Registry handles are stable per
+// label set, so a racing registration resolves to the same instrument.
+func (s *Server) tmplCounter(m *map[string]*obs.Counter, metric, id string) *obs.Counter {
+	s.ctrMu.RLock()
+	c := (*m)[id]
+	s.ctrMu.RUnlock()
+	if c == nil {
+		c = s.reg.Counter(metric, obs.L(obs.LTemplate, id))
+		s.ctrMu.Lock()
+		(*m)[id] = c
+		s.ctrMu.Unlock()
+	}
+	return c
 }
 
 // SetMonitoringInterval makes the server confirm completed updates in
@@ -141,7 +169,7 @@ func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bo
 		return wire.SealedResult{}, false, 0, execErr
 	}
 	s.queries.Add(1)
-	s.reg.Counter(obs.MHomeQueries, obs.L(obs.LTemplate, t.ID)).Inc()
+	s.tmplCounter(&s.qCtrs, obs.MHomeQueries, t.ID).Inc()
 	// Sealing happens outside the read lock: engine.Result's ownership
 	// invariant guarantees result rows never alias storage rows, so a
 	// concurrent ExecUpdate mutating the same table cannot race with the
@@ -171,7 +199,7 @@ func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
 		return 0, execErr
 	}
 	s.updates.Add(1)
-	s.reg.Counter(obs.MHomeUpdates, obs.L(obs.LTemplate, t.ID)).Inc()
+	s.tmplCounter(&s.uCtrs, obs.MHomeUpdates, t.ID).Inc()
 	// The update is applied; hold its confirmation until the monitoring
 	// interval releases the batch (no-op when no interval is set). After
 	// the admission slot is released, so a parked confirmation never

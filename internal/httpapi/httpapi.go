@@ -27,6 +27,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"dssp/internal/cache"
@@ -115,13 +116,32 @@ type ExecUpdateResponse struct {
 	Affected int
 }
 
+// gobBufPool recycles the staging buffers gob encoding writes into, so
+// the per-request buffer (and its growth to the message size) is not
+// re-allocated on every exchange. Buffers that grew past maxPooledGobBuf
+// are dropped instead of pinned in the pool.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledGobBuf = 64 << 10
+
+func getGobBuf() *bytes.Buffer { return gobBufPool.Get().(*bytes.Buffer) }
+
+func putGobBuf(buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledGobBuf {
+		return
+	}
+	buf.Reset()
+	gobBufPool.Put(buf)
+}
+
 // writeGob writes a gob response body. A failed Write means the client
 // saw a truncated response; that cannot be repaired at this point (the
 // status line is gone), but it must not be invisible — it is logged and
 // counted under http_write_errors in reg (nil skips the counter).
 func writeGob(reg *obs.Registry, w http.ResponseWriter, v any) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := getGobBuf()
+	defer putGobBuf(buf)
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -172,12 +192,18 @@ func post(ctx context.Context, client *http.Client, url, trace, parent string, r
 	return readGob(r.Body, resp)
 }
 
+// encodeGob stages the encoding in a pooled buffer and copies out a
+// right-sized body: the caller retains the bytes across retries, so they
+// cannot alias the recycled buffer.
 func encodeGob(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := getGobBuf()
+	defer putGobBuf(buf)
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	body := make([]byte, buf.Len())
+	copy(body, buf.Bytes())
+	return body, nil
 }
 
 // doPost performs one HTTP exchange; the body is a byte slice so retries

@@ -110,6 +110,10 @@ type Invalidator struct {
 	// retain one entry per template per constructed App for the life of
 	// the process (every simulation trial builds a fresh App).
 	qinfo sync.Map
+
+	// satScratch pools *consSet merge scratch for satisfiability checks,
+	// keeping the per-entry decision path off the allocator.
+	satScratch sync.Pool
 }
 
 // New builds an Invalidator. The analysis must have been computed over the
@@ -128,7 +132,9 @@ func (iv *Invalidator) Router() *Router { return iv.router }
 
 // Decide returns the decision of the given strategy class for an update
 // against a cached view. Information above the class's level is ignored
-// even if present.
+// even if present. Callers evaluating one update against many cached
+// views should Prepare the update once and use DecidePrepared instead,
+// which skips the per-call preparation this wrapper repeats.
 func (iv *Invalidator) Decide(class Class, u UpdateInstance, q CachedView) Decision {
 	switch class {
 	case Blind:
@@ -136,21 +142,8 @@ func (iv *Invalidator) Decide(class Class, u UpdateInstance, q CachedView) Decis
 		return Invalidate
 	case TemplateInspection:
 		return iv.templateDecide(u.Template, q.Template)
-	case StatementInspection:
-		if iv.templateDecide(u.Template, q.Template) == DNI {
-			return DNI
-		}
-		return iv.statementDecide(u, q)
-	case ViewInspection:
-		if iv.templateDecide(u.Template, q.Template) == DNI {
-			return DNI
-		}
-		if iv.statementDecide(u, q) == DNI {
-			return DNI
-		}
-		return iv.viewDecide(u, q)
 	default:
-		return Invalidate
+		return iv.DecidePrepared(class, iv.Prepare(u), q)
 	}
 }
 

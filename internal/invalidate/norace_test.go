@@ -1,0 +1,5 @@
+//go:build !race
+
+package invalidate
+
+const raceEnabled = false

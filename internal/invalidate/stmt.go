@@ -178,19 +178,20 @@ func (r *rangeCons) sat() bool {
 // statementDecide is the minimal statement-inspection strategy beyond the
 // template level: it exploits bound parameter values (and, for insertions
 // and modifications, the revealed new attribute values) to rule out
-// interaction between the update and the cached query instance.
-func (iv *Invalidator) statementDecide(u UpdateInstance, q CachedView) Decision {
+// interaction between the update and the cached query instance. All
+// per-update state comes prepared; this path allocates nothing per entry.
+func (iv *Invalidator) statementDecide(pu *PreparedUpdate, q CachedView) Decision {
 	qi := iv.infoFor(q.Template)
 	if qi.evalErr {
 		return Invalidate
 	}
-	switch s := u.Template.Stmt.(type) {
+	switch s := pu.u.Template.Stmt.(type) {
 	case *sqlparse.InsertStmt:
-		return iv.stmtInsert(qi, s, u.Params, q)
+		return iv.stmtInsert(qi, s, pu, q)
 	case *sqlparse.DeleteStmt:
-		return iv.stmtDelete(qi, s, u.Params, q)
+		return iv.stmtDelete(qi, s, pu, q)
 	case *sqlparse.UpdateStmt:
-		return iv.stmtModify(qi, s, u.Params, q)
+		return iv.stmtModify(qi, s, pu, q)
 	default:
 		return Invalidate
 	}
@@ -228,9 +229,8 @@ func insertedRow(sch *schema.Schema, s *sqlparse.InsertStmt, params []sqlparse.V
 // predicates, or if the instance is shielded by a foreign-key join on a
 // fresh primary key (§4.5 reasoning at statement level). The insertion is
 // ignorable iff every instance is unaffected.
-func (iv *Invalidator) stmtInsert(qi *queryInfo, s *sqlparse.InsertStmt, params []sqlparse.Value, q CachedView) Decision {
-	sch := iv.app.Schema
-	row := insertedRow(sch, s, params)
+func (iv *Invalidator) stmtInsert(qi *queryInfo, s *sqlparse.InsertStmt, pu *PreparedUpdate, q CachedView) Decision {
+	row := pu.row
 	if row == nil {
 		return Invalidate
 	}
@@ -304,16 +304,15 @@ func (iv *Invalidator) fkShielded(qi *queryInfo, fi int, table string) bool {
 // stmtDelete: the deletion removes rows satisfying its predicate. A query
 // instance is unaffected if the conjunction of the deletion predicate and
 // the instance's predicates is unsatisfiable over a single row.
-func (iv *Invalidator) stmtDelete(qi *queryInfo, s *sqlparse.DeleteStmt, params []sqlparse.Value, q CachedView) Decision {
-	uCons, ok := updateCons(s.Where, params)
-	if !ok {
+func (iv *Invalidator) stmtDelete(qi *queryInfo, s *sqlparse.DeleteStmt, pu *PreparedUpdate, q CachedView) Decision {
+	if !pu.consOK {
 		return Invalidate
 	}
 	for fi, f := range qi.sel.From {
 		if f.Table != s.Table {
 			continue
 		}
-		if combinedSat(uCons, qi.instPreds[fi], q.Params) {
+		if iv.combinedSat(&pu.before, qi.instPreds[fi], q.Params) {
 			return Invalidate
 		}
 	}
@@ -324,97 +323,57 @@ func (iv *Invalidator) stmtDelete(qi *queryInfo, s *sqlparse.DeleteStmt, params 
 // known. A query instance is unaffected if neither the pre-image (key
 // bound, other attributes free) nor the post-image (key and SET attributes
 // bound) can satisfy the instance's predicates.
-func (iv *Invalidator) stmtModify(qi *queryInfo, s *sqlparse.UpdateStmt, params []sqlparse.Value, q CachedView) Decision {
-	before, ok := updateCons(s.Where, params)
-	if !ok {
+func (iv *Invalidator) stmtModify(qi *queryInfo, s *sqlparse.UpdateStmt, pu *PreparedUpdate, q CachedView) Decision {
+	if !pu.consOK {
 		return Invalidate
-	}
-	after := make(map[string]*rangeCons, len(before)+len(s.Set))
-	for col, rc := range before {
-		cp := *rc
-		after[col] = &cp
-	}
-	for _, a := range s.Set {
-		v, ok := bindVal(a.Value, params)
-		if !ok {
-			return Invalidate
-		}
-		rc, found := after[a.Column]
-		if !found {
-			rc = &rangeCons{}
-			after[a.Column] = rc
-		}
-		// SET overrides any prior knowledge of the column.
-		*rc = rangeCons{}
-		rc.add(sqlparse.OpEq, v)
 	}
 	for fi, f := range qi.sel.From {
 		if f.Table != s.Table {
 			continue
 		}
-		if combinedSatMap(before, qi.instPreds[fi], q.Params) ||
-			combinedSatMap(after, qi.instPreds[fi], q.Params) {
+		if iv.combinedSat(&pu.before, qi.instPreds[fi], q.Params) ||
+			iv.combinedSat(&pu.after, qi.instPreds[fi], q.Params) {
 			return Invalidate
 		}
 	}
 	return DNI
 }
 
-// updateCons converts an update's single-table predicate into per-column
-// range constraints. It fails (ok=false) for column-column predicates,
-// which the range model cannot express.
-func updateCons(where []sqlparse.Predicate, params []sqlparse.Value) (map[string]*rangeCons, bool) {
-	cons := make(map[string]*rangeCons)
+// updateConsInto converts an update's single-table predicate into
+// per-column range constraints, resetting cs first. It fails (false) for
+// column-column predicates, which the range model cannot express.
+func updateConsInto(cs *consSet, where []sqlparse.Predicate, params []sqlparse.Value) bool {
+	cs.reset()
 	for _, p := range where {
 		col, other, op := p.Left, p.Right, p.Op
 		if col.Kind != sqlparse.OpColumn {
 			col, other, op = p.Right, p.Left, p.Op.Flip()
 		}
 		if col.Kind != sqlparse.OpColumn || other.Kind == sqlparse.OpColumn {
-			return nil, false
+			return false
 		}
 		v, ok := bindVal(other, params)
 		if !ok {
-			return nil, false
+			return false
 		}
-		rc, found := cons[col.Col.Column]
-		if !found {
-			rc = &rangeCons{}
-			cons[col.Col.Column] = rc
-		}
-		rc.add(op, v)
+		cs.get(col.Col.Column).add(op, v)
 	}
-	return cons, true
+	return true
 }
 
 // combinedSat reports whether the update constraints plus the query
-// instance's predicates admit a common row.
-func combinedSat(uCons map[string]*rangeCons, preds []instPred, qParams []sqlparse.Value) bool {
-	return combinedSatMap(uCons, preds, qParams)
-}
-
-func combinedSatMap(uCons map[string]*rangeCons, preds []instPred, qParams []sqlparse.Value) bool {
-	merged := make(map[string]*rangeCons, len(uCons)+len(preds))
-	for col, rc := range uCons {
-		cp := *rc
-		merged[col] = &cp
-	}
+// instance's predicates admit a common row. The merge runs in pooled
+// scratch; uCons is never mutated.
+func (iv *Invalidator) combinedSat(uCons *consSet, preds []instPred, qParams []sqlparse.Value) bool {
+	m := iv.getScratch()
+	defer iv.putScratch(m)
+	m.copyFrom(uCons)
 	for _, p := range preds {
 		v, ok := bindVal(p.val, qParams)
 		if !ok {
 			return true // unknown value: assume satisfiable
 		}
-		rc, found := merged[p.attr.Column]
-		if !found {
-			rc = &rangeCons{}
-			merged[p.attr.Column] = rc
-		}
-		rc.add(p.op, v)
+		m.get(p.attr.Column).add(p.op, v)
 	}
-	for _, rc := range merged {
-		if !rc.sat() {
-			return false
-		}
-	}
-	return true
+	return m.sat()
 }

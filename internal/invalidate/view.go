@@ -9,7 +9,7 @@ import (
 // level: it inspects the cached result itself. It is invoked only after
 // statement inspection has decided to invalidate, and may overturn that
 // decision when the result proves the update cannot change it.
-func (iv *Invalidator) viewDecide(u UpdateInstance, q CachedView) Decision {
+func (iv *Invalidator) viewDecide(pu *PreparedUpdate, q CachedView) Decision {
 	if q.Result == nil {
 		return Invalidate
 	}
@@ -17,13 +17,13 @@ func (iv *Invalidator) viewDecide(u UpdateInstance, q CachedView) Decision {
 	if qi.evalErr {
 		return Invalidate
 	}
-	switch s := u.Template.Stmt.(type) {
+	switch s := pu.u.Template.Stmt.(type) {
 	case *sqlparse.DeleteStmt:
-		return iv.viewDelete(qi, s, u.Params, q)
+		return iv.viewDelete(qi, s, pu.u.Params, q)
 	case *sqlparse.InsertStmt:
-		return iv.viewInsert(qi, s, u.Params, q)
+		return iv.viewInsert(qi, s, pu, q)
 	case *sqlparse.UpdateStmt:
-		return iv.viewModify(qi, s, u.Params, q)
+		return iv.viewModify(qi, s, pu.u.Params, q)
 	default:
 		return Invalidate
 	}
@@ -91,12 +91,12 @@ func predSide(o sqlparse.Operand, params []sqlparse.Value, row []sqlparse.Value,
 // aggregates over a single relation. The inserted row is fully known and —
 // for single-relation queries — already known to satisfy the selection
 // predicates (statement inspection would otherwise have excluded it).
-func (iv *Invalidator) viewInsert(qi *queryInfo, s *sqlparse.InsertStmt, params []sqlparse.Value, q CachedView) Decision {
+func (iv *Invalidator) viewInsert(qi *queryInfo, s *sqlparse.InsertStmt, pu *PreparedUpdate, q CachedView) Decision {
 	t := q.Template
 	if len(qi.sel.From) != 1 || qi.sel.From[0].Table != s.Table || t.HasGroupBy {
 		return Invalidate
 	}
-	row := insertedRow(iv.app.Schema, s, params)
+	row := pu.row
 	if row == nil {
 		return Invalidate
 	}
@@ -219,16 +219,19 @@ func (iv *Invalidator) viewModify(qi *queryInfo, s *sqlparse.UpdateStmt, params 
 	}
 	// Not in the result. Statement inspection decided to invalidate, so the
 	// post-image may satisfy the predicates; re-test just the post-image.
-	after := map[string]*rangeCons{pk: {}}
-	after[pk].add(sqlparse.OpEq, keyVal)
+	after := iv.getScratch()
+	defer iv.putScratch(after)
+	after.reset()
+	after.get(pk).add(sqlparse.OpEq, keyVal)
 	for _, a := range s.Set {
 		v, ok := bindVal(a.Value, params)
 		if !ok {
 			return Invalidate
 		}
-		rc := &rangeCons{}
+		// SET overrides any prior knowledge of the column (including pk).
+		rc := after.get(a.Column)
+		*rc = rangeCons{}
 		rc.add(sqlparse.OpEq, v)
-		after[a.Column] = rc
 	}
 	fi := -1
 	for i, f := range qi.sel.From {
@@ -239,7 +242,7 @@ func (iv *Invalidator) viewModify(qi *queryInfo, s *sqlparse.UpdateStmt, params 
 	if fi < 0 {
 		return Invalidate
 	}
-	if combinedSatMap(after, qi.instPreds[fi], q.Params) {
+	if iv.combinedSat(after, qi.instPreds[fi], q.Params) {
 		return Invalidate
 	}
 	return DNI

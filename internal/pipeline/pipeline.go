@@ -169,6 +169,14 @@ type Pipeline struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 
+	// hists caches the end-to-end request-histogram handles per
+	// (kind, template), so the hot path skips the registry's
+	// lock-and-lookup (which builds a label key per call). A plain map
+	// under an RWMutex, not a sync.Map: the struct key would be boxed
+	// into an interface — an allocation — on every sync.Map lookup.
+	histMu sync.RWMutex
+	hists  map[histKey]*obs.Histogram
+
 	// batcher accumulates confirmed updates per monitoring interval; nil
 	// when Options.MonitorInterval is 0 (inline invalidation).
 	batcher *batcher
@@ -186,6 +194,7 @@ func New(cache Cache, transport Transport, tracer *obs.Tracer, opts Options) *Pi
 		reg:       tracer.Registry(),
 		opts:      opts,
 		flights:   make(map[string]*flight),
+		hists:     make(map[histKey]*obs.Histogram),
 	}
 	if p.reg != nil {
 		p.coalesced = p.reg.Counter(obs.MCoalescedMisses)
@@ -196,12 +205,28 @@ func New(cache Cache, transport Transport, tracer *obs.Tracer, opts Options) *Pi
 	return p
 }
 
+// histKey identifies one request histogram's label set.
+type histKey struct{ kind, tmpl string }
+
 // request records the end-to-end request histogram sample.
 func (p *Pipeline) request(kind, tmpl string, start time.Duration) {
-	if p.reg != nil {
-		p.reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, kind), obs.L(obs.LTemplate, tmpl)).
-			Observe(p.tracer.Now() - start)
+	if p.reg == nil {
+		return
 	}
+	k := histKey{kind, tmpl}
+	p.histMu.RLock()
+	h := p.hists[k]
+	p.histMu.RUnlock()
+	if h == nil {
+		// First request for this (kind, template): register and cache the
+		// handle. Registry handles are stable per label set, so a racing
+		// registration resolves to the same instrument.
+		h = p.reg.Histogram(obs.MRequestSeconds, obs.L(obs.LKind, kind), obs.L(obs.LTemplate, tmpl))
+		p.histMu.Lock()
+		p.hists[k] = h
+		p.histMu.Unlock()
+	}
+	h.Observe(p.tracer.Now() - start)
 }
 
 // Query serves one sealed query: from the cache on a hit, through the

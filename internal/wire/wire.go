@@ -16,11 +16,27 @@
 // Every message also carries an opaque, strongly encrypted payload that
 // only the home organization can open; the DSSP forwards it verbatim on
 // cache misses and for updates.
+//
+// # Encoding
+//
+// Statements, parameters, and results are encoded with a hand-rolled
+// deterministic binary format (values.go) instead of gob: sealing sits on
+// the per-query hot path, and the encoding doubles as cache-key material,
+// so it must be canonical (equal inputs, equal bytes) and injective
+// (distinct inputs, distinct bytes). Gob was neither cheap — a fresh
+// encoder, type registry walk, and several buffer copies per message —
+// nor did the previous NUL-separated parameter rendering distinguish
+// every input (a FLOAT and an INT rendering to the same decimal string
+// collided, and nothing length-delimited string values). Every value is
+// now kind-tagged and length-delimited, which makes the whole encoding
+// injective by construction.
+//
+// All encode scratch comes from a package-level buffer pool; sealed
+// outputs (Opaque, Cipher, Key) are freshly allocated or immutable
+// strings, owned by the caller, and never alias pooled memory.
 package wire
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"dssp/internal/encrypt"
@@ -85,12 +101,6 @@ type SealedResult struct {
 	Cipher []byte
 }
 
-// payload is the gob-encoded content of an Opaque field.
-type payload struct {
-	TemplateID string
-	Params     []sqlparse.Value
-}
-
 // Codec seals and opens messages. It lives on the trusted side: clients
 // seal queries and updates; the home server opens them and seals results.
 type Codec struct {
@@ -114,52 +124,34 @@ func (c *Codec) ExposureOf(t *template.Template) template.Exposure {
 	return template.MaxExposure(t.Kind)
 }
 
-func encodePayload(p payload) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
-		panic(fmt.Sprintf("wire: gob encode: %v", err)) // in-memory encode of plain data
-	}
-	return buf.Bytes()
-}
-
-func decodePayload(b []byte) (payload, error) {
-	var p payload
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
-		return payload{}, fmt.Errorf("wire: gob decode: %w", err)
-	}
-	return p, nil
-}
-
-// encodeParams deterministically encodes parameter values.
-func encodeParams(params []sqlparse.Value) []byte {
-	var buf bytes.Buffer
-	for _, v := range params {
-		buf.WriteString(v.String())
-		buf.WriteByte('\x00')
-	}
-	return buf.Bytes()
-}
-
 // SealQuery prepares a query instance for the DSSP.
 func (c *Codec) SealQuery(t *template.Template, params []sqlparse.Value) (SealedQuery, error) {
 	if t.Kind != template.KQuery {
 		return SealedQuery{}, fmt.Errorf("wire: %s is not a query template", t.ID)
 	}
 	exp := c.ExposureOf(t)
-	opaque := c.kr.Seal(domOpaque, encodePayload(payload{TemplateID: t.ID, Params: params}))
-	sq := SealedQuery{Exposure: exp, TraceID: obs.NewTraceID(), Opaque: opaque}
+	eb := getBuf()
+	eb.b = appendPayload(eb.b[:0], t.ID, params)
+	sq := SealedQuery{Exposure: exp, TraceID: obs.NewTraceID(), Opaque: c.kr.Seal(domOpaque, eb.b)}
 	switch exp {
 	case template.ExpBlind:
-		// The encrypted statement is the lookup key.
-		sq.Key = c.kr.Token(domStmt, append([]byte(t.SQL+"\x00"), encodeParams(params)...))
+		// The encrypted statement is the lookup key: the whole statement
+		// (length-prefixed SQL, then the parameter encoding) in one pass
+		// through the pooled buffer.
+		eb.b = appendStmt(eb.b[:0], t.SQL, params)
+		sq.Key = c.kr.Token(domStmt, eb.b)
 	case template.ExpTemplate:
 		sq.TemplateID = t.ID
-		sq.Key = t.ID + "\x00" + c.kr.Token(domParams, encodeParams(params))
+		eb.b = appendParams(eb.b[:0], params)
+		sq.Key = t.ID + "\x00" + c.kr.Token(domParams, eb.b)
 	default: // stmt or view
 		sq.TemplateID = t.ID
 		sq.Params = params
-		sq.Key = t.ID + "\x00" + string(encodeParams(params))
+		eb.b = append(append(eb.b[:0], t.ID...), 0)
+		eb.b = appendParams(eb.b, params)
+		sq.Key = string(eb.b)
 	}
+	putBuf(eb)
 	return sq, nil
 }
 
@@ -172,11 +164,14 @@ func (c *Codec) SealUpdate(t *template.Template, params []sqlparse.Value) (Seale
 	if exp > template.ExpStmt {
 		exp = template.ExpStmt
 	}
+	eb := getBuf()
+	eb.b = appendPayload(eb.b[:0], t.ID, params)
 	su := SealedUpdate{
 		Exposure: exp,
 		TraceID:  obs.NewTraceID(),
-		Opaque:   c.kr.Seal(domOpaque, encodePayload(payload{TemplateID: t.ID, Params: params})),
+		Opaque:   c.kr.Seal(domOpaque, eb.b),
 	}
+	putBuf(eb)
 	if exp >= template.ExpTemplate {
 		su.TemplateID = t.ID
 	}
@@ -187,24 +182,28 @@ func (c *Codec) SealUpdate(t *template.Template, params []sqlparse.Value) (Seale
 }
 
 // OpenPayload decrypts an opaque statement payload (home-server side) and
-// resolves its template.
+// resolves its template. The returned parameters are freshly allocated;
+// they never alias the pooled decrypt scratch.
 func (c *Codec) OpenPayload(opaque []byte) (*template.Template, []sqlparse.Value, error) {
-	b, err := c.kr.Open(domOpaque, opaque)
+	eb := getBuf()
+	defer putBuf(eb)
+	b, err := c.kr.OpenAppend(eb.b[:0], domOpaque, opaque)
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := decodePayload(b)
+	eb.b = b[:0]
+	tid, params, err := decodePayload(b)
 	if err != nil {
 		return nil, nil, err
 	}
-	t := c.app.Query(p.TemplateID)
+	t := c.app.Query(tid)
 	if t == nil {
-		t = c.app.Update(p.TemplateID)
+		t = c.app.Update(tid)
 	}
 	if t == nil {
-		return nil, nil, fmt.Errorf("wire: unknown template %q in payload", p.TemplateID)
+		return nil, nil, fmt.Errorf("wire: unknown template %q in payload", tid)
 	}
-	return t, p.Params, nil
+	return t, params, nil
 }
 
 // SealResult seals a query result according to the query's exposure: view
@@ -213,28 +212,35 @@ func (c *Codec) SealResult(t *template.Template, res *engine.Result) SealedResul
 	if c.ExposureOf(t) == template.ExpView {
 		return SealedResult{Result: res}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
-		panic(fmt.Sprintf("wire: gob encode result: %v", err))
-	}
-	return SealedResult{Cipher: c.kr.Seal(domResult, buf.Bytes())}
+	eb := getBuf()
+	eb.b = appendResult(eb.b[:0], res)
+	sr := SealedResult{Cipher: c.kr.Seal(domResult, eb.b)}
+	putBuf(eb)
+	return sr
 }
 
 // OpenResult recovers the plaintext result from a sealed result
-// (client side).
+// (client side). The returned result is always the caller's own copy:
+// for encrypted results it is freshly decoded, and for view-exposure
+// results — where the sealed form carries the DSSP's cached object by
+// pointer — it is a deep copy, so a caller mutating its result can never
+// corrupt the cache (the engine.Result no-aliasing invariant).
 func (c *Codec) OpenResult(sr SealedResult) (*engine.Result, error) {
 	if sr.Result != nil {
-		return sr.Result, nil
+		return sr.Result.Clone(), nil
 	}
-	b, err := c.kr.Open(domResult, sr.Cipher)
+	eb := getBuf()
+	defer putBuf(eb)
+	b, err := c.kr.OpenAppend(eb.b[:0], domResult, sr.Cipher)
 	if err != nil {
 		return nil, err
 	}
-	var res engine.Result
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&res); err != nil {
-		return nil, fmt.Errorf("wire: gob decode result: %w", err)
+	eb.b = b[:0]
+	res, err := decodeResult(b)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decode result: %w", err)
 	}
-	return &res, nil
+	return res, nil
 }
 
 // Size estimates the wire size of a sealed result in bytes, for the

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Alloc-regression gate: run the hot-path micro-benchmarks with -benchmem
+# and fail if any benchmark's steady-state allocs/op exceeds its budget in
+# BENCH_allocs.json. Budgets carry headroom over the measured baseline so
+# a noisy run does not flap, but sit an order of magnitude below the
+# pre-pooling numbers — a pooling regression (a dropped sync.Pool, a
+# reintroduced per-entry parse) trips the gate immediately.
+#
+# Runs without the race detector on purpose: -race defeats sync.Pool
+# reuse, which would make every allocation count meaningless.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null || { echo "alloc_smoke: jq is required" >&2; exit 1; }
+
+# -benchtime 200x is enough for the pools to reach steady state (the Go
+# bench framework warms each benchmark with shorter runs first) while
+# keeping the smoke fast.
+out=$(go test -run '^$' -bench 'BenchmarkSeal$|BenchmarkOpen$' -benchmem -benchtime 200x ./internal/encrypt)
+out+=$'\n'
+out+=$(go test -run '^$' -bench 'BenchmarkOnUpdateBatch' -benchmem -benchtime 200x ./internal/cache)
+printf '%s\n' "$out"
+
+fail=0
+while IFS=$'\t' read -r name budget; do
+    # Benchmark result lines look like:
+    #   BenchmarkSeal  200  664 ns/op  216 MB/s  160 B/op  1 allocs/op
+    # Names may gain a -<procs> suffix under GOMAXPROCS>1; match either.
+    allocs=$(printf '%s\n' "$out" | awk -v n="$name" '
+        $1 == n || index($1, n "-") == 1 {
+            for (i = 2; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit }
+        }')
+    if [[ -z "$allocs" ]]; then
+        echo "alloc_smoke: FAIL $name: benchmark did not run" >&2
+        fail=1
+        continue
+    fi
+    if (( allocs > budget )); then
+        echo "alloc_smoke: FAIL $name: $allocs allocs/op > budget $budget" >&2
+        fail=1
+    else
+        echo "alloc_smoke: ok   $name: $allocs allocs/op <= budget $budget"
+    fi
+done < <(jq -r '.budgets | to_entries[] | "\(.key)\t\(.value)"' BENCH_allocs.json)
+
+exit "$fail"
