@@ -17,6 +17,7 @@
 //	dsspbench -exp security               # §5.4 security-enhancement summary
 //	dsspbench -exp coalesce               # single-flight miss coalescing under a hot-key storm
 //	dsspbench -exp scaleout -app auction  # routed fleet throughput at 1/2/4 nodes (-out writes JSON)
+//	dsspbench -exp homescale              # trusted-tier miss throughput at 0/2/4 read replicas (-out writes JSON)
 //	dsspbench -exp obs -app bboard        # short run's metrics snapshot (-format json|prom)
 //	dsspbench -exp leakage -apps auction,bboard,bookstore,toystore
 //	                                      # adversary's-eye leakage audit per exposure level (-out writes JSON)
@@ -44,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|scaleout|obs|leakage|trace|all")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|scaleout|homescale|obs|leakage|trace|all")
 	app := flag.String("app", "bboard", "application for figure4/route/obs/scaleout/trace: auction|bboard|bookstore|toystore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
@@ -66,6 +67,9 @@ func main() {
 		return
 	case "scaleout":
 		exit(runScaleout(*app, *out, opts))
+		return
+	case "homescale":
+		exit(runHomescale(*out, opts))
 		return
 	case "leakage":
 		names := []string{*app}
@@ -209,6 +213,47 @@ func runScaleout(app, out string, opts experiments.RunOptions) error {
 			"date":   time.Now().Format("2006-01-02"),
 		},
 		Scaleout: r,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+// runHomescale sweeps the trusted tier's read-replica counts under a
+// sustained miss storm and, when asked, writes the committed benchmark
+// artifact (BENCH_homescale.json shape).
+func runHomescale(out string, opts experiments.RunOptions) error {
+	o := experiments.DefaultHomescaleOptions()
+	o.Seed = opts.Seed
+	r, err := experiments.Homescale(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Format())
+	if out == "" {
+		return nil
+	}
+	artifact := struct {
+		Description string                       `json:"description"`
+		Environment map[string]interface{}       `json:"environment"`
+		Homescale   *experiments.HomescaleResult `json:"homescale"`
+	}{
+		Description: fmt.Sprintf("Trusted-tier scale-out with confirmed-update read replicas: "+
+			"go run ./cmd/dsspbench -exp homescale. One node drives an uncacheable miss storm (every query "+
+			"asks for a non-existent row; empty results never cache) plus 1 update per %d ops; the primary "+
+			"and each replica are capacity-gated to one %v service slot so a single host measures the tier "+
+			"honestly. Rows report aggregate miss throughput and speedup vs the replica-free baseline, where "+
+			"each miss executed, freshness-floor bypasses, and the widest sampled replica lag.",
+			o.UpdateEvery, o.Service),
+		Environment: map[string]interface{}{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+			"date":   time.Now().Format("2006-01-02"),
+		},
+		Homescale: r,
 	}
 	buf, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {

@@ -3,6 +3,19 @@
 // (Figure 1). The demo key is derived from -key; in production the key
 // never leaves the home organization.
 //
+// The trusted tier scales out with confirmed-update read replicas. A
+// primary started with -replicas accepts replica registrations and
+// streams every confirmed update, in sequence order, to each registered
+// replica. A process started with -replica-of runs in replica mode: it
+// builds the same application database from the same seed, serves sealed
+// queries (refusing, with 409, any query whose freshness floor it has not
+// applied yet), and registers itself with the primary for the stream.
+//
+// On SIGTERM/SIGINT the primary shuts down gracefully: the monitoring
+// gate flushes (no confirmation is left parked mid-interval), in-flight
+// statements drain, and the replica streams drain to the confirmed
+// high-water mark — so no replica is left on a torn interval.
+//
 // The server exposes GET /v1/metrics (JSON, or Prometheus text with
 // ?format=prom): per-template execution counts and home_exec latency
 // histograms.
@@ -10,11 +23,14 @@
 // Usage:
 //
 //	dssphome -app toystore -addr :8401 -key secret
+//	dssphome -app toystore -addr :8401 -key secret -replicas
+//	dssphome -app toystore -addr :8402 -key secret -replica-of http://localhost:8401 -advertise http://localhost:8402
 //	dssphome -app bookstore -addr :8401 -key secret -seed 1
 //	dssphome -app toystore -addr :8401 -key secret -pprof localhost:6062
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"flag"
 	"fmt"
@@ -22,11 +38,16 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	_ "net/http/pprof"
 
 	"dssp/internal/apps"
 	"dssp/internal/encrypt"
+	"dssp/internal/home"
 	"dssp/internal/homeserver"
 	"dssp/internal/httpapi"
 	"dssp/internal/sqlparse"
@@ -43,6 +64,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "benchmark data seed")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing statements, FIFO queue beyond (0 = unbounded)")
 	monitor := flag.Duration("monitor-interval", 0, "hold update confirmations and release them once per interval (0 = confirm immediately)")
+	replicas := flag.Bool("replicas", false, "accept read-replica registrations and stream confirmed updates to them")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of this primary's base URL")
+	advertise := flag.String("advertise", "", "base URL this replica registers with the primary (default http://localhost<addr>)")
+	injectLag := flag.Duration("inject-replica-lag", 0, "replica mode: stall every apply batch by this much (fault injection)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight statements and replica streams")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
@@ -59,19 +85,117 @@ func main() {
 	}
 	master := sha256.Sum256([]byte(*keyPhrase))
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), nil)
+	servePprof(logger, *pprofAddr)
+
+	if *replicaOf != "" {
+		runReplica(logger, app, db, codec, *addr, *replicaOf, *advertise, *maxConcurrent, *injectLag, *drainTimeout)
+		return
+	}
+
 	home := homeserver.New(db, app, codec)
 	home.SetAdmissionLimit(*maxConcurrent)
 	home.SetMonitoringInterval(*monitor)
 
-	servePprof(logger, *pprofAddr)
-	logger.Info("home server listening",
-		"app", app.Name, "addr", *addr,
-		"query_templates", len(app.Queries), "update_templates", len(app.Updates),
-		"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
-	if err := http.ListenAndServe(*addr, httpapi.HomeHandler(home)); err != nil {
-		logger.Error("serve failed", "err", err)
-		os.Exit(1)
+	var hub *httpapi.ReplicaHub
+	if *replicas {
+		hub = httpapi.NewReplicaHub(nil, home.Obs())
+		home.OnConfirm(hub.Confirm)
 	}
+
+	srv := &http.Server{Addr: *addr, Handler: httpapi.HomeHandlerWithHub(home, hub)}
+	go func() {
+		logger.Info("home server listening",
+			"app", app.Name, "addr", *addr, "replicas", *replicas,
+			"query_templates", len(app.Queries), "update_templates", len(app.Updates),
+			"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	}()
+
+	awaitSignal(logger)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Graceful order: new updates confirm inline, the parked interval
+	// flushes, in-flight statements drain behind Shutdown, and finally the
+	// replica streams catch up to the confirmed high-water mark.
+	home.SetMonitoringInterval(0)
+	home.Flush()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Error("shutdown: draining in-flight statements", "err", err)
+	}
+	home.Flush() // any update admitted during Shutdown confirmed inline; flush is a no-op then, belt and braces
+	if hub != nil {
+		if err := hub.Drain(ctx); err != nil {
+			logger.Error("shutdown: draining replica streams", "err", err, "status", hub.Status())
+		} else {
+			logger.Info("replica streams drained", "confirmed", home.ConfirmedSeq())
+		}
+		hub.Close()
+	}
+	logger.Info("home server stopped", "assigned", home.AssignedSeq(), "confirmed", home.ConfirmedSeq())
+}
+
+// runReplica runs the process as a read replica: same application, same
+// seeded database, serving sealed queries under the staleness protocol
+// and applying the primary's confirmed-update stream.
+func runReplica(logger *slog.Logger, app *template.App, db *storage.Database, codec *wire.Codec,
+	addr, primaryURL, advertise string, maxConcurrent int, injectLag, drainTimeout time.Duration) {
+	rep := home.NewReplica(replicaName(addr), db, app, codec)
+	rep.SetAdmissionLimit(maxConcurrent)
+	if injectLag > 0 {
+		rep.SetApplyDelay(injectLag)
+		logger.Warn("fault injection active", "inject_replica_lag", injectLag)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: httpapi.ReplicaHandler(rep)}
+	go func() {
+		logger.Info("home replica listening",
+			"app", app.Name, "addr", addr, "primary", primaryURL,
+			"metrics", httpapi.PathMetrics, "status", httpapi.PathReplicaStatus)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	}()
+
+	if advertise == "" {
+		advertise = "http://localhost" + addr
+	}
+	// The primary may start after us; retry registration until it answers.
+	go func() {
+		for {
+			st, err := httpapi.RegisterReplica(nil, primaryURL, advertise)
+			if err == nil {
+				logger.Info("registered with primary", "advertise", advertise, "stream_confirmed", st.Confirmed)
+				return
+			}
+			logger.Warn("primary registration failed; retrying", "err", err)
+			time.Sleep(time.Second)
+		}
+	}()
+
+	awaitSignal(logger)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Error("shutdown", "err", err)
+	}
+	logger.Info("home replica stopped", "applied", rep.Applied())
+}
+
+// replicaName derives the replica's metric label from its listen address.
+func replicaName(addr string) string {
+	return strings.TrimPrefix(strings.ReplaceAll(addr, ":", "-"), "-")
+}
+
+// awaitSignal blocks until SIGTERM or SIGINT.
+func awaitSignal(logger *slog.Logger) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-ch
+	logger.Info("signal received; shutting down", "signal", sig.String())
 }
 
 // servePprof exposes net/http/pprof's DefaultServeMux handlers on their
@@ -89,6 +213,8 @@ func servePprof(logger *slog.Logger, addr string) {
 }
 
 // buildApp resolves the application and populates its master database.
+// Replicas call it with the same seed as the primary, which is what makes
+// their databases byte-identical at sequence 0.
 func buildApp(name string, seed int64) (*template.App, *storage.Database, error) {
 	if name == "toystore" {
 		app := apps.Toystore()

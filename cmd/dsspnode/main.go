@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 
 	_ "net/http/pprof"
 
@@ -36,6 +37,7 @@ func main() {
 	appName := flag.String("app", "toystore", "application: toystore|auction|bboard|bookstore")
 	addr := flag.String("addr", ":8400", "listen address")
 	home := flag.String("home", "http://localhost:8401", "home server base URL")
+	homeReplicas := flag.String("home-replicas", "", "comma-separated home read-replica base URLs to spread misses across (updates still go to -home)")
 	nodeID := flag.String("id", "", "this node's fleet position, labelling its spans in stitched traces")
 	capacity := flag.Int("capacity", 0, "cache capacity in entries (0 = unbounded)")
 	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (§4.5)")
@@ -54,14 +56,23 @@ func main() {
 	}
 	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
 	node := dssp.NewNode(app, analysis, cache.Options{Capacity: *capacity})
+	var replicaURLs []string
+	if *homeReplicas != "" {
+		for _, u := range strings.Split(*homeReplicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicaURLs = append(replicaURLs, u)
+			}
+		}
+	}
 	srv := httpapi.NewNodeServerWithOptions(node, *home, nil, httpapi.NodeOptions{
 		MonitorInterval: *monitor,
 		NodeID:          *nodeID,
+		HomeReplicaURLs: replicaURLs,
 	})
 
 	servePprof(logger, *pprofAddr)
 	logger.Info("DSSP node listening",
-		"app", app.Name, "addr", *addr, "home", *home,
+		"app", app.Name, "addr", *addr, "home", *home, "home_replicas", len(replicaURLs),
 		"capacity", *capacity, "monitor_interval", *monitor,
 		"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"dssp/internal/cache"
 	"dssp/internal/core"
+	hometier "dssp/internal/home"
 	"dssp/internal/homeserver"
 	"dssp/internal/invalidate"
 	"dssp/internal/obs"
@@ -88,16 +89,34 @@ type Client struct {
 	// statement.
 	Leakage pipeline.LeakageObserver
 
+	// HomeReplicas, when non-empty, scales the trusted tier out: the
+	// client's transport becomes a pipeline.ReplicaSet over these read
+	// replicas (misses spread across them under the freshness floor,
+	// updates still execute on Home), and Home's confirmation sink feeds
+	// each replica the confirmed-update stream. Set before the first
+	// statement; Home must not already have an OnConfirm sink.
+	HomeReplicas []*hometier.Replica
+
 	pipeOnce sync.Once
 	pipe     *pipeline.Pipeline
 }
 
 // Pipeline returns the client's query/update pathway, built on first use
-// from the client's node, home server, and tracer.
+// from the client's node, home server, replicas, and tracer.
 func (c *Client) Pipeline() *pipeline.Pipeline {
 	c.pipeOnce.Do(func() {
-		c.pipe = pipeline.New(c.Node, pipeline.NewDirectTransport(c.Home), c.Tracer,
-			pipeline.Options{MonitorInterval: c.MonitorInterval, Leakage: c.Leakage})
+		opts := pipeline.Options{MonitorInterval: c.MonitorInterval, Leakage: c.Leakage}
+		var transport pipeline.Transport = pipeline.NewDirectTransport(c.Home)
+		if len(c.HomeReplicas) > 0 {
+			hometier.Feed(c.Home, c.HomeReplicas...)
+			opts.Fresh = pipeline.NewFreshness()
+			var reg *obs.Registry
+			if c.Tracer != nil {
+				reg = c.Tracer.Registry()
+			}
+			transport = pipeline.NewReplicaSet(transport, hometier.Endpoints(c.HomeReplicas), opts.Fresh, reg)
+		}
+		c.pipe = pipeline.New(c.Node, transport, c.Tracer, opts)
 	})
 	return c.pipe
 }

@@ -147,7 +147,7 @@ func BatchInvalidation(b workload.Benchmark, pages int, seed int64, sizes []int)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := home.ExecUpdate(su); err != nil {
+		if _, _, err := home.ExecUpdate(su); err != nil {
 			return nil, err
 		}
 		stream = append(stream, su)

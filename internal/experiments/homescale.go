@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dssp/internal/apps"
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/dssp"
+	"dssp/internal/encrypt"
+	hometier "dssp/internal/home"
+	"dssp/internal/homeserver"
+	"dssp/internal/httpapi"
+	"dssp/internal/obs"
+	"dssp/internal/storage"
+	"dssp/internal/wire"
+)
+
+// HomescaleOptions configures the replicated-home-tier throughput
+// experiment.
+type HomescaleOptions struct {
+	// Replicas lists the replica counts to measure, e.g. {0, 2, 4}.
+	// 0 is the single-home baseline every speedup is relative to.
+	Replicas []int
+
+	// Clients is the number of closed-loop driver goroutines.
+	Clients int
+
+	// Service is the modelled CPU cost of one statement execution in the
+	// trusted tier. Primary and replicas each hold a single service slot
+	// for this long per executed statement, so one host measures the tier
+	// honestly: adding a replica adds exactly one slot. Replica applies
+	// cost a tenth — replaying a confirmed update is cheaper than opening
+	// and executing a fresh statement.
+	Service time.Duration
+
+	// UpdateEvery issues one update per this many operations, so the
+	// confirmed stream, the freshness floor, and replica lag are all live
+	// during the measurement.
+	UpdateEvery int
+
+	// WarmOps runs ungated before the counted window (connection and
+	// session warm-up; the miss storm itself is uncacheable).
+	WarmOps int
+
+	// Measure is the counted window.
+	Measure time.Duration
+
+	// Seed drives data population and the drivers.
+	Seed int64
+}
+
+// DefaultHomescaleOptions returns the committed BENCH_homescale.json
+// configuration.
+func DefaultHomescaleOptions() HomescaleOptions {
+	return HomescaleOptions{
+		Replicas:    []int{0, 2, 4},
+		Clients:     32,
+		Service:     3 * time.Millisecond,
+		UpdateEvery: 40,
+		WarmOps:     2000,
+		Measure:     6 * time.Second,
+		Seed:        1,
+	}
+}
+
+// HomescaleRow is one replica count's measurement.
+type HomescaleRow struct {
+	Replicas int     `json:"replicas"`
+	Queries  int64   `json:"queries"`
+	Updates  int64   `json:"updates"`
+	MissQPS  float64 `json:"miss_qps"`
+	Speedup  float64 `json:"speedup_vs_0"`
+
+	// PrimaryMisses counts the misses the primary executed (all of them
+	// at K=0; bypasses and probe fallbacks at K>0). ReplicaMisses breaks
+	// down the misses each replica served.
+	PrimaryMisses int64   `json:"primary_misses"`
+	ReplicaMisses []int64 `json:"replica_misses"`
+
+	// BypassLag and BypassErr count misses bounced to the primary because
+	// the selected replica lagged the node's freshness floor or failed.
+	BypassLag int64 `json:"bypass_lag"`
+	BypassErr int64 `json:"bypass_err"`
+
+	// MaxLag is the largest confirmed-minus-applied gap observed across
+	// replicas while measuring (sampled); Confirmed is the stream's final
+	// high-water mark.
+	MaxLag    uint64 `json:"max_replica_lag"`
+	Confirmed uint64 `json:"confirmed_seq"`
+}
+
+// HomescaleResult is the full sweep.
+type HomescaleResult struct {
+	Benchmark   string         `json:"benchmark"`
+	Clients     int            `json:"clients"`
+	Service     time.Duration  `json:"service_per_op_ns"`
+	UpdateEvery int            `json:"update_every"`
+	Measure     time.Duration  `json:"measure_ns"`
+	Rows        []HomescaleRow `json:"results"`
+}
+
+// Homescale measures trusted-tier miss throughput as read replicas are
+// added. The workload is a deliberate worst case for the cache tier: every
+// query asks for a row that does not exist, and the no-empty-results
+// policy keeps such results out of the cache — so every operation is a
+// miss that must execute in the trusted tier. With the primary and each
+// replica capacity-gated to one service slot, the aggregate miss
+// throughput measures how much execution capacity the replica tier adds,
+// while a live update stream keeps the freshness floor moving under it.
+func Homescale(o HomescaleOptions) (*HomescaleResult, error) {
+	if len(o.Replicas) == 0 {
+		o = DefaultHomescaleOptions()
+	}
+	res := &HomescaleResult{
+		Benchmark:   "toystore-miss-storm",
+		Clients:     o.Clients,
+		Service:     o.Service,
+		UpdateEvery: o.UpdateEvery,
+		Measure:     o.Measure,
+	}
+	for _, k := range o.Replicas {
+		row, err := runHomescale(k, o)
+		if err != nil {
+			return nil, fmt.Errorf("replicas=%d: %w", k, err)
+		}
+		if len(res.Rows) > 0 && res.Rows[0].Replicas == 0 && res.Rows[0].MissQPS > 0 {
+			row.Speedup = row.MissQPS / res.Rows[0].MissQPS
+		} else if k == 0 {
+			row.Speedup = 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// homeGate is the trusted-tier capacity gate: one service slot, charged
+// per executed statement. Apply pushes cost a tenth; everything else
+// (metrics, status, registration) passes ungated.
+func homeGate(inner http.Handler, service time.Duration, armed *atomic.Bool) http.Handler {
+	slot := make(chan struct{}, 1)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var cost time.Duration
+		switch r.URL.Path {
+		case httpapi.PathExecQuery, httpapi.PathExecUpdate:
+			cost = service
+		case httpapi.PathReplicaApply:
+			cost = service / 10
+		default:
+			inner.ServeHTTP(w, r)
+			return
+		}
+		if armed.Load() {
+			slot <- struct{}{}
+			time.Sleep(cost)
+			<-slot
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+func runHomescale(k int, o HomescaleOptions) (HomescaleRow, error) {
+	row := HomescaleRow{Replicas: k}
+	app := apps.Toystore()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	populate := func() (*storage.Database, error) {
+		db := storage.NewDatabase(app.Schema)
+		return db, seedToys(db)
+	}
+	db, err := populate()
+	if err != nil {
+		return row, err
+	}
+	primary := homeserver.New(db, app, codec)
+
+	httpClient := &http.Client{
+		Timeout: httpapi.DefaultTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        16 * o.Clients,
+			MaxIdleConnsPerHost: 4 * o.Clients,
+		},
+	}
+
+	var gateArmed atomic.Bool
+	hub := httpapi.NewReplicaHub(httpClient, nil)
+	defer hub.Close()
+	primary.OnConfirm(hub.Confirm)
+	homeSrv := httptest.NewServer(homeGate(httpapi.HomeHandlerWithHub(primary, hub), o.Service, &gateArmed))
+	defer homeSrv.Close()
+
+	reps := make([]*hometier.Replica, k)
+	repURLs := make([]string, k)
+	for i := range reps {
+		rdb, err := populate()
+		if err != nil {
+			return row, err
+		}
+		reps[i] = hometier.NewReplica(fmt.Sprintf("r%d", i), rdb, app, codec)
+		srv := httptest.NewServer(homeGate(httpapi.ReplicaHandler(reps[i]), o.Service, &gateArmed))
+		defer srv.Close()
+		repURLs[i] = srv.URL
+		hub.Register(srv.URL)
+	}
+
+	node := dssp.NewNode(app, core.Analyze(app, core.DefaultOptions()), cache.Options{})
+	ns := httpapi.NewNodeServerWithOptions(node, homeSrv.URL, httpClient, httpapi.NodeOptions{HomeReplicaURLs: repURLs})
+	nodeSrv := httptest.NewServer(ns.Handler())
+	defer nodeSrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		measuring        atomic.Bool
+		total            atomic.Int64
+		queries, updates atomic.Int64
+		maxLag           atomic.Uint64
+		firstErr         atomic.Pointer[error]
+		wg               sync.WaitGroup
+	)
+	fail := func(err error) {
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+		cancel()
+	}
+
+	// Lag sampler: the widest confirmed-minus-applied gap any replica
+	// shows during the counted window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			if !measuring.Load() {
+				continue
+			}
+			c := primary.ConfirmedSeq()
+			for _, rep := range reps {
+				if a := rep.Applied(); c > a {
+					if lag := c - a; lag > maxLag.Load() {
+						maxLag.Store(lag)
+					}
+				}
+			}
+		}
+	}()
+
+	// The miss storm: every query probes a toy id far outside the seeded
+	// range, so the result is empty, uncacheable under no-empty-results,
+	// and must execute in the trusted tier. One op in UpdateEvery is an
+	// update (a delete of an equally non-existent id: zero rows affected,
+	// but a real confirmed sequence that moves the freshness floor).
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + 2000 + int64(c)))
+			cl := httpapi.NewClient(codec, nodeSrv.URL, httpClient)
+			for i := 0; ctx.Err() == nil; i++ {
+				id := 1_000_000 + rng.Intn(1_000_000_000)
+				if o.UpdateEvery > 0 && i%o.UpdateEvery == o.UpdateEvery-1 {
+					if _, _, err := cl.Update(ctx, app.Update("U1"), id); err != nil {
+						if ctx.Err() == nil {
+							fail(err)
+						}
+						return
+					}
+					total.Add(1)
+					if measuring.Load() {
+						updates.Add(1)
+					}
+					continue
+				}
+				if _, err := cl.Query(ctx, app.Query("Q2"), id); err != nil {
+					if ctx.Err() == nil {
+						fail(err)
+					}
+					return
+				}
+				total.Add(1)
+				if measuring.Load() {
+					queries.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	for total.Load() < int64(o.WarmOps) && ctx.Err() == nil {
+		time.Sleep(20 * time.Millisecond)
+	}
+	prePrimary := int64(primary.QueriesServed())
+	preReplica := make([]int64, k)
+	for i, rep := range reps {
+		preReplica[i] = int64(rep.QueriesServed())
+	}
+	preLag := ns.Reg.Counter(obs.MHomeReplicaBypasses, obs.L(obs.LReason, "lag")).Value()
+	preErr := ns.Reg.Counter(obs.MHomeReplicaBypasses, obs.L(obs.LReason, "error")).Value()
+
+	gateArmed.Store(true)
+	measuring.Store(true)
+	t0 := time.Now()
+	time.Sleep(o.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(t0)
+
+	row.PrimaryMisses = int64(primary.QueriesServed()) - prePrimary
+	row.ReplicaMisses = make([]int64, k)
+	for i, rep := range reps {
+		row.ReplicaMisses[i] = int64(rep.QueriesServed()) - preReplica[i]
+	}
+	if k > 0 {
+		row.BypassLag = ns.Reg.Counter(obs.MHomeReplicaBypasses, obs.L(obs.LReason, "lag")).Value() - preLag
+		row.BypassErr = ns.Reg.Counter(obs.MHomeReplicaBypasses, obs.L(obs.LReason, "error")).Value() - preErr
+	}
+	cancel()
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return row, *p
+	}
+
+	row.Queries = queries.Load()
+	row.Updates = updates.Load()
+	row.MissQPS = float64(row.Queries) / elapsed.Seconds()
+	row.MaxLag = maxLag.Load()
+	row.Confirmed = primary.ConfirmedSeq()
+	return row, nil
+}
+
+// Format renders the sweep: miss throughput and speedup per replica
+// count, where each miss went, and how the staleness protocol behaved.
+func (r *HomescaleResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Home scale-out: %s, %d closed-loop clients, %v service slot per trusted engine, 1 update per %d ops\n",
+		r.Benchmark, r.Clients, r.Service, r.UpdateEvery)
+	rows := [][]string{{"replicas", "miss qps", "speedup", "primary", "per-replica misses", "bypass lag/err", "max lag", "confirmed"}}
+	for _, row := range r.Rows {
+		var per []string
+		for _, m := range row.ReplicaMisses {
+			per = append(per, fmt.Sprintf("%d", m))
+		}
+		perStr := strings.Join(per, " ")
+		if perStr == "" {
+			perStr = "-"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Replicas),
+			fmt.Sprintf("%.0f", row.MissQPS),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%d", row.PrimaryMisses),
+			perStr,
+			fmt.Sprintf("%d/%d", row.BypassLag, row.BypassErr),
+			fmt.Sprintf("%d", row.MaxLag),
+			fmt.Sprintf("%d", row.Confirmed),
+		})
+	}
+	table(&b, rows)
+	b.WriteString("Every query misses (empty results are uncacheable), so miss qps is the trusted\n" +
+		"tier's execution throughput; bypasses are misses bounced to the primary by the\n" +
+		"freshness floor; max lag is the widest confirmed-minus-applied gap sampled.\n")
+	return b.String()
+}

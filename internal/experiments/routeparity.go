@@ -132,7 +132,7 @@ func RouteParity(b workload.Benchmark, pages int, seed int64) (*RouteParityResul
 		if err != nil {
 			return nil, err
 		}
-		if _, err := home.ExecUpdate(su); err != nil {
+		if _, _, err := home.ExecUpdate(su); err != nil {
 			return nil, err
 		}
 		if routed.OnUpdateCompleted(su) != unrouted.OnUpdateCompleted(su) {

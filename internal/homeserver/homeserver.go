@@ -41,6 +41,22 @@ type Server struct {
 	adm admission    // bounds concurrent executions, FIFO
 	mon monitorGate  // releases update confirmations per monitoring interval
 
+	// seqCtr assigns each applied update its position in the master
+	// database's serialization order. It is incremented while the write
+	// lock is held, so sequence order equals apply order — the property a
+	// replica needs to reconstruct the same database state by replaying
+	// confirmed updates in sequence.
+	seqCtr atomic.Uint64
+
+	// confirmed is the high-water confirmed sequence: every update with
+	// seq ≤ confirmed has passed the monitoring gate and been handed to
+	// the confirmation sink (if any), in order and without gaps.
+	confirmed atomic.Uint64
+
+	// disp delivers confirmations to the OnConfirm sink in strict
+	// sequence order, buffering any that arrive out of order.
+	disp confirmDispatch
+
 	queries atomic.Int64
 	updates atomic.Int64
 
@@ -68,6 +84,8 @@ type Server struct {
 // clock).
 func New(db *storage.Database, app *template.App, codec *wire.Codec) *Server {
 	s := &Server{DB: db, App: app, Codec: codec}
+	s.disp.confirmed = &s.confirmed
+	s.mon.disp = &s.disp
 	s.SetObs(obs.NewRegistry(), obs.WallClock())
 	return s
 }
@@ -179,24 +197,32 @@ func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bo
 }
 
 // ExecUpdate opens a sealed update and applies it to the master database.
-// It returns the number of rows affected.
-func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
+// It returns the number of rows affected and the update's sequence number
+// in the master database's serialization order — the position replicas
+// replay it at.
+func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, uint64, error) {
 	t, params, err := s.Codec.OpenPayload(su.Opaque)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if !t.Kind.IsUpdate() {
-		return 0, fmt.Errorf("homeserver: payload %s is not an update", t.ID)
+		return 0, 0, fmt.Errorf("homeserver: payload %s is not an update", t.ID)
 	}
 	release := s.admit(s.waitU, su.TraceID, su.ParentSpan, t.ID)
 	sp := s.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageHomeExec, t.ID)
 	s.mu.Lock()
 	n, execErr := engine.ExecUpdate(s.DB, t.Stmt, params)
+	var seq uint64
+	if execErr == nil {
+		// Assigned under the write lock, so sequence order is exactly
+		// the order updates hit the master database.
+		seq = s.seqCtr.Add(1)
+	}
 	s.mu.Unlock()
 	sp.End()
 	release()
 	if execErr != nil {
-		return 0, execErr
+		return 0, 0, execErr
 	}
 	s.updates.Add(1)
 	s.tmplCounter(&s.uCtrs, obs.MHomeUpdates, t.ID).Inc()
@@ -204,19 +230,113 @@ func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, error) {
 	// interval releases the batch (no-op when no interval is set). After
 	// the admission slot is released, so a parked confirmation never
 	// blocks other statements from executing.
-	s.mon.await()
-	return n, nil
+	s.mon.await(Confirmed{Seq: seq, Update: su})
+	return n, seq, nil
+}
+
+// Confirmed is one update that has passed the monitoring gate: applied to
+// the master database at position Seq and confirmed to the DSSP tier. The
+// OnConfirm sink receives these in strict sequence order — the stream a
+// read replica replays to reconstruct the master database.
+type Confirmed struct {
+	Seq    uint64
+	Update wire.SealedUpdate
+}
+
+// OnConfirm registers the confirmation sink: it is invoked with each
+// contiguous, sequence-ordered batch of confirmed updates as the
+// monitoring gate releases them (per update when no interval is set).
+// Calls are serialized and ordered; an update is handed to the sink only
+// after its confirmation is released, never before. Set before serving
+// traffic.
+func (s *Server) OnConfirm(sink func([]Confirmed)) {
+	s.disp.mu.Lock()
+	s.disp.sink = sink
+	s.disp.mu.Unlock()
+}
+
+// ConfirmedSeq reports the high-water confirmed sequence number: every
+// update at or below it has been released by the monitoring gate (and
+// delivered to the OnConfirm sink, if one is registered).
+func (s *Server) ConfirmedSeq() uint64 { return s.confirmed.Load() }
+
+// AssignedSeq reports the highest sequence number assigned so far. When
+// AssignedSeq() == ConfirmedSeq() and no statements are in flight, the
+// confirmation stream is fully drained — the graceful-shutdown condition.
+func (s *Server) AssignedSeq() uint64 { return s.seqCtr.Load() }
+
+// Flush releases the monitoring gate's current epoch immediately, without
+// waiting for the interval timer: every parked confirmation is delivered
+// now. Used by graceful shutdown so replica streams never end on a torn
+// interval.
+func (s *Server) Flush() { s.mon.flush() }
+
+// confirmDispatch reorders confirmations into strict sequence order
+// before handing them to the sink. Gate releases deliver whole epochs,
+// but two updates of one epoch park in whichever order their goroutines
+// reach the gate — and an update mid-execution at release time confirms
+// in a later epoch. The dispatcher buffers any out-of-order confirmation
+// and delivers the longest contiguous prefix each push.
+type confirmDispatch struct {
+	mu        sync.Mutex
+	next      uint64 // next sequence to deliver; 0 means "not started" (≡ 1)
+	buf       map[uint64]Confirmed
+	sink      func([]Confirmed)
+	confirmed *atomic.Uint64
+}
+
+// push buffers the batch and delivers the contiguous prefix, advancing
+// the confirmed high-water mark before the sink sees the batch. The sink
+// runs under the dispatcher lock, which is what serializes and orders its
+// invocations.
+func (d *confirmDispatch) push(batch []Confirmed) {
+	if len(batch) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.next == 0 {
+		d.next = 1
+	}
+	if d.buf == nil {
+		d.buf = make(map[uint64]Confirmed)
+	}
+	for _, c := range batch {
+		d.buf[c.Seq] = c
+	}
+	var out []Confirmed
+	for {
+		c, ok := d.buf[d.next]
+		if !ok {
+			break
+		}
+		delete(d.buf, d.next)
+		d.next++
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return
+	}
+	d.confirmed.Store(out[len(out)-1].Seq)
+	if d.sink != nil {
+		d.sink(out)
+	}
 }
 
 // monitorGate parks update confirmations until the monitoring interval
 // expires and then releases them together. The first update to arrive in
 // an idle interval opens an epoch (a channel all updates of the interval
 // wait on) and arms its timer; the timer closes the channel, releasing
-// every parked confirmation at once.
+// every parked confirmation at once — and pushing the epoch's
+// confirmations through the dispatcher to the OnConfirm sink first, so by
+// the time an update's caller unblocks, its confirmation has been handed
+// to the replica stream.
 type monitorGate struct {
 	mu       sync.Mutex
 	interval time.Duration
 	epoch    chan struct{}
+	parked   []Confirmed
+	disp     *confirmDispatch
 	releases *obs.Counter
 }
 
@@ -226,10 +346,11 @@ func (g *monitorGate) setInterval(d time.Duration) {
 	g.mu.Unlock()
 }
 
-func (g *monitorGate) await() {
+func (g *monitorGate) await(c Confirmed) {
 	g.mu.Lock()
 	if g.interval <= 0 {
 		g.mu.Unlock()
+		g.disp.push([]Confirmed{c})
 		return
 	}
 	if g.epoch == nil {
@@ -238,18 +359,36 @@ func (g *monitorGate) await() {
 		time.AfterFunc(g.interval, func() { g.release(ch) })
 	}
 	ch := g.epoch
+	g.parked = append(g.parked, c)
 	g.mu.Unlock()
 	<-ch
 }
 
+// release ends an epoch: exactly one caller (the timer, or a Flush racing
+// it) wins the identity check and delivers the epoch's confirmations.
 func (g *monitorGate) release(ch chan struct{}) {
 	g.mu.Lock()
-	if g.epoch == ch {
-		g.epoch = nil
+	if g.epoch != ch {
+		g.mu.Unlock()
+		return // a racing flush already released this epoch
 	}
+	g.epoch = nil
+	batch := g.parked
+	g.parked = nil
 	if g.releases != nil {
 		g.releases.Inc()
 	}
 	g.mu.Unlock()
+	g.disp.push(batch)
 	close(ch)
+}
+
+// flush releases the current epoch now, if one is open.
+func (g *monitorGate) flush() {
+	g.mu.Lock()
+	ch := g.epoch
+	g.mu.Unlock()
+	if ch != nil {
+		g.release(ch)
+	}
 }

@@ -69,7 +69,7 @@ func TestExecUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := s.ExecUpdate(su)
+	n, _, err := s.ExecUpdate(su)
 	if err != nil || n != 1 {
 		t.Fatalf("n=%d err=%v", n, err)
 	}
@@ -84,7 +84,7 @@ func TestExecUpdate(t *testing.T) {
 func TestKindMismatchRejected(t *testing.T) {
 	s, codec, app := testServer(t)
 	sq, _ := codec.SealQuery(app.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(5)})
-	if _, err := s.ExecUpdate(wire.SealedUpdate{Opaque: sq.Opaque}); err == nil {
+	if _, _, err := s.ExecUpdate(wire.SealedUpdate{Opaque: sq.Opaque}); err == nil {
 		t.Error("query payload accepted as update")
 	}
 	su, _ := codec.SealUpdate(app.Update("U1"), []sqlparse.Value{sqlparse.IntVal(5)})
@@ -153,7 +153,7 @@ func TestConcurrentQueryUpdateSeal(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if _, err := s.ExecUpdate(su); err != nil {
+				if _, _, err := s.ExecUpdate(su); err != nil {
 					t.Error(err)
 					return
 				}
@@ -213,7 +213,7 @@ func TestMonitoringIntervalBatchesConfirmations(t *testing.T) {
 			t.Fatal(err)
 		}
 		go func() {
-			if _, err := s.ExecUpdate(su); err != nil {
+			if _, _, err := s.ExecUpdate(su); err != nil {
 				t.Error(err)
 			}
 			done <- struct{}{}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -57,15 +58,19 @@ func defaultClient(client *http.Client) *http.Client {
 
 // Paths of the HTTP API.
 const (
-	PathQuery      = "/v1/query"       // node and router: sealed query -> sealed result
-	PathUpdate     = "/v1/update"      // node and router: sealed update -> ack
-	PathInvalidate = "/v1/invalidate"  // node: already-confirmed sealed update -> invalidation ack (router fan-out)
-	PathDecisions  = "/v1/decisions"   // node: invalidation-decision log + cache dump, JSON (debugging, parity checks)
-	PathMetrics    = "/v1/metrics"     // every process: metrics snapshot (JSON or Prometheus text)
-	PathTrace      = "/v1/trace/"      // every process: one trace's spans, JSON ({id} appended)
-	PathTraces     = "/v1/traces"      // every process: retained trace IDs, JSON
-	PathExecQuery  = "/v1/exec/query"  // home: sealed query -> sealed result
-	PathExecUpdate = "/v1/exec/update" // home: sealed update -> ack
+	PathQuery           = "/v1/query"            // node and router: sealed query -> sealed result
+	PathUpdate          = "/v1/update"           // node and router: sealed update -> ack
+	PathInvalidate      = "/v1/invalidate"       // node: already-confirmed sealed update -> invalidation ack (router fan-out)
+	PathDecisions       = "/v1/decisions"        // node: invalidation-decision log + cache dump, JSON (debugging, parity checks)
+	PathMetrics         = "/v1/metrics"          // every process: metrics snapshot (JSON or Prometheus text)
+	PathTrace           = "/v1/trace/"           // every process: one trace's spans, JSON ({id} appended)
+	PathTraces          = "/v1/traces"           // every process: retained trace IDs, JSON
+	PathExecQuery       = "/v1/exec/query"       // home primary and replicas: sealed query -> sealed result
+	PathExecUpdate      = "/v1/exec/update"      // home primary: sealed update -> ack
+	PathReplicaApply    = "/v1/replica/apply"    // replica: confirmed-update batch -> applied watermark
+	PathReplicaStatus   = "/v1/replica/status"   // replica: applied watermark, JSON
+	PathReplicaRegister = "/v1/replica/register" // home primary: subscribe a replica to the confirmed stream, JSON
+	PathReplicas        = "/v1/replicas"         // home primary: registered replicas + acked sequences, JSON
 )
 
 // TraceHeader carries the request's trace ID between processes;
@@ -77,16 +82,32 @@ const (
 	SpanParentHeader = "X-DSSP-Span-Parent"
 )
 
+// Staleness headers of the replicated home tier. ConfirmSeqHeader rides
+// the router's invalidation fan-out: the fanned-out update's confirmed
+// home sequence, which raises the target node's freshness floor.
+// MinSeqHeader rides node→replica queries: the node's floor, below which
+// the replica must not answer. AppliedHeader rides every replica
+// response: the replica's applied watermark (on a 409 refusal it tells
+// the node how far behind the replica is).
+const (
+	ConfirmSeqHeader = "X-DSSP-Confirm-Seq"
+	MinSeqHeader     = "X-DSSP-Min-Seq"
+	AppliedHeader    = "X-DSSP-Replica-Applied"
+)
+
 // QueryResponse is the node's answer to a sealed query.
 type QueryResponse struct {
 	Result wire.SealedResult
 	Hit    bool
 }
 
-// UpdateResponse is the node's answer to a sealed update.
+// UpdateResponse is the node's answer to a sealed update. Seq is the
+// update's confirmed sequence in the home server's serialization order
+// (0 from pre-sequencing nodes).
 type UpdateResponse struct {
 	Affected    int
 	Invalidated int
+	Seq         uint64
 }
 
 // InvalidateResponse is the node's answer to a fanned-out invalidation:
@@ -114,6 +135,7 @@ type ExecQueryResponse struct {
 // ExecUpdateResponse is the home server's answer to a forwarded update.
 type ExecUpdateResponse struct {
 	Affected int
+	Seq      uint64
 }
 
 // gobBufPool recycles the staging buffers gob encoding writes into, so
@@ -159,17 +181,19 @@ func readGob(r io.Reader, v any) error {
 }
 
 // post sends one gob request with the trace ID attached and decodes the
-// gob response. The context bounds the whole round trip. When idempotent
-// is true (query paths only), a connection-level error is retried once
-// after a short backoff — a response that arrived, whatever its status,
-// is never retried, and updates never are (a lost ack does not prove the
-// update was not applied). reg, when non-nil, counts retries.
-func post(ctx context.Context, client *http.Client, url, trace, parent string, req, resp any, idempotent bool, reg *obs.Registry) error {
+// gob response. hdrs carries extra request headers (nil for none — e.g.
+// the confirmed-sequence staleness header on invalidation fan-out). The
+// context bounds the whole round trip. When idempotent is true (query
+// paths only), a connection-level error is retried once after a short
+// backoff — a response that arrived, whatever its status, is never
+// retried, and updates never are (a lost ack does not prove the update
+// was not applied). reg, when non-nil, counts retries.
+func post(ctx context.Context, client *http.Client, url, trace, parent string, hdrs http.Header, req, resp any, idempotent bool, reg *obs.Registry) error {
 	body, err := encodeGob(req)
 	if err != nil {
 		return err
 	}
-	r, err := doPost(ctx, client, url, trace, parent, body)
+	r, err := doPost(ctx, client, url, trace, parent, hdrs, body)
 	if err != nil && idempotent && ctx.Err() == nil {
 		if reg != nil {
 			reg.Counter(obs.MHTTPRetries).Inc()
@@ -179,7 +203,7 @@ func post(ctx context.Context, client *http.Client, url, trace, parent string, r
 		case <-ctx.Done():
 			return err
 		}
-		r, err = doPost(ctx, client, url, trace, parent, body)
+		r, err = doPost(ctx, client, url, trace, parent, hdrs, body)
 	}
 	if err != nil {
 		return err
@@ -208,7 +232,7 @@ func encodeGob(v any) ([]byte, error) {
 
 // doPost performs one HTTP exchange; the body is a byte slice so retries
 // can resend it.
-func doPost(ctx context.Context, client *http.Client, url, trace, parent string, body []byte) (*http.Response, error) {
+func doPost(ctx context.Context, client *http.Client, url, trace, parent string, hdrs http.Header, body []byte) (*http.Response, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -219,6 +243,11 @@ func doPost(ctx context.Context, client *http.Client, url, trace, parent string,
 	}
 	if parent != "" {
 		hreq.Header.Set(SpanParentHeader, parent)
+	}
+	for k, vs := range hdrs {
+		for _, v := range vs {
+			hreq.Header.Add(k, v)
+		}
 	}
 	return client.Do(hreq)
 }
@@ -348,6 +377,14 @@ func FetchMetrics(client *http.Client, baseURL string) (obs.Snapshot, error) {
 // so the home-side spans (admission_wait, home_exec) of every trace are
 // servable; call it after SetObs, which replaces the tracer.
 func HomeHandler(home *homeserver.Server) http.Handler {
+	return HomeHandlerWithHub(home, nil)
+}
+
+// HomeHandlerWithHub is HomeHandler for a primary fronting read replicas:
+// hub (non-nil) adds the replica-registration endpoints, and registered
+// replicas receive every confirmed-update batch the moment the monitoring
+// gate releases it.
+func HomeHandlerWithHub(home *homeserver.Server, hub *ReplicaHub) http.Handler {
 	home.Tracer().SetStore(obs.NewSpanStore(0))
 	mux := http.NewServeMux()
 	mux.Handle("GET "+PathMetrics, MetricsHandler(home.Obs()))
@@ -372,13 +409,29 @@ func HomeHandler(home *homeserver.Server) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		n, err := home.ExecUpdate(su)
+		n, seq, err := home.ExecUpdate(su)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeGob(home.Obs(), w, ExecUpdateResponse{Affected: n})
+		writeGob(home.Obs(), w, ExecUpdateResponse{Affected: n, Seq: seq})
 	})
+	if hub != nil {
+		mux.HandleFunc("POST "+PathReplicaRegister, func(w http.ResponseWriter, r *http.Request) {
+			var req ReplicaRegisterRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+				http.Error(w, "replica register: need JSON body {\"url\": ...}", http.StatusBadRequest)
+				return
+			}
+			hub.Register(req.URL)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(hub.Status())
+		})
+		mux.HandleFunc("GET "+PathReplicas, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(hub.Status())
+		})
+	}
 	return mux
 }
 
@@ -413,14 +466,14 @@ type httpTransport struct {
 
 func (t httpTransport) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
 	var exec ExecQueryResponse
-	err := post(ctx, t.client, t.homeURL+PathExecQuery, sq.TraceID, sq.ParentSpan, sq, &exec, true, t.reg)
+	err := post(ctx, t.client, t.homeURL+PathExecQuery, sq.TraceID, sq.ParentSpan, nil, sq, &exec, true, t.reg)
 	done(pipeline.ExecQueryResult{Result: exec.Result, Empty: exec.Empty, Scanned: exec.Scanned}, err)
 }
 
-func (t httpTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
+func (t httpTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(pipeline.ExecUpdateResult, error)) {
 	var exec ExecUpdateResponse
-	err := post(ctx, t.client, t.homeURL+PathExecUpdate, su.TraceID, su.ParentSpan, su, &exec, false, t.reg)
-	done(exec.Affected, err)
+	err := post(ctx, t.client, t.homeURL+PathExecUpdate, su.TraceID, su.ParentSpan, nil, su, &exec, false, t.reg)
+	done(pipeline.ExecUpdateResult{Affected: exec.Affected, Seq: exec.Seq}, err)
 }
 
 // NodeOptions tune a node server beyond its wiring.
@@ -438,6 +491,13 @@ type NodeOptions struct {
 	// Leakage, when set, audits the sealed traffic at this node's trust
 	// boundary (the adversary's-eye measurement; nil disables).
 	Leakage pipeline.LeakageObserver
+
+	// HomeReplicaURLs lists home read-replica endpoints this node may
+	// serve misses from. Non-empty, the node's transport becomes a
+	// pipeline.ReplicaSet: updates still go to HomeURL (the primary);
+	// misses spread across the replicas, subject to the node's freshness
+	// floor, with primary fallback when a replica lags or fails.
+	HomeReplicaURLs []string
 }
 
 // NewNodeServer wires a node to its home server endpoint. The server
@@ -455,14 +515,23 @@ func NewNodeServerWithOptions(node *dssp.Node, homeURL string, client *http.Clie
 	tracer := obs.NewTracer(reg, obs.WallClock()).
 		SetIdentity(obs.ProcNode, opts.NodeID).
 		SetStore(obs.NewSpanStore(0))
+	popts := pipeline.Options{MonitorInterval: opts.MonitorInterval, Leakage: opts.Leakage}
+	var transport pipeline.Transport = httpTransport{client: client, homeURL: homeURL, reg: reg}
+	if len(opts.HomeReplicaURLs) > 0 {
+		eps := make([]pipeline.ReplicaEndpoint, len(opts.HomeReplicaURLs))
+		for i, u := range opts.HomeReplicaURLs {
+			eps[i] = pipeline.ReplicaEndpoint{Name: u, Backend: replicaProxy{url: u, client: client}}
+		}
+		popts.Fresh = pipeline.NewFreshness()
+		transport = pipeline.NewReplicaSet(transport, eps, popts.Fresh, reg)
+	}
 	return &NodeServer{
 		Node:    node,
 		HomeURL: homeURL,
 		Client:  client,
 		Reg:     reg,
 		Tracer:  tracer,
-		Pipe: pipeline.New(node, httpTransport{client: client, homeURL: homeURL, reg: reg},
-			tracer, pipeline.Options{MonitorInterval: opts.MonitorInterval, Leakage: opts.Leakage}),
+		Pipe:    pipeline.New(node, transport, tracer, popts),
 	}
 }
 
@@ -526,8 +595,13 @@ func (s *NodeServer) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	}
 	su.TraceID = trace(su.TraceID, r)
 	su.ParentSpan = spanParent(su.ParentSpan, r)
+	// The fan-out's staleness header carries the update's confirmed home
+	// sequence; it raises this node's freshness floor (when the node
+	// fronts replicas) before invalidation runs, so no later miss is
+	// served by a replica that hasn't applied the update.
+	seq, _ := strconv.ParseUint(r.Header.Get(ConfirmSeqHeader), 10, 64)
 	ch := make(chan int, 1)
-	s.Pipe.MonitorUpdate(su, func(invalidated int) { ch <- invalidated })
+	s.Pipe.MonitorUpdate(su, seq, func(invalidated int) { ch <- invalidated })
 	select {
 	case n := <-ch:
 		writeGob(s.Reg, w, InvalidateResponse{Invalidated: n})
@@ -560,7 +634,7 @@ func (s *NodeServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	writeGob(s.Reg, w, UpdateResponse{Affected: reply.Affected, Invalidated: reply.Invalidated})
+	writeGob(s.Reg, w, UpdateResponse{Affected: reply.Affected, Invalidated: reply.Invalidated, Seq: reply.Seq})
 }
 
 // Client is the trusted application side talking to a remote DSSP node:
@@ -603,7 +677,7 @@ func (c *Client) Query(ctx context.Context, t *template.Template, params ...inte
 		Start: start, Duration: c.Tracer.Now() - start,
 	})
 	var resp QueryResponse
-	if err := post(ctx, c.HTTP, c.NodeURL+PathQuery, sq.TraceID, sq.ParentSpan, sq, &resp, true, c.Tracer.Registry()); err != nil {
+	if err := post(ctx, c.HTTP, c.NodeURL+PathQuery, sq.TraceID, sq.ParentSpan, nil, sq, &resp, true, c.Tracer.Registry()); err != nil {
 		return nil, err
 	}
 	op := c.Tracer.Start(sq.TraceID, obs.StageOpen, t.ID)
@@ -633,7 +707,7 @@ func (c *Client) Update(ctx context.Context, t *template.Template, params ...int
 		Start: start, Duration: c.Tracer.Now() - start,
 	})
 	var resp UpdateResponse
-	if err := post(ctx, c.HTTP, c.NodeURL+PathUpdate, su.TraceID, su.ParentSpan, su, &resp, false, c.Tracer.Registry()); err != nil {
+	if err := post(ctx, c.HTTP, c.NodeURL+PathUpdate, su.TraceID, su.ParentSpan, nil, su, &resp, false, c.Tracer.Registry()); err != nil {
 		return 0, 0, err
 	}
 	return resp.Affected, resp.Invalidated, nil

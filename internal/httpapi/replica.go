@@ -1,0 +1,342 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dssp/internal/home"
+	"dssp/internal/homeserver"
+	"dssp/internal/obs"
+	"dssp/internal/pipeline"
+	"dssp/internal/wire"
+)
+
+// ReplicaRegisterRequest subscribes a replica (by its base URL) to the
+// primary's confirmed-update stream.
+type ReplicaRegisterRequest struct {
+	URL string `json:"url"`
+}
+
+// ReplicaApplyRequest is one confirmed-update batch pushed from the
+// primary's hub to a replica, gob-encoded like the sealed traffic it
+// carries.
+type ReplicaApplyRequest struct {
+	Batch []homeserver.Confirmed
+}
+
+// ReplicaApplyResponse acknowledges an apply push with the replica's
+// applied watermark — which may be behind the batch's tail if earlier
+// sequences are still missing (the replica buffers the gap; the hub
+// resends from the acknowledged point).
+type ReplicaApplyResponse struct {
+	Applied uint64
+}
+
+// ReplicaStatusResponse is a replica's applied watermark and query load,
+// served as JSON from PathReplicaStatus for smoke tests and operators.
+type ReplicaStatusResponse struct {
+	Name    string `json:"name"`
+	Applied uint64 `json:"applied"`
+	Served  int    `json:"served"`
+}
+
+// ReplicaHandler exposes a home read replica over HTTP: the replica half
+// of the home API (sealed queries with the staleness check, the apply
+// stream's push endpoint) plus the standard metrics and trace surface.
+func ReplicaHandler(rep *home.Replica) http.Handler {
+	rep.Tracer().SetStore(obs.NewSpanStore(0))
+	mux := http.NewServeMux()
+	mux.Handle("GET "+PathMetrics, MetricsHandler(rep.Obs()))
+	mux.Handle("GET "+PathTraces, TraceIDsHandler(rep.Tracer().Store()))
+	mux.Handle("GET "+PathTrace+"{id}", TraceHandler(rep.Tracer().Store()))
+	mux.HandleFunc("POST "+PathExecQuery, func(w http.ResponseWriter, r *http.Request) {
+		var sq wire.SealedQuery
+		if err := readGob(r.Body, &sq); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		minSeq, _ := strconv.ParseUint(r.Header.Get(MinSeqHeader), 10, 64)
+		if applied := rep.Applied(); applied < minSeq {
+			// The node's freshness floor is ahead of this replica: refuse
+			// rather than serve a result that predates an update the node
+			// already invalidated for. 409 keeps the refusal distinct from
+			// transport failure, and the applied watermark rides back so
+			// the node can stop asking until the replica catches up.
+			w.Header().Set(AppliedHeader, strconv.FormatUint(applied, 10))
+			http.Error(w, fmt.Sprintf("replica lagging: applied %d < floor %d", applied, minSeq), http.StatusConflict)
+			return
+		}
+		res, empty, scanned, err := rep.ExecQuery(sq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// The watermark re-read can only have advanced past the check
+		// above, so the header never claims more freshness than the
+		// result has.
+		w.Header().Set(AppliedHeader, strconv.FormatUint(rep.Applied(), 10))
+		writeGob(rep.Obs(), w, ExecQueryResponse{Result: res, Empty: empty, Scanned: scanned})
+	})
+	mux.HandleFunc("POST "+PathReplicaApply, func(w http.ResponseWriter, r *http.Request) {
+		var req ReplicaApplyRequest
+		if err := readGob(r.Body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := rep.ApplyBatch(req.Batch); err != nil {
+			// An execution failure mid-batch is a consistency fault; the
+			// watermark stopped before the failing update, and the 500
+			// keeps the hub retrying from there.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeGob(rep.Obs(), w, ReplicaApplyResponse{Applied: rep.Applied()})
+	})
+	mux.HandleFunc("GET "+PathReplicaStatus, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ReplicaStatusResponse{Name: rep.Name(), Applied: rep.Applied(), Served: rep.QueriesServed()})
+	})
+	return mux
+}
+
+// RegisterReplica subscribes replicaURL to primaryURL's confirmed-update
+// stream (the -replica-of handshake). The primary replies with its
+// current hub status.
+func RegisterReplica(client *http.Client, primaryURL, replicaURL string) (ReplicaHubStatus, error) {
+	client = defaultClient(client)
+	body, err := json.Marshal(ReplicaRegisterRequest{URL: replicaURL})
+	if err != nil {
+		return ReplicaHubStatus{}, err
+	}
+	resp, err := client.Post(primaryURL+PathReplicaRegister, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ReplicaHubStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return ReplicaHubStatus{}, fmt.Errorf("httpapi: %s%s: %s: %s", primaryURL, PathReplicaRegister, resp.Status, msg)
+	}
+	var st ReplicaHubStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// ReplicaHubStatus reports the hub's stream positions: how many
+// confirmed updates exist and how far each registered replica has
+// acknowledged.
+type ReplicaHubStatus struct {
+	Confirmed uint64              `json:"confirmed"`
+	Replicas  []ReplicaStreamInfo `json:"replicas"`
+}
+
+// ReplicaStreamInfo is one replica's position in the hub's stream.
+type ReplicaStreamInfo struct {
+	URL   string `json:"url"`
+	Acked uint64 `json:"acked"`
+}
+
+// ReplicaHub runs the primary side of the apply stream: it retains every
+// confirmed update (in sequence order — the confirmation gate delivers
+// contiguous batches) and pushes the unacknowledged suffix to each
+// registered replica, retrying until acknowledged. Registration is
+// dynamic: a replica that joins late receives the whole retained log
+// first, so it converges from the shared populate state.
+type ReplicaHub struct {
+	client *http.Client
+	reg    *obs.Registry
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	log     []homeserver.Confirmed // log[i].Seq == uint64(i)+1
+	streams map[string]*replicaStream
+	closed  bool
+}
+
+// replicaStream is one replica's pusher state; acked counts the log
+// prefix the replica has acknowledged applying.
+type replicaStream struct {
+	url   string
+	acked uint64
+}
+
+// NewReplicaHub builds a hub. Attach it to the primary with
+// primary.OnConfirm(hub.Confirm); reg (nil allowed) counts stream push
+// errors.
+func NewReplicaHub(client *http.Client, reg *obs.Registry) *ReplicaHub {
+	h := &ReplicaHub{client: defaultClient(client), reg: reg, streams: make(map[string]*replicaStream)}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Confirm is the hub's confirmation sink: the home server calls it (under
+// the confirmation dispatcher's lock) with each contiguous batch the
+// monitoring gate releases. It only appends and wakes the pushers — the
+// network work happens on the per-replica goroutines, so the home
+// server's update path never blocks on a slow replica.
+func (h *ReplicaHub) Confirm(batch []homeserver.Confirmed) {
+	h.mu.Lock()
+	h.log = append(h.log, batch...)
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// Register subscribes a replica URL to the stream. Registering an
+// already-known URL is a no-op (a restarted replica re-registers; its
+// stream resumes from the acknowledged point, and the apply endpoint
+// skips duplicates below its watermark anyway).
+func (h *ReplicaHub) Register(url string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if _, ok := h.streams[url]; ok {
+		return
+	}
+	st := &replicaStream{url: url}
+	h.streams[url] = st
+	go h.run(st)
+}
+
+// run is one replica's push loop: send the unacknowledged log suffix,
+// advance on acknowledgment, back off and resend on failure.
+func (h *ReplicaHub) run(st *replicaStream) {
+	for {
+		h.mu.Lock()
+		for !h.closed && st.acked >= uint64(len(h.log)) {
+			h.cond.Wait()
+		}
+		if h.closed && st.acked >= uint64(len(h.log)) {
+			h.mu.Unlock()
+			return
+		}
+		batch := h.log[st.acked:]
+		h.mu.Unlock()
+
+		applied, err := h.push(st.url, batch)
+		if err != nil {
+			if h.reg != nil {
+				h.reg.Counter(obs.MHTTPRetries).Inc()
+			}
+			time.Sleep(retryBackoff)
+			continue
+		}
+		h.mu.Lock()
+		if applied > st.acked {
+			st.acked = applied
+		}
+		h.mu.Unlock()
+		h.cond.Broadcast()
+	}
+}
+
+// push sends one batch to a replica's apply endpoint and returns the
+// acknowledged watermark.
+func (h *ReplicaHub) push(url string, batch []homeserver.Confirmed) (uint64, error) {
+	var resp ReplicaApplyResponse
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultTimeout)
+	defer cancel()
+	err := post(ctx, h.client, url+PathReplicaApply, "", "", nil, ReplicaApplyRequest{Batch: batch}, &resp, false, nil)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
+}
+
+// Status snapshots the hub's stream positions.
+func (h *ReplicaHub) Status() ReplicaHubStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := ReplicaHubStatus{Confirmed: uint64(len(h.log))}
+	for _, s := range h.streams {
+		st.Replicas = append(st.Replicas, ReplicaStreamInfo{URL: s.url, Acked: s.acked})
+	}
+	return st
+}
+
+// Drain blocks until every registered replica has acknowledged the whole
+// retained log, or ctx expires — the graceful-shutdown half of the
+// stream: flush the confirmation gate first, then drain, and no replica
+// is left mid-interval.
+func (h *ReplicaHub) Drain(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		h.mu.Lock()
+		done := true
+		for _, s := range h.streams {
+			if s.acked < uint64(len(h.log)) {
+				done = false
+				break
+			}
+		}
+		h.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close stops the push loops once they are idle. Call after Drain; a
+// stream with unacknowledged entries keeps pushing until they are acked,
+// then exits.
+func (h *ReplicaHub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// replicaProxy is the node side of a remote replica: a
+// pipeline.ReplicaBackend over HTTP. A refusal (409) surfaces as
+// pipeline.LagError carrying the replica's applied watermark; transport
+// errors are returned as-is. No retry — the replica set's primary
+// fallback is the retry.
+type replicaProxy struct {
+	url    string
+	client *http.Client
+}
+
+func (p replicaProxy) QueryAt(ctx context.Context, sq wire.SealedQuery, minSeq uint64, done func(pipeline.ExecQueryResult, error)) {
+	body, err := encodeGob(sq)
+	if err != nil {
+		done(pipeline.ExecQueryResult{}, err)
+		return
+	}
+	hdrs := http.Header{MinSeqHeader: []string{strconv.FormatUint(minSeq, 10)}}
+	r, err := doPost(ctx, p.client, p.url+PathExecQuery, sq.TraceID, sq.ParentSpan, hdrs, body)
+	if err != nil {
+		done(pipeline.ExecQueryResult{}, err)
+		return
+	}
+	defer r.Body.Close()
+	applied, _ := strconv.ParseUint(r.Header.Get(AppliedHeader), 10, 64)
+	if r.StatusCode == http.StatusConflict {
+		done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: applied, Want: minSeq})
+		return
+	}
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		done(pipeline.ExecQueryResult{}, fmt.Errorf("httpapi: %s%s: %s: %s", p.url, PathExecQuery, r.Status, msg))
+		return
+	}
+	var exec ExecQueryResponse
+	if err := readGob(r.Body, &exec); err != nil {
+		done(pipeline.ExecQueryResult{}, err)
+		return
+	}
+	done(pipeline.ExecQueryResult{Result: exec.Result, Empty: exec.Empty, Scanned: exec.Scanned, Applied: applied}, nil)
+}

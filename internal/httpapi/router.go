@@ -3,6 +3,7 @@ package httpapi
 import (
 	"context"
 	"net/http"
+	"strconv"
 
 	"dssp/internal/core"
 	"dssp/internal/obs"
@@ -32,23 +33,26 @@ func NewNodeProxy(url string, client *http.Client, reg *obs.Registry) NodeProxy 
 // Query proxies a sealed query to the node.
 func (p NodeProxy) Query(ctx context.Context, sq wire.SealedQuery) (wire.SealedResult, bool, error) {
 	var resp QueryResponse
-	err := post(ctx, p.Client, p.URL+PathQuery, sq.TraceID, sq.ParentSpan, sq, &resp, true, p.Reg)
+	err := post(ctx, p.Client, p.URL+PathQuery, sq.TraceID, sq.ParentSpan, nil, sq, &resp, true, p.Reg)
 	return resp.Result, resp.Hit, err
 }
 
-// Update proxies a sealed update through the node's full update pathway.
-func (p NodeProxy) Update(ctx context.Context, su wire.SealedUpdate) (int, int, error) {
+// Update proxies a sealed update through the node's full update pathway
+// and relays the home server's confirmed sequence back to the router.
+func (p NodeProxy) Update(ctx context.Context, su wire.SealedUpdate) (int, int, uint64, error) {
 	var resp UpdateResponse
-	err := post(ctx, p.Client, p.URL+PathUpdate, su.TraceID, su.ParentSpan, su, &resp, false, p.Reg)
-	return resp.Affected, resp.Invalidated, err
+	err := post(ctx, p.Client, p.URL+PathUpdate, su.TraceID, su.ParentSpan, nil, su, &resp, false, p.Reg)
+	return resp.Affected, resp.Invalidated, resp.Seq, err
 }
 
 // Invalidate pushes an already-confirmed update to the node's
-// invalidation monitor. Failures surface in the router's proxy-error
-// counter and are returned to the fan-out's retry path.
-func (p NodeProxy) Invalidate(ctx context.Context, su wire.SealedUpdate) (int, error) {
+// invalidation monitor, carrying the confirmed home sequence so the node
+// raises its replica-freshness floor. Failures surface in the router's
+// proxy-error counter and are returned to the fan-out's retry path.
+func (p NodeProxy) Invalidate(ctx context.Context, su wire.SealedUpdate, seq uint64) (int, error) {
 	var resp InvalidateResponse
-	err := post(ctx, p.Client, p.URL+PathInvalidate, su.TraceID, su.ParentSpan, su, &resp, true, p.Reg)
+	hdrs := http.Header{ConfirmSeqHeader: []string{strconv.FormatUint(seq, 10)}}
+	err := post(ctx, p.Client, p.URL+PathInvalidate, su.TraceID, su.ParentSpan, hdrs, su, &resp, true, p.Reg)
 	return resp.Invalidated, err
 }
 
@@ -150,5 +154,5 @@ func (s *RouterServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	writeGob(s.Reg, w, UpdateResponse{Affected: reply.Affected, Invalidated: reply.Invalidated})
+	writeGob(s.Reg, w, UpdateResponse{Affected: reply.Affected, Invalidated: reply.Invalidated, Seq: reply.Seq})
 }

@@ -81,6 +81,21 @@ const (
 	MRouterBroadcasts    = "dssp_router_broadcasts_total"
 	MRouterProxyErrors   = "dssp_router_proxy_errors_total"
 	MRouterNodeSeconds   = "dssp_router_node_seconds"
+
+	// Replicated home tier instruments, registered only when a node's
+	// transport is a ReplicaSet (so single-home deployments keep their
+	// metric shape). replica_misses counts misses served by each read
+	// replica (label: replica); replica_bypasses counts misses that fell
+	// back to the primary (label: reason — "lag" when the selected
+	// replica had not applied the node's freshness floor, "error" when
+	// the replica call failed); replica_lag is the last observed
+	// floor-minus-applied gap per replica (label: replica), in confirmed
+	// update sequence numbers; replica_applied mirrors each replica's
+	// applied sequence on the replica process itself.
+	MHomeReplicaMisses   = "dssp_home_replica_misses_total"
+	MHomeReplicaBypasses = "dssp_home_replica_bypasses_total"
+	MHomeReplicaLag      = "dssp_home_replica_lag"
+	MHomeReplicaApplied  = "dssp_home_replica_applied_seq"
 )
 
 // Label keys.
@@ -92,6 +107,8 @@ const (
 	LClass          = "class"
 	LKind           = "kind"
 	LNode           = "node"
+	LReplica        = "replica"
+	LReason         = "reason"
 )
 
 // Pipeline stages of one request, in flow order. Seal and open run on the

@@ -89,9 +89,15 @@ func (b *batcher) flush() {
 // monitor: with a monitoring interval configured it joins the current
 // batch and done fires at the flush; without one, invalidation runs
 // inline and done fires before MonitorUpdate returns. This is also the
-// entry point for updates confirmed elsewhere — the simulator fans other
-// nodes' completed updates into each node's monitor through it.
-func (p *Pipeline) MonitorUpdate(su wire.SealedUpdate, done func(invalidated int)) {
+// entry point for updates confirmed elsewhere — the simulator and the
+// shard router fan other nodes' completed updates into each node's
+// monitor through it. seq is the update's confirmed sequence number at
+// the home server (0 when unknown); it raises the node's freshness floor
+// so no later miss is served by a replica that hasn't applied it.
+func (p *Pipeline) MonitorUpdate(su wire.SealedUpdate, seq uint64, done func(invalidated int)) {
+	if p.opts.Fresh != nil {
+		p.opts.Fresh.Raise(seq)
+	}
 	if p.batcher == nil {
 		inv := p.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageInvalidate, obs.Tmpl(su.TemplateID))
 		n := p.cache.OnUpdateCompleted(su)

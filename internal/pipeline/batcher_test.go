@@ -137,7 +137,7 @@ func TestMonitorUpdateInlineWithoutInterval(t *testing.T) {
 		t.Fatal(err)
 	}
 	fired := false
-	p.MonitorUpdate(wire.SealedUpdate{}, func(invalidated int) {
+	p.MonitorUpdate(wire.SealedUpdate{}, 0, func(invalidated int) {
 		fired = true
 		if invalidated != 1 {
 			t.Errorf("invalidated = %d, want 1", invalidated)

@@ -4,20 +4,29 @@ import (
 	"context"
 	"time"
 
-	"dssp/internal/homeserver"
 	"dssp/internal/wire"
 )
 
-// directTransport executes sealed statements against an in-process home
-// server on the caller's goroutine — the transport of the non-simulated,
-// non-networked deployment (dssp.Client, examples, experiments).
-type directTransport struct {
-	home *homeserver.Server
+// HomeBackend is the trusted execution surface a direct transport drives:
+// open-and-execute for sealed queries and updates. It is the method-set
+// core of home.Backend, declared here (structurally identical) so the
+// pipeline does not depend on the home tier's packages; *homeserver.Server
+// and any other home.Backend implementation satisfy it.
+type HomeBackend interface {
+	ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bool, scanned int, err error)
+	ExecUpdate(su wire.SealedUpdate) (affected int, seq uint64, err error)
 }
 
-// NewDirectTransport returns a transport that calls the given home server
+// directTransport executes sealed statements against an in-process home
+// backend on the caller's goroutine — the transport of the non-simulated,
+// non-networked deployment (dssp.Client, examples, experiments).
+type directTransport struct {
+	home HomeBackend
+}
+
+// NewDirectTransport returns a transport that calls the given home backend
 // directly.
-func NewDirectTransport(home *homeserver.Server) Transport {
+func NewDirectTransport(home HomeBackend) Transport {
 	return directTransport{home: home}
 }
 
@@ -26,9 +35,9 @@ func (t directTransport) ExecQuery(_ context.Context, sq wire.SealedQuery, done 
 	done(ExecQueryResult{Result: res, Empty: empty, Scanned: scanned}, err)
 }
 
-func (t directTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(int, error)) {
-	n, err := t.home.ExecUpdate(su)
-	done(n, err)
+func (t directTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(ExecUpdateResult, error)) {
+	n, seq, err := t.home.ExecUpdate(su)
+	done(ExecUpdateResult{Affected: n, Seq: seq}, err)
 }
 
 // delayTransport adds a fixed one-way delay before forwarding, modelling
@@ -52,7 +61,7 @@ func (t delayTransport) ExecQuery(ctx context.Context, sq wire.SealedQuery, done
 	t.inner.ExecQuery(ctx, sq, done)
 }
 
-func (t delayTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
+func (t delayTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(ExecUpdateResult, error)) {
 	sleep(ctx, t.delay)
 	t.inner.ExecUpdate(ctx, su, done)
 }

@@ -61,6 +61,23 @@ type ExecQueryResult struct {
 	// router's transport fronts whole caching nodes and propagates the
 	// owning node's hit so the routed deployment reports hits faithfully.
 	Hit bool
+
+	// Applied is the serving backend's applied-update sequence at the
+	// time it answered, when the backend is a home read replica; 0 from
+	// the primary (definitionally current) and from caching tiers. The
+	// replica set uses it to track each replica's freshness.
+	Applied uint64
+}
+
+// ExecUpdateResult is the home server's answer to a forwarded update: rows
+// affected at the master database, and the update's sequence number in the
+// master's serialization order (0 when the backend predates sequencing,
+// e.g. a fake transport in tests). Replicas replay confirmed updates in
+// sequence order; a node that has seen Seq confirmed must not serve misses
+// from a replica that hasn't applied it yet.
+type ExecUpdateResult struct {
+	Affected int
+	Seq      uint64
 }
 
 // Transport carries sealed wire messages from the node to the home server
@@ -70,7 +87,7 @@ type ExecQueryResult struct {
 // either way. done must be called exactly once.
 type Transport interface {
 	ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(ExecQueryResult, error))
-	ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(affected int, err error))
+	ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(ExecUpdateResult, error))
 }
 
 // QueryReply describes how the pipeline served one sealed query.
@@ -88,10 +105,12 @@ type QueryReply struct {
 }
 
 // UpdateReply describes one completed update: rows affected at the home
-// server and cache entries invalidated at this node.
+// server, the update's confirmed sequence number there, and cache entries
+// invalidated at this node.
 type UpdateReply struct {
 	Affected    int
 	Invalidated int
+	Seq         uint64
 }
 
 // Options configures a pipeline.
@@ -124,6 +143,14 @@ type Options struct {
 	// sees, never plaintext the exposure level hides. nil disables the
 	// audit (the production default — it is a measurement instrument).
 	Leakage LeakageObserver
+
+	// Fresh is the node's freshness floor when the transport is a
+	// replicated home tier (a ReplicaSet sharing the same object): every
+	// confirmed update the node learns of — its own updates' responses
+	// and invalidation fan-out from elsewhere — raises the floor, and no
+	// miss may be served by a replica that hasn't applied up to it. nil
+	// (the default, single-home deployments) disables floor tracking.
+	Fresh *Freshness
 }
 
 // LeakageObserver records what an untrusted observer at this pipeline's
@@ -329,15 +356,15 @@ func (p *Pipeline) Update(ctx context.Context, su wire.SealedUpdate, done func(U
 	if id := net.ID(); id != "" {
 		su.ParentSpan = id
 	}
-	p.transport.ExecUpdate(ctx, su, func(affected int, err error) {
+	p.transport.ExecUpdate(ctx, su, func(ur ExecUpdateResult, err error) {
 		net.End()
 		if err != nil {
 			done(UpdateReply{}, err)
 			return
 		}
-		p.MonitorUpdate(su, func(invalidated int) {
+		p.MonitorUpdate(su, ur.Seq, func(invalidated int) {
 			p.request(obs.KindUpdate, tmpl, start)
-			done(UpdateReply{Affected: affected, Invalidated: invalidated}, nil)
+			done(UpdateReply{Affected: ur.Affected, Invalidated: invalidated, Seq: ur.Seq}, nil)
 		})
 	})
 }

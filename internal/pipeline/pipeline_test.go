@@ -72,9 +72,9 @@ func (t *gateTransport) ExecQuery(_ context.Context, sq wire.SealedQuery, done f
 	done(ExecQueryResult{Result: t.result, Scanned: 1}, t.err)
 }
 
-func (t *gateTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(int, error)) {
+func (t *gateTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(ExecUpdateResult, error)) {
 	t.execs.Add(1)
-	done(2, t.err)
+	done(ExecUpdateResult{Affected: 2, Seq: uint64(t.execs.Load())}, t.err)
 }
 
 func newTestPipeline(tr Transport, opts Options) (*Pipeline, *fakeCache, *obs.Registry) {
@@ -269,7 +269,7 @@ type stuckTransport struct{}
 func (stuckTransport) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(ExecQueryResult, error)) {
 	go func() { <-ctx.Done() }()
 }
-func (stuckTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
+func (stuckTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(ExecUpdateResult, error)) {
 	go func() { <-ctx.Done() }()
 }
 

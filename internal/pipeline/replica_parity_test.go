@@ -1,0 +1,218 @@
+package pipeline_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"dssp/internal/apps"
+	"dssp/internal/cache"
+	"dssp/internal/core"
+	"dssp/internal/dssp"
+	"dssp/internal/encrypt"
+	hometier "dssp/internal/home"
+	"dssp/internal/homeserver"
+	"dssp/internal/httpapi"
+	"dssp/internal/pipeline"
+	"dssp/internal/shard"
+	"dssp/internal/simrun"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// The replicated home tier must be invisible to everything downstream of
+// the transport: a deployment serving misses from K read replicas has to
+// leave byte-identical decision logs and cache dumps to the single-home
+// deployment, because replicas replay the primary's confirmed stream into
+// databases that started identical — and the deterministic sealing makes
+// equal database states produce equal sealed results.
+
+// parityReplicas builds K replicas whose databases match the primary's
+// seeded state.
+func parityReplicas(t *testing.T, app *template.App, codec *wire.Codec, k int) []*hometier.Replica {
+	t.Helper()
+	reps := make([]*hometier.Replica, k)
+	for i := range reps {
+		rdb := storage.NewDatabase(app.Schema)
+		seedParityToys(t, rdb)
+		reps[i] = hometier.NewReplica(string(rune('a'+i)), rdb, app, codec)
+	}
+	return reps
+}
+
+// runDirectReplicated is runDirect with the trusted tier scaled out to
+// two in-process read replicas behind the client's transport.
+func runDirectReplicated(t *testing.T) adapterResult {
+	t.Helper()
+	app := apps.Toystore()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	seedParityToys(t, db)
+	node := dssp.NewNode(app, core.Analyze(app, core.DefaultOptions()), cache.Options{})
+	home := homeserver.New(db, app, codec)
+	reps := parityReplicas(t, app, codec, 2)
+	client := &dssp.Client{Codec: codec, Node: node, Home: home, HomeReplicas: reps}
+	for _, op := range parityScript {
+		if op.query {
+			if _, err := client.Query(app.Query(op.template), op.param); err != nil {
+				t.Fatalf("direct-replicated %s(%v): %v", op.template, op.param, err)
+			}
+		} else if _, _, err := client.Update(app.Update(op.template), op.param); err != nil {
+			t.Fatalf("direct-replicated %s(%v): %v", op.template, op.param, err)
+		}
+	}
+	var served int
+	for _, r := range reps {
+		served += r.QueriesServed()
+	}
+	if served == 0 {
+		t.Error("direct-replicated: no miss was served by a replica; the replica set is not in the path")
+	}
+	return adapterResult{normalize(node.Cache.Decisions()), node.Cache.Dump()}
+}
+
+// runHTTPReplicated is runHTTP with the home tier as three processes: a
+// primary fronting the confirmed-update hub and two replica servers the
+// node spreads misses across.
+func runHTTPReplicated(t *testing.T) adapterResult {
+	t.Helper()
+	app := apps.Toystore()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	seedParityToys(t, db)
+	home := homeserver.New(db, app, codec)
+
+	hub := httpapi.NewReplicaHub(nil, nil)
+	defer hub.Close()
+	home.OnConfirm(hub.Confirm)
+	homeSrv := httptest.NewServer(httpapi.HomeHandlerWithHub(home, hub))
+	defer homeSrv.Close()
+
+	reps := parityReplicas(t, app, codec, 2)
+	repURLs := make([]string, len(reps))
+	for i, rep := range reps {
+		srv := httptest.NewServer(httpapi.ReplicaHandler(rep))
+		defer srv.Close()
+		repURLs[i] = srv.URL
+		if _, err := httpapi.RegisterReplica(homeSrv.Client(), homeSrv.URL, srv.URL); err != nil {
+			t.Fatalf("register replica %d: %v", i, err)
+		}
+	}
+
+	node := dssp.NewNode(app, core.Analyze(app, core.DefaultOptions()), cache.Options{})
+	nodeSrv := httptest.NewServer(httpapi.NewNodeServerWithOptions(node, homeSrv.URL, homeSrv.Client(),
+		httpapi.NodeOptions{HomeReplicaURLs: repURLs}).Handler())
+	defer nodeSrv.Close()
+	client := httpapi.NewClient(codec, nodeSrv.URL, nodeSrv.Client())
+	ctx := context.Background()
+	for _, op := range parityScript {
+		if op.query {
+			if _, err := client.Query(ctx, app.Query(op.template), op.param); err != nil {
+				t.Fatalf("http-replicated %s(%v): %v", op.template, op.param, err)
+			}
+		} else if _, _, err := client.Update(ctx, app.Update(op.template), op.param); err != nil {
+			t.Fatalf("http-replicated %s(%v): %v", op.template, op.param, err)
+		}
+		// The hub pushes asynchronously; drain between ops so every replica
+		// reaches the confirmed state before the next statement, making the
+		// run deterministic (a lagging replica would merely be bypassed to
+		// the primary — same bytes — but then replicas would never serve).
+		drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := hub.Drain(drainCtx)
+		cancel()
+		if err != nil {
+			t.Fatalf("hub drain: %v", err)
+		}
+	}
+	var served int
+	for _, r := range reps {
+		served += r.QueriesServed()
+	}
+	if served == 0 {
+		t.Error("http-replicated: no miss was served by a replica; the replica set is not in the path")
+	}
+	return adapterResult{normalize(node.Cache.Decisions()), node.Cache.Dump()}
+}
+
+// runSimReplicated is the simulator run with a two-replica home tier in
+// virtual time.
+func runSimReplicated(t *testing.T) adapterResult {
+	t.Helper()
+	cfg := simrun.DefaultConfig(&scriptBench{app: apps.Toystore()}, 1)
+	cfg.Duration = 30 * time.Second
+	cfg.ThinkMean = time.Millisecond
+	cfg.HomeReplicas = 2
+	r, err := simrun.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReplicaQueries == 0 {
+		t.Error("sim-replicated: no miss was served by a replica; the replica set is not in the path")
+	}
+	return adapterResult{normalize(r.Decisions), r.CacheDump}
+}
+
+func TestAdapterParityReplicatedHome(t *testing.T) {
+	ref := runDirect(t)
+	adapters := []struct {
+		name string
+		run  func(*testing.T) adapterResult
+	}{
+		{"direct-replicated", runDirectReplicated},
+		{"http-replicated", runHTTPReplicated},
+		{"sim-replicated", runSimReplicated},
+	}
+	for _, a := range adapters {
+		got := a.run(t)
+		if !reflect.DeepEqual(got.decisions, ref.decisions) {
+			t.Errorf("%s decision log diverges from single-home direct:\n got: %+v\nwant: %+v",
+				a.name, got.decisions, ref.decisions)
+		}
+		if !reflect.DeepEqual(got.dump, ref.dump) {
+			t.Errorf("%s final cache diverges from single-home direct:\n got: %v\nwant: %v",
+				a.name, got.dump, ref.dump)
+		}
+	}
+}
+
+// runShardedReplicatedInproc is runShardedInproc with every fleet node's
+// transport replaced by a replica set over the same two replicas — the
+// scaled-out deployments composed: sharded cache tier over replicated
+// trusted tier.
+func runShardedReplicatedInproc(t *testing.T) []nodeState {
+	t.Helper()
+	app := apps.Toystore()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	db := storage.NewDatabase(app.Schema)
+	seedParityToys(t, db)
+	home := homeserver.New(db, app, codec)
+	reps := parityReplicas(t, app, codec, 2)
+	hometier.Feed(home, reps...)
+	analysis := core.Analyze(app, core.DefaultOptions())
+
+	nodes := make([]*dssp.Node, shardedFleet)
+	backends := make([]shard.Backend, shardedFleet)
+	for i := range nodes {
+		nodes[i] = dssp.NewNode(app, analysis, cache.Options{})
+		opts := pipeline.Options{Fresh: pipeline.NewFreshness()}
+		transport := pipeline.NewReplicaSet(
+			pipeline.NewDirectTransport(home), hometier.Endpoints(reps), opts.Fresh, nil)
+		backends[i] = shard.PipeBackend{Pipe: pipeline.New(nodes[i], transport, nil, opts)}
+	}
+	router := shard.NewRouter(shard.NewPlanner(shard.NewAffinity(shardedFleet), analysis), backends, nil, shard.Options{})
+	driveSealed(t, app, codec, pipeline.New(router, router, nil, pipeline.Options{}))
+
+	out := make([]nodeState, shardedFleet)
+	for i, n := range nodes {
+		out[i] = nodeState{normalize(n.Cache.Decisions()), n.Cache.Dump(), n.Cache.Stats()}
+	}
+	return out
+}
+
+func TestShardedAdapterParityReplicatedHome(t *testing.T) {
+	ref := runDirect(t)
+	assertShardedParity(t, "inproc-replicated", ref, runShardedReplicatedInproc(t))
+}

@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"dssp/internal/obs"
+	"dssp/internal/wire"
+)
+
+// fakePrimary counts transport calls and answers immediately.
+type fakePrimary struct {
+	queries atomic.Int64
+	updates atomic.Int64
+}
+
+func (p *fakePrimary) ExecQuery(_ context.Context, _ wire.SealedQuery, done func(ExecQueryResult, error)) {
+	p.queries.Add(1)
+	done(ExecQueryResult{Result: wire.SealedResult{Cipher: []byte("primary")}}, nil)
+}
+
+func (p *fakePrimary) ExecUpdate(_ context.Context, _ wire.SealedUpdate, done func(ExecUpdateResult, error)) {
+	p.updates.Add(1)
+	done(ExecUpdateResult{Affected: 1, Seq: uint64(p.updates.Load())}, nil)
+}
+
+// fakeReplica answers when its applied watermark covers the floor and
+// refuses with a LagError otherwise, like a real replica backend.
+type fakeReplica struct {
+	applied uint64
+	fail    error
+	queries atomic.Int64
+}
+
+func (r *fakeReplica) QueryAt(_ context.Context, _ wire.SealedQuery, minSeq uint64, done func(ExecQueryResult, error)) {
+	r.queries.Add(1)
+	if r.fail != nil {
+		done(ExecQueryResult{}, r.fail)
+		return
+	}
+	if r.applied < minSeq {
+		done(ExecQueryResult{}, &LagError{Applied: r.applied, Want: minSeq})
+		return
+	}
+	done(ExecQueryResult{Result: wire.SealedResult{Cipher: []byte("replica")}, Applied: r.applied}, nil)
+}
+
+func execOne(t *testing.T, s *ReplicaSet) ExecQueryResult {
+	t.Helper()
+	var out ExecQueryResult
+	s.ExecQuery(context.Background(), wire.SealedQuery{Key: "k"}, func(r ExecQueryResult, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = r
+	})
+	return out
+}
+
+func TestFreshnessFloorIsMonotone(t *testing.T) {
+	f := NewFreshness()
+	f.Raise(7)
+	f.Raise(3)
+	if got := f.Floor(); got != 7 {
+		t.Fatalf("floor = %d after Raise(7), Raise(3); want 7", got)
+	}
+	f.Raise(12)
+	if got := f.Floor(); got != 12 {
+		t.Fatalf("floor = %d, want 12", got)
+	}
+}
+
+func TestReplicaSetServesMissesFromReplicas(t *testing.T) {
+	primary := &fakePrimary{}
+	r1, r2 := &fakeReplica{applied: 5}, &fakeReplica{applied: 5}
+	reg := obs.NewRegistry()
+	s := NewReplicaSet(primary, []ReplicaEndpoint{
+		{Name: "a", Backend: r1}, {Name: "b", Backend: r2},
+	}, NewFreshness(), reg)
+
+	// With nothing confirmed yet (floor 0), every replica is fresh; the
+	// rotating least-loaded selection spreads misses and no miss reaches
+	// the primary.
+	for i := 0; i < 6; i++ {
+		if got := execOne(t, s); string(got.Result.Cipher) != "replica" {
+			t.Fatalf("miss %d served by %q, want replica", i, got.Result.Cipher)
+		}
+	}
+	if n := primary.queries.Load(); n != 0 {
+		t.Errorf("primary served %d misses, want 0", n)
+	}
+	if a, b := r1.queries.Load(), r2.queries.Load(); a == 0 || b == 0 {
+		t.Errorf("misses not spread: replica a %d, replica b %d", a, b)
+	}
+	if n := reg.Counter(obs.MHomeReplicaMisses, obs.L(obs.LReplica, "a")).Value(); n != r1.queries.Load() {
+		t.Errorf("replica a miss counter %d, want %d", n, r1.queries.Load())
+	}
+}
+
+func TestReplicaSetBypassesLaggingReplicaToPrimary(t *testing.T) {
+	primary := &fakePrimary{}
+	lagging := &fakeReplica{applied: 2}
+	fresh := NewFreshness()
+	fresh.Raise(10)
+	reg := obs.NewRegistry()
+	s := NewReplicaSet(primary, []ReplicaEndpoint{{Name: "a", Backend: lagging}}, fresh, reg)
+
+	if got := execOne(t, s); string(got.Result.Cipher) != "primary" {
+		t.Fatalf("lagging replica answered %q, want primary fallback", got.Result.Cipher)
+	}
+	if n := primary.queries.Load(); n != 1 {
+		t.Fatalf("primary served %d misses, want 1", n)
+	}
+	if n := reg.Counter(obs.MHomeReplicaBypasses, obs.L(obs.LReason, "lag")).Value(); n != 1 {
+		t.Errorf("lag bypass counter = %d, want 1", n)
+	}
+	if g := reg.Gauge(obs.MHomeReplicaLag, obs.L(obs.LReplica, "a")).Value(); g != 8 {
+		t.Errorf("replica lag gauge = %d, want 8 (floor 10 - applied 2)", g)
+	}
+
+	// The refusal refreshed the node's view; once the replica catches up
+	// past the floor, the periodic probe rediscovers it.
+	lagging.applied = 10
+	var servedByReplica bool
+	for i := 0; i < 4 && !servedByReplica; i++ {
+		servedByReplica = string(execOne(t, s).Result.Cipher) == "replica"
+	}
+	if !servedByReplica {
+		t.Error("caught-up replica never rediscovered")
+	}
+}
+
+func TestReplicaSetPrefersFreshOverLagging(t *testing.T) {
+	primary := &fakePrimary{}
+	lagging, fresh1 := &fakeReplica{applied: 1}, &fakeReplica{applied: 9}
+	fresh := NewFreshness()
+	fresh.Raise(9)
+	s := NewReplicaSet(primary, []ReplicaEndpoint{
+		{Name: "lag", Backend: lagging}, {Name: "ok", Backend: fresh1},
+	}, fresh, nil)
+
+	// Warm the set's view of both replicas (optimistic probes), then every
+	// subsequent miss must go to the fresh one, never the primary.
+	execOne(t, s)
+	execOne(t, s)
+	before := fresh1.queries.Load()
+	for i := 0; i < 8; i++ {
+		execOne(t, s)
+	}
+	if got := fresh1.queries.Load() - before; got != 8 {
+		t.Errorf("fresh replica served %d of 8 misses after warmup", got)
+	}
+	if n := primary.queries.Load(); n > 2 {
+		t.Errorf("primary served %d misses, want at most the 2 warmup bypasses", n)
+	}
+}
+
+func TestReplicaSetPeriodicProbeRediscoversCaughtUpReplica(t *testing.T) {
+	primary := &fakePrimary{}
+	r1, r2 := &fakeReplica{applied: 10}, &fakeReplica{applied: 2}
+	fresh := NewFreshness()
+	fresh.Raise(10)
+	s := NewReplicaSet(primary, []ReplicaEndpoint{
+		{Name: "a", Backend: r1}, {Name: "b", Backend: r2},
+	}, fresh, nil)
+
+	// Warm the view: r1 serves, r2 refuses once and is then skipped.
+	for i := 0; i < 4; i++ {
+		execOne(t, s)
+	}
+	r2.applied = 10 // replica catches up, but the set's view still says 2
+	before := r2.queries.Load()
+	for i := 0; i < 2*staleProbeEvery; i++ {
+		execOne(t, s)
+	}
+	if got := r2.queries.Load() - before; got == 0 {
+		t.Fatal("caught-up replica never re-probed; it is starved forever")
+	}
+}
+
+func TestReplicaSetFailedReplicaFallsBackToPrimary(t *testing.T) {
+	primary := &fakePrimary{}
+	down := &fakeReplica{applied: 0, fail: errors.New("connection refused")}
+	reg := obs.NewRegistry()
+	s := NewReplicaSet(primary, []ReplicaEndpoint{{Name: "a", Backend: down}}, NewFreshness(), reg)
+
+	if got := execOne(t, s); string(got.Result.Cipher) != "primary" {
+		t.Fatalf("down replica answered %q, want primary fallback", got.Result.Cipher)
+	}
+	if n := reg.Counter(obs.MHomeReplicaBypasses, obs.L(obs.LReason, "error")).Value(); n != 1 {
+		t.Errorf("error bypass counter = %d, want 1", n)
+	}
+}
+
+func TestReplicaSetUpdatesAlwaysExecuteOnPrimary(t *testing.T) {
+	primary := &fakePrimary{}
+	rep := &fakeReplica{applied: 100}
+	s := NewReplicaSet(primary, []ReplicaEndpoint{{Name: "a", Backend: rep}}, NewFreshness(), nil)
+	var seq uint64
+	s.ExecUpdate(context.Background(), wire.SealedUpdate{}, func(r ExecUpdateResult, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = r.Seq
+	})
+	if primary.updates.Load() != 1 || seq != 1 {
+		t.Fatalf("update executed %d times on primary with seq %d, want 1/1", primary.updates.Load(), seq)
+	}
+}

@@ -22,17 +22,18 @@ func (b PipeBackend) Query(ctx context.Context, sq wire.SealedQuery) (wire.Seale
 }
 
 // Update routes a sealed update through the node's full update pathway.
-func (b PipeBackend) Update(ctx context.Context, su wire.SealedUpdate) (int, int, error) {
+func (b PipeBackend) Update(ctx context.Context, su wire.SealedUpdate) (int, int, uint64, error) {
 	reply, err := b.Pipe.UpdateSync(ctx, su)
-	return reply.Affected, reply.Invalidated, err
+	return reply.Affected, reply.Invalidated, reply.Seq, err
 }
 
-// Invalidate feeds an already-confirmed update into the node's
-// invalidation monitor and waits for its count — at the next flush when
-// the node batches per monitoring interval, immediately otherwise.
-func (b PipeBackend) Invalidate(ctx context.Context, su wire.SealedUpdate) (int, error) {
+// Invalidate feeds an already-confirmed update (confirmed at home
+// sequence seq) into the node's invalidation monitor and waits for its
+// count — at the next flush when the node batches per monitoring
+// interval, immediately otherwise.
+func (b PipeBackend) Invalidate(ctx context.Context, su wire.SealedUpdate, seq uint64) (int, error) {
 	ch := make(chan int, 1)
-	b.Pipe.MonitorUpdate(su, func(invalidated int) { ch <- invalidated })
+	b.Pipe.MonitorUpdate(su, seq, func(invalidated int) { ch <- invalidated })
 	select {
 	case n := <-ch:
 		return n, nil

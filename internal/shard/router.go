@@ -19,8 +19,11 @@ import (
 // monitors it (no second execution).
 type Backend interface {
 	Query(ctx context.Context, sq wire.SealedQuery) (res wire.SealedResult, hit bool, err error)
-	Update(ctx context.Context, su wire.SealedUpdate) (affected, invalidated int, err error)
-	Invalidate(ctx context.Context, su wire.SealedUpdate) (invalidated int, err error)
+	Update(ctx context.Context, su wire.SealedUpdate) (affected, invalidated int, seq uint64, err error)
+	// Invalidate carries the update's confirmed home sequence so the
+	// target node can raise its freshness floor before it next serves a
+	// miss from a read replica.
+	Invalidate(ctx context.Context, su wire.SealedUpdate, seq uint64) (invalidated int, err error)
 }
 
 // DefaultMaxFanout bounds how many invalidation pushes one update issues
@@ -61,13 +64,19 @@ type Router struct {
 	fanoutSkipped *obs.Counter
 	broadcasts    *obs.Counter
 
-	// execInv stashes the exec node's invalidation count between the
-	// transport's ExecUpdate and the cache half's OnUpdateCompleted for
-	// the same update, keyed by trace ID. A stack per key keeps totals
-	// right even if trace IDs collide (e.g. pre-tracing messages with an
-	// empty ID).
+	// execInv stashes the exec node's invalidation count and the
+	// update's confirmed home sequence between the transport's
+	// ExecUpdate and the cache half's OnUpdateCompleted for the same
+	// update, keyed by trace ID. A stack per key keeps totals right even
+	// if trace IDs collide (e.g. pre-tracing messages with an empty ID).
 	mu      sync.Mutex
-	execInv map[string][]int
+	execInv map[string][]execResult
+}
+
+// execResult is one confirmed update's exec-node outcome awaiting fan-out.
+type execResult struct {
+	inv int
+	seq uint64
 }
 
 // NewRouter builds a router over a fleet. backends must match the
@@ -85,7 +94,7 @@ func NewRouter(planner *Planner, backends []Backend, tracer *obs.Tracer, opts Op
 		backends: backends,
 		tracer:   tracer,
 		sem:      make(chan struct{}, opts.MaxFanout),
-		execInv:  make(map[string][]int),
+		execInv:  make(map[string][]execResult),
 	}
 	if tracer != nil {
 		r.reg = tracer.Registry()
@@ -171,7 +180,7 @@ func (r *Router) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(p
 // invalidation) and stash the node's invalidation count for the fan-out
 // step to fold in. A failed exec means the update was never confirmed,
 // so no fan-out follows.
-func (r *Router) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(int, error)) {
+func (r *Router) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(pipeline.ExecUpdateResult, error)) {
 	exec := r.planner.ExecNode(su)
 	sp := r.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageRoute, obs.Tmpl(su.TemplateID)).
 		WithNode(strconv.Itoa(exec))
@@ -179,28 +188,28 @@ func (r *Router) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func
 		su.ParentSpan = id
 	}
 	start := r.now()
-	affected, invalidated, err := r.backends[exec].Update(ctx, su)
+	affected, invalidated, seq, err := r.backends[exec].Update(ctx, su)
 	sp.End()
 	r.observeNode(exec, obs.KindUpdate, start)
 	if err != nil {
 		r.proxyError(obs.KindUpdate)
-		done(0, err)
+		done(pipeline.ExecUpdateResult{}, err)
 		return
 	}
 	r.mu.Lock()
-	r.execInv[su.TraceID] = append(r.execInv[su.TraceID], invalidated)
+	r.execInv[su.TraceID] = append(r.execInv[su.TraceID], execResult{inv: invalidated, seq: seq})
 	r.mu.Unlock()
-	done(affected, nil)
+	done(pipeline.ExecUpdateResult{Affected: affected, Seq: seq}, nil)
 }
 
-// popExecInv retrieves the stashed exec-node invalidation count for an
-// update the pipeline just confirmed.
-func (r *Router) popExecInv(trace string) int {
+// popExecInv retrieves the stashed exec-node result for an update the
+// pipeline just confirmed.
+func (r *Router) popExecInv(trace string) execResult {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	stack := r.execInv[trace]
 	if len(stack) == 0 {
-		return 0
+		return execResult{}
 	}
 	n := stack[len(stack)-1]
 	if len(stack) == 1 {
@@ -240,7 +249,8 @@ func (r *Router) fanOut(su wire.SealedUpdate) int {
 		r.broadcasts.Inc()
 	}
 
-	total := int64(r.popExecInv(su.TraceID))
+	er := r.popExecInv(su.TraceID)
+	total := int64(er.inv)
 	touched := 1 // the exec node
 	var wg sync.WaitGroup
 	for _, ni := range targets {
@@ -260,7 +270,7 @@ func (r *Router) fanOut(su wire.SealedUpdate) int {
 				fsu.ParentSpan = id
 			}
 			start := r.now()
-			inv, err := r.backends[ni].Invalidate(context.Background(), fsu)
+			inv, err := r.backends[ni].Invalidate(context.Background(), fsu, er.seq)
 			sp.End()
 			r.observeNode(ni, obs.KindInvalidate, start)
 			if err != nil {

@@ -167,14 +167,15 @@ func (f *fakeBackend) Query(_ context.Context, sq wire.SealedQuery) (wire.Sealed
 	return wire.SealedResult{}, f.hit, f.fail
 }
 
-func (f *fakeBackend) Update(_ context.Context, su wire.SealedUpdate) (int, int, error) {
+func (f *fakeBackend) Update(_ context.Context, su wire.SealedUpdate) (int, int, uint64, error) {
 	f.mu.Lock()
 	f.updates = append(f.updates, su)
+	seq := uint64(len(f.updates))
 	f.mu.Unlock()
-	return f.affected, f.invalidated, f.fail
+	return f.affected, f.invalidated, seq, f.fail
 }
 
-func (f *fakeBackend) Invalidate(_ context.Context, su wire.SealedUpdate) (int, error) {
+func (f *fakeBackend) Invalidate(_ context.Context, su wire.SealedUpdate, _ uint64) (int, error) {
 	f.mu.Lock()
 	f.invalidates = append(f.invalidates, su)
 	f.mu.Unlock()

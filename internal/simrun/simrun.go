@@ -16,6 +16,7 @@ import (
 	"dssp/internal/core"
 	"dssp/internal/dssp"
 	"dssp/internal/encrypt"
+	hometier "dssp/internal/home"
 	"dssp/internal/homeserver"
 	"dssp/internal/leakage"
 	"dssp/internal/metrics"
@@ -72,6 +73,22 @@ type Config struct {
 	// wall-clock gate stays off). 0 invalidates inline per update.
 	MonitorInterval time.Duration
 
+	// HomeReplicas adds K trusted read replicas behind the home server,
+	// mirroring the HTTP deployment's replicated home tier: each replica
+	// starts from a database populated identically to the master (same
+	// benchmark seed), applies the primary's confirmed updates in
+	// sequence order, and serves cache misses through each node's
+	// pipeline.ReplicaSet — preferring replicas at the node's freshness
+	// floor, falling back to the primary when a replica lags. 0 (the
+	// default) keeps the single-home topology.
+	HomeReplicas int
+
+	// ReplicaApplyLag delays each confirmed batch's application on the
+	// replicas by this much virtual time — the simulator's replica-lag
+	// fault injection. While a batch is in flight, misses needing it
+	// bypass to the primary.
+	ReplicaApplyLag time.Duration
+
 	// AnalysisOpts controls the static analysis the DSSP's
 	// template-inspection level uses (integrity constraints on/off).
 	AnalysisOpts core.Options
@@ -110,6 +127,12 @@ type Result struct {
 	HomeBusyFrac  float64
 	HitRate       float64
 	Invalidations int
+
+	// ReplicaQueries counts cache misses served by home read replicas
+	// (HomeQueries counts only primary executions); zero without
+	// Config.HomeReplicas. Per-replica splits and bypass counts are in
+	// the Metrics snapshot (dssp_home_replica_*).
+	ReplicaQueries int
 
 	// Metrics is the run's full observability snapshot: the same metric
 	// names and labels the HTTP deployment serves from /v1/metrics, with
@@ -220,14 +243,14 @@ func (t *simTransport) ExecQuery(_ context.Context, sq wire.SealedQuery, done fu
 	})
 }
 
-func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(int, error)) {
+func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done func(pipeline.ExecUpdateResult, error)) {
 	t.toHome.Send(t.costs.RequestBytes+len(su.Opaque), func() {
 		submit := t.world.Now()
 		t.homeCPU.Submit(t.costs.HomeUpdateCost, func() {
 			wait := t.world.Now() - submit - t.costs.HomeUpdateCost
 			t.waitU.Observe(wait)
 			t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
-			affected, err := t.home.ExecUpdate(su)
+			affected, seq, err := t.home.ExecUpdate(su)
 			if err != nil {
 				panic(fmt.Sprintf("simrun: update: %v", err))
 			}
@@ -266,16 +289,52 @@ func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done 
 			for _, oi := range targets {
 				oi := oi
 				t.world.After(t.network.HomeLatency, func() {
-					t.pipes[oi].MonitorUpdate(su, func(invalidated int) {
+					t.pipes[oi].MonitorUpdate(su, seq, func(invalidated int) {
 						t.res.Invalidations += invalidated
 					})
 				})
 			}
 			t.fromHome.Send(64, func() {
-				done(affected, nil)
+				done(pipeline.ExecUpdateResult{Affected: affected, Seq: seq}, nil)
 			})
 		})
 		t.queueDepth.Set(int64(t.homeCPU.QueueLen()))
+	})
+}
+
+// simReplicaBackend serves cache misses from one home read replica over
+// the simulated links, mirroring simTransport's query path: the same WAN
+// hop to the trusted tier, but a per-replica CPU. A lag refusal costs the
+// round trip without CPU service — the price the HTTP deployment pays for
+// an optimistic probe of a lagging replica.
+type simReplicaBackend struct {
+	world            *sim.Sim
+	rep              *hometier.Replica
+	cpu              *sim.Server
+	toHome, fromHome *sim.Link
+	costs            workload.CostModel
+	res              *Result
+}
+
+func (b *simReplicaBackend) QueryAt(_ context.Context, sq wire.SealedQuery, minSeq uint64, done func(pipeline.ExecQueryResult, error)) {
+	b.toHome.Send(b.costs.RequestBytes+len(sq.Opaque), func() {
+		if a := b.rep.Applied(); a < minSeq {
+			b.fromHome.Send(64, func() {
+				done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: a, Want: minSeq})
+			})
+			return
+		}
+		sealed, empty, scanned, err := b.rep.ExecQuery(sq)
+		if err != nil {
+			panic(err)
+		}
+		service := b.costs.HomeQueryBase + time.Duration(scanned)*b.costs.HomeQueryPerRow
+		b.cpu.Submit(service, func() {
+			b.res.ReplicaQueries++
+			b.fromHome.Send(sealed.Size(), func() {
+				done(pipeline.ExecQueryResult{Result: sealed, Empty: empty, Scanned: scanned, Applied: b.rep.Applied()}, nil)
+			})
+		})
 	})
 }
 
@@ -339,6 +398,34 @@ func Simulate(cfg Config) (*Result, error) {
 
 	res := &Result{Users: cfg.Users}
 
+	// The replicated home tier, mirroring the HTTP topology: each replica
+	// is populated from a fresh same-seed RNG (Populate is the seed's
+	// first use, so every copy is byte-identical to the master's initial
+	// state), gets its own CPU behind the shared trusted-tier links, and
+	// applies the primary's confirmed stream — ReplicaApplyLag of virtual
+	// time after each gate release.
+	reps := make([]*hometier.Replica, cfg.HomeReplicas)
+	repCPUs := make([]*sim.Server, cfg.HomeReplicas)
+	for k := range reps {
+		rdb := storage.NewDatabase(app.Schema)
+		if err := cfg.Benchmark.Populate(rdb, rand.New(rand.NewSource(cfg.Seed))); err != nil {
+			return nil, fmt.Errorf("workload: populate replica: %w", err)
+		}
+		reps[k] = hometier.NewReplica(strconv.Itoa(k), rdb, app, codec)
+		repCPUs[k] = sim.NewServer(&world, cfg.Costs.HomeCapacity)
+	}
+	if len(reps) > 0 {
+		home.OnConfirm(func(batch []homeserver.Confirmed) {
+			world.After(cfg.ReplicaApplyLag, func() {
+				for _, rep := range reps {
+					if err := rep.ApplyBatch(batch); err != nil {
+						panic(fmt.Sprintf("simrun: replica apply: %v", err))
+					}
+				}
+			})
+		})
+	}
+
 	// Admission-instrument mirrors, registered eagerly (like
 	// homeserver.SetObs does) so the snapshot's shape matches /v1/metrics.
 	// The monitor-release counter is mirrored too: in the simulator the
@@ -388,7 +475,19 @@ func Simulate(cfg Config) (*Result, error) {
 		if audit != nil {
 			popts.Leakage = audit
 		}
-		pipes[i] = pipeline.New(nodes[i], tr, nodeTracer, popts)
+		var transport pipeline.Transport = tr
+		if len(reps) > 0 {
+			eps := make([]pipeline.ReplicaEndpoint, len(reps))
+			for k, rep := range reps {
+				eps[k] = pipeline.ReplicaEndpoint{Name: rep.Name(), Backend: &simReplicaBackend{
+					world: &world, rep: rep, cpu: repCPUs[k],
+					toHome: toHome, fromHome: fromHome, costs: cfg.Costs, res: res,
+				}}
+			}
+			popts.Fresh = pipeline.NewFreshness()
+			transport = pipeline.NewReplicaSet(tr, eps, popts.Fresh, reg)
+		}
+		pipes[i] = pipeline.New(nodes[i], transport, nodeTracer, popts)
 	}
 
 	// clientDelay models the per-client duplex access link (no cross-
