@@ -222,8 +222,9 @@ func runScaleout(app, out string, opts experiments.RunOptions) error {
 }
 
 // runHomescale sweeps the trusted tier's read-replica counts under a
-// sustained miss storm and, when asked, writes the committed benchmark
-// artifact (BENCH_homescale.json shape).
+// sustained miss storm, then its partition counts under an update-heavy
+// workload, and, when asked, writes the committed benchmark artifact
+// (BENCH_homescale.json shape).
 func runHomescale(out string, opts experiments.RunOptions) error {
 	o := experiments.DefaultHomescaleOptions()
 	o.Seed = opts.Seed
@@ -245,7 +246,10 @@ func runHomescale(out string, opts experiments.RunOptions) error {
 			"asks for a non-existent row; empty results never cache) plus 1 update per %d ops; the primary "+
 			"and each replica are capacity-gated to one %v service slot so a single host measures the tier "+
 			"honestly. Rows report aggregate miss throughput and speedup vs the replica-free baseline, where "+
-			"each miss executed, freshness-floor bypasses, and the widest sampled replica lag.",
+			"each miss executed, freshness-floor bypasses, and the widest sampled replica lag. The "+
+			"update_heavy sweep partitions the master per table group (wideshop4, four independent groups, "+
+			"every op an update, one gated slot per partition) and reports write throughput and speedup vs "+
+			"the single-master baseline.",
 			o.UpdateEvery, o.Service),
 		Environment: map[string]interface{}{
 			"goos":   runtime.GOOS,

@@ -33,7 +33,7 @@ func main() {
 	keyPhrase := flag.String("key", "", "key phrase shared with the home server (required)")
 	queryID := flag.String("query", "", "query template ID to execute")
 	updateID := flag.String("update", "", "update template ID to execute")
-	paramsArg := flag.String("params", "", "comma-separated parameters (integers or strings)")
+	paramsArg := flag.String("params", "", "comma-separated parameters (integers or strings; prefix s: forces a string)")
 	exposures := flag.String("exposure", "", "comma-separated overrides, e.g. Q1=stmt,U1=template")
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "end-to-end deadline for the request")
 	flag.Parse()
@@ -128,7 +128,9 @@ func resolveApp(name string) (*template.App, error) {
 }
 
 // parseParams turns "5,bear,7" into typed parameters: integers where the
-// token parses as one, strings otherwise.
+// token parses as one, strings otherwise. An "s:" prefix forces a string
+// — "s:15213" is the string "15213", for string columns holding numeric
+// text (zip codes, card numbers).
 func parseParams(s string) []interface{} {
 	if s == "" {
 		return nil
@@ -136,7 +138,9 @@ func parseParams(s string) []interface{} {
 	parts := strings.Split(s, ",")
 	out := make([]interface{}, len(parts))
 	for i, p := range parts {
-		if n, err := strconv.ParseInt(p, 10, 64); err == nil {
+		if rest, ok := strings.CutPrefix(p, "s:"); ok {
+			out[i] = rest
+		} else if n, err := strconv.ParseInt(p, 10, 64); err == nil {
 			out[i] = n
 		} else {
 			out[i] = p

@@ -65,6 +65,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing statements, FIFO queue beyond (0 = unbounded)")
 	monitor := flag.Duration("monitor-interval", 0, "hold update confirmations and release them once per interval (0 = confirm immediately)")
 	replicas := flag.Bool("replicas", false, "accept read-replica registrations and stream confirmed updates to them")
+	partition := flag.Int("partition", 0, "this server's partition index in a partitioned home tier")
+	partitions := flag.Int("partitions", 1, "total home partitions; >1 makes this server refuse statements whose table group pins elsewhere")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of this primary's base URL")
 	advertise := flag.String("advertise", "", "base URL this replica registers with the primary (default http://localhost<addr>)")
 	injectLag := flag.Duration("inject-replica-lag", 0, "replica mode: stall every apply batch by this much (fault injection)")
@@ -87,14 +89,25 @@ func main() {
 	codec := wire.NewCodec(app, encrypt.MustNewKeyring(master[:]), nil)
 	servePprof(logger, *pprofAddr)
 
+	if *partitions > 1 && (*partition < 0 || *partition >= *partitions) {
+		logger.Error("bad -partition", "partition", *partition, "partitions", *partitions)
+		os.Exit(2)
+	}
+
 	if *replicaOf != "" {
-		runReplica(logger, app, db, codec, *addr, *replicaOf, *advertise, *maxConcurrent, *injectLag, *drainTimeout)
+		runReplica(logger, app, db, codec, *addr, *replicaOf, *advertise, *maxConcurrent, *partition, *partitions, *injectLag, *drainTimeout)
 		return
 	}
 
 	home := homeserver.New(db, app, codec)
 	home.SetAdmissionLimit(*maxConcurrent)
 	home.SetMonitoringInterval(*monitor)
+	if *partitions > 1 {
+		// Each partition runs as its own process over a full same-seed
+		// database; the guard rejects misrouted statements by their true
+		// template's group, never the untrusted routing hint.
+		home.SetPartition(*partition, *partitions)
+	}
 
 	var hub *httpapi.ReplicaHub
 	if *replicas {
@@ -106,6 +119,7 @@ func main() {
 	go func() {
 		logger.Info("home server listening",
 			"app", app.Name, "addr", *addr, "replicas", *replicas,
+			"partition", *partition, "partitions", *partitions,
 			"query_templates", len(app.Queries), "update_templates", len(app.Updates),
 			"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -141,9 +155,12 @@ func main() {
 // seeded database, serving sealed queries under the staleness protocol
 // and applying the primary's confirmed-update stream.
 func runReplica(logger *slog.Logger, app *template.App, db *storage.Database, codec *wire.Codec,
-	addr, primaryURL, advertise string, maxConcurrent int, injectLag, drainTimeout time.Duration) {
+	addr, primaryURL, advertise string, maxConcurrent, partition, partitions int, injectLag, drainTimeout time.Duration) {
 	rep := home.NewReplica(replicaName(addr), db, app, codec)
 	rep.SetAdmissionLimit(maxConcurrent)
+	if partitions > 1 {
+		rep.SetPartition(partition, partitions)
+	}
 	if injectLag > 0 {
 		rep.SetApplyDelay(injectLag)
 		logger.Warn("fault injection active", "inject_replica_lag", injectLag)
@@ -250,8 +267,12 @@ func seedToystore(db *storage.Database) {
 	for _, t := range toys {
 		_ = db.Insert("toys", storage.Row{iv(t.id), sv(t.name), iv(t.qty)})
 	}
-	for i := int64(1); i <= 3; i++ {
+	// Customer 4 has no card on file: an insert target for U2 that
+	// satisfies both the credit_card primary key and its foreign key.
+	for i := int64(1); i <= 4; i++ {
 		_ = db.Insert("customers", storage.Row{iv(i), sv(fmt.Sprintf("cust%d", i))})
-		_ = db.Insert("credit_card", storage.Row{iv(i), sv("4111"), sv("15213")})
+		if i <= 3 {
+			_ = db.Insert("credit_card", storage.Row{iv(i), sv("4111"), sv("15213")})
+		}
 	}
 }

@@ -36,8 +36,8 @@ import (
 func main() {
 	appName := flag.String("app", "toystore", "application: toystore|auction|bboard|bookstore")
 	addr := flag.String("addr", ":8400", "listen address")
-	home := flag.String("home", "http://localhost:8401", "home server base URL")
-	homeReplicas := flag.String("home-replicas", "", "comma-separated home read-replica base URLs to spread misses across (updates still go to -home)")
+	home := flag.String("home", "http://localhost:8401", "home server base URL; comma-separated partition primaries in partition order for a partitioned home tier")
+	homeReplicas := flag.String("home-replicas", "", "home read-replica base URLs to spread misses across: comma-separated within a partition, ';'-separated between partitions (aligned with -home)")
 	nodeID := flag.String("id", "", "this node's fleet position, labelling its spans in stitched traces")
 	capacity := flag.Int("capacity", 0, "cache capacity in entries (0 = unbounded)")
 	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (§4.5)")
@@ -56,23 +56,38 @@ func main() {
 	}
 	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
 	node := dssp.NewNode(app, analysis, cache.Options{Capacity: *capacity})
-	var replicaURLs []string
+	primaries := splitList(*home, ",")
+	if len(primaries) == 0 {
+		logger.Error("bad -home", "err", "no primary URL")
+		os.Exit(2)
+	}
+	// Replica lists align per partition: ';' separates partitions, ','
+	// separates replicas within one. A lone comma-list is partition 0's.
+	var partReplicas [][]string
+	nReplicas := 0
 	if *homeReplicas != "" {
-		for _, u := range strings.Split(*homeReplicas, ",") {
-			if u = strings.TrimSpace(u); u != "" {
-				replicaURLs = append(replicaURLs, u)
-			}
+		for _, part := range strings.Split(*homeReplicas, ";") {
+			urls := splitList(part, ",")
+			partReplicas = append(partReplicas, urls)
+			nReplicas += len(urls)
 		}
 	}
-	srv := httpapi.NewNodeServerWithOptions(node, *home, nil, httpapi.NodeOptions{
+	opts := httpapi.NodeOptions{
 		MonitorInterval: *monitor,
 		NodeID:          *nodeID,
-		HomeReplicaURLs: replicaURLs,
-	})
+	}
+	if len(primaries) > 1 {
+		opts.HomePartitionURLs = primaries
+		opts.PartitionReplicaURLs = partReplicas
+	} else if len(partReplicas) > 0 {
+		opts.HomeReplicaURLs = partReplicas[0]
+	}
+	srv := httpapi.NewNodeServerWithOptions(node, primaries[0], nil, opts)
 
 	servePprof(logger, *pprofAddr)
 	logger.Info("DSSP node listening",
-		"app", app.Name, "addr", *addr, "home", *home, "home_replicas", len(replicaURLs),
+		"app", app.Name, "addr", *addr, "home", primaries[0], "home_partitions", len(primaries),
+		"home_replicas", nReplicas,
 		"capacity", *capacity, "monitor_interval", *monitor,
 		"metrics", httpapi.PathMetrics, "traces", httpapi.PathTraces)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
@@ -93,6 +108,17 @@ func servePprof(logger *slog.Logger, addr string) {
 			logger.Error("pprof serve failed", "err", err)
 		}
 	}()
+}
+
+// splitList splits on sep, trimming whitespace and dropping empties.
+func splitList(s, sep string) []string {
+	var out []string
+	for _, v := range strings.Split(s, sep) {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func resolveApp(name string) (*template.App, error) {

@@ -97,6 +97,16 @@ type Client struct {
 	// statement; Home must not already have an OnConfirm sink.
 	HomeReplicas []*hometier.Replica
 
+	// HomeParts, when set, makes the trusted tier a partitioned master
+	// (one primary per table-group partition, each with its own write
+	// lock and sequence stream): statements route by their group, and the
+	// freshness floor becomes a per-partition vector. Home should then be
+	// HomeParts.Part(0), kept for code that inspects the primary
+	// directly; HomeReplicas is ignored in this mode (wire per-partition
+	// replicas onto HomeParts' servers instead). Set before the first
+	// statement.
+	HomeParts *hometier.Partitioned
+
 	pipeOnce sync.Once
 	pipe     *pipeline.Pipeline
 }
@@ -106,6 +116,11 @@ type Client struct {
 func (c *Client) Pipeline() *pipeline.Pipeline {
 	c.pipeOnce.Do(func() {
 		opts := pipeline.Options{MonitorInterval: c.MonitorInterval, Leakage: c.Leakage}
+		if c.HomeParts != nil {
+			opts.Fresh = pipeline.NewFreshnessParts(c.HomeParts.Parts())
+			c.pipe = pipeline.New(c.Node, c.HomeParts.Transport(), c.Tracer, opts)
+			return
+		}
 		var transport pipeline.Transport = pipeline.NewDirectTransport(c.Home)
 		if len(c.HomeReplicas) > 0 {
 			hometier.Feed(c.Home, c.HomeReplicas...)

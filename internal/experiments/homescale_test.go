@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHomescaleUpdateSweepSplitsWrites runs a miniature update-heavy
+// sweep and checks its structure: a row per partition count, a baseline
+// speedup of 1, and — the property the experiment exists to show — every
+// partition master confirming updates at P=2, proving the write stream
+// really split across independent serialization orders. Throughput
+// thresholds are asserted on the committed artifact in CI, not here,
+// where the windows are too short to be stable.
+func TestHomescaleUpdateSweepSplitsWrites(t *testing.T) {
+	o := DefaultHomescaleOptions()
+	o.Clients = 8
+	o.Service = 500 * time.Microsecond
+	o.WarmOps = 40
+	o.Measure = 300 * time.Millisecond
+	o.Replicas = []int{0}
+	o.Partitions = []int{1, 2}
+
+	r, err := Homescale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.UpdateRows) != 2 {
+		t.Fatalf("update rows = %d, want 2", len(r.UpdateRows))
+	}
+	base := r.UpdateRows[0]
+	if base.Partitions != 1 || base.Speedup != 1 {
+		t.Errorf("baseline row = %+v, want partitions 1 with speedup 1", base)
+	}
+	if base.Updates == 0 {
+		t.Error("baseline measured no updates")
+	}
+	split := r.UpdateRows[1]
+	if split.Partitions != 2 || len(split.Confirmed) != 2 {
+		t.Fatalf("split row = %+v, want partitions 2 with 2 confirmed streams", split)
+	}
+	for p, c := range split.Confirmed {
+		if c == 0 {
+			t.Errorf("partition %d confirmed no update; the write stream did not split", p)
+		}
+	}
+	if split.Speedup <= 0 {
+		t.Errorf("split speedup = %v, want > 0", split.Speedup)
+	}
+	if out := r.Format(); !strings.Contains(out, "Partitioned-master write scaling") {
+		t.Errorf("Format() missing the write-scaling table:\n%s", out)
+	}
+}

@@ -1,0 +1,131 @@
+package home
+
+import (
+	"fmt"
+	"time"
+
+	"dssp/internal/homeserver"
+	"dssp/internal/pipeline"
+	"dssp/internal/schema"
+	"dssp/internal/wire"
+)
+
+// Partitioned is a home tier whose master database is split across P
+// primaries by table group: partition p owns every group g with
+// schema.PartitionOf(g, P) == p, and executes only statements over its
+// own groups. Each partition is a full *homeserver.Server — its own
+// master write lock, its own sequence stream (sequences are per
+// partition, starting at 1), its own monitoring gate, and its own
+// replica feed — so updates to different partitions commit concurrently
+// instead of serializing on one write lock.
+//
+// Every partition's database must be populated from the same application
+// seed (each holds the full schema; the group split decides which tables
+// a partition's statements may touch, not which tables exist). Cross-
+// group templates cannot occur by construction: a template referencing
+// tables of two FK components merges those components into one group at
+// derivation time (schema.DeriveGroups), so every template pins to
+// exactly one partition.
+type Partitioned struct {
+	servers []*homeserver.Server
+}
+
+// NewPartitioned assembles a partitioned home tier from one server per
+// partition, in partition order, and arms each server's misroute guard
+// (homeserver.SetPartition). At least one server is required; a
+// single-server tier behaves exactly like an unpartitioned one.
+func NewPartitioned(servers ...*homeserver.Server) (*Partitioned, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("home: partitioned tier needs at least one server")
+	}
+	for i, s := range servers {
+		s.SetPartition(i, len(servers))
+	}
+	return &Partitioned{servers: servers}, nil
+}
+
+// Parts reports the number of partitions.
+func (p *Partitioned) Parts() int { return len(p.servers) }
+
+// Part returns partition i's server, for wiring its replica feed,
+// admission limit, or observability.
+func (p *Partitioned) Part(i int) *homeserver.Server { return p.servers[i] }
+
+// route picks the partition owning a message's table group.
+func (p *Partitioned) route(group int) *homeserver.Server {
+	return p.servers[schema.PartitionOf(group, len(p.servers))]
+}
+
+// ExecQuery executes a sealed query on the partition its group hint names.
+// A wrong hint is refused by that partition's guard — the true template,
+// recovered from the opaque payload, has the last word.
+func (p *Partitioned) ExecQuery(sq wire.SealedQuery) (wire.SealedResult, bool, int, error) {
+	return p.route(sq.Group).ExecQuery(sq)
+}
+
+// ExecUpdate applies a sealed update on the partition its group hint
+// names; the returned sequence is a position in that partition's stream.
+func (p *Partitioned) ExecUpdate(su wire.SealedUpdate) (int, uint64, error) {
+	return p.route(su.Group).ExecUpdate(su)
+}
+
+// SetMonitoringInterval sets every partition's confirmation gate.
+func (p *Partitioned) SetMonitoringInterval(d time.Duration) {
+	for _, s := range p.servers {
+		s.SetMonitoringInterval(d)
+	}
+}
+
+// Flush releases every partition's gate now.
+func (p *Partitioned) Flush() {
+	for _, s := range p.servers {
+		s.Flush()
+	}
+}
+
+// ConfirmedSeq reports the minimum confirmed sequence across partitions —
+// the conservative scalar view the unpartitioned Backend contract asks
+// for. Partition-aware callers want ConfirmedSeqs.
+func (p *Partitioned) ConfirmedSeq() uint64 {
+	min := p.servers[0].ConfirmedSeq()
+	for _, s := range p.servers[1:] {
+		if c := s.ConfirmedSeq(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// ConfirmedSeqs snapshots each partition's confirmed high-water mark, in
+// partition order.
+func (p *Partitioned) ConfirmedSeqs() []uint64 {
+	out := make([]uint64, len(p.servers))
+	for i, s := range p.servers {
+		out[i] = s.ConfirmedSeq()
+	}
+	return out
+}
+
+// Drained reports whether every partition's confirmation stream is fully
+// delivered (assigned == confirmed) — the graceful-shutdown condition.
+func (p *Partitioned) Drained() bool {
+	for _, s := range p.servers {
+		if s.ConfirmedSeq() != s.AssignedSeq() {
+			return false
+		}
+	}
+	return true
+}
+
+// Transport builds the pipeline transport for this tier: a direct
+// transport per partition behind the group router. Partitions with
+// replicas wire their own ReplicaSet instead — see PartitionTransports.
+func (p *Partitioned) Transport() pipeline.Transport {
+	ts := make([]pipeline.Transport, len(p.servers))
+	for i, s := range p.servers {
+		ts[i] = pipeline.NewDirectTransport(s)
+	}
+	return pipeline.NewPartitionedTransport(ts)
+}
+
+var _ Backend = (*Partitioned)(nil)

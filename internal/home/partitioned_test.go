@@ -1,0 +1,210 @@
+package home_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dssp/internal/encrypt"
+	"dssp/internal/home"
+	"dssp/internal/homeserver"
+	"dssp/internal/schema"
+	"dssp/internal/sqlparse"
+	"dssp/internal/storage"
+	"dssp/internal/template"
+	"dssp/internal/wire"
+)
+
+// twoGroupApp has two independent table groups — toys, and the FK-joined
+// customers/credit_card pair — each with an in-place update, so a
+// 2-partition tier owns exactly one group per partition.
+func twoGroupApp() *template.App {
+	sch := schema.New()
+	sch.MustAddTable("toys", []schema.Column{
+		{Name: "toy_id", Type: schema.TInt},
+		{Name: "qty", Type: schema.TInt},
+	}, "toy_id")
+	sch.MustAddTable("customers", []schema.Column{
+		{Name: "cust_id", Type: schema.TInt},
+		{Name: "cust_name", Type: schema.TString},
+	}, "cust_id")
+	sch.MustAddTable("credit_card", []schema.Column{
+		{Name: "cid", Type: schema.TInt},
+		{Name: "zip_code", Type: schema.TString},
+	}, "cid")
+	sch.MustAddForeignKey("credit_card", "cid", "customers", "cust_id")
+	return &template.App{
+		Name:   "two-group",
+		Schema: sch,
+		Queries: []*template.Template{
+			template.MustNew("Q1", sch, "SELECT qty FROM toys WHERE toy_id=?"),
+			template.MustNew("Q2", sch, "SELECT zip_code FROM credit_card WHERE cid=?"),
+		},
+		Updates: []*template.Template{
+			template.MustNew("U1", sch, "UPDATE toys SET qty=? WHERE toy_id=?"),
+			template.MustNew("U2", sch, "UPDATE credit_card SET zip_code=? WHERE cid=?"),
+		},
+	}
+}
+
+func seedTwoGroup(t *testing.T, db *storage.Database) {
+	t.Helper()
+	for i := int64(0); i < 8; i++ {
+		if err := db.Insert("toys", storage.Row{sqlparse.IntVal(i), sqlparse.IntVal(0)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("customers", storage.Row{sqlparse.IntVal(i), sqlparse.StringVal("c")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("credit_card", storage.Row{sqlparse.IntVal(i), sqlparse.StringVal("0")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func partitionedFixture(t *testing.T, parts int) (*home.Partitioned, *wire.Codec, *template.App) {
+	t.Helper()
+	app := twoGroupApp()
+	codec := wire.NewCodec(app, encrypt.MustNewKeyring(make([]byte, encrypt.KeySize)), nil)
+	servers := make([]*homeserver.Server, parts)
+	for p := range servers {
+		db := storage.NewDatabase(app.Schema)
+		seedTwoGroup(t, db)
+		servers[p] = homeserver.New(db, app, codec)
+	}
+	tier, err := home.NewPartitioned(servers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier, codec, app
+}
+
+// TestPartitionedSequencesStayContiguousUnderConcurrency hammers both
+// partitions from concurrent updaters and checks each partition's
+// confirmation stream independently: sequences must be gap-free and
+// contiguous from 1, every update of a partition's group must be in its
+// — and only its — stream, and the scalar/vector confirmed views must
+// agree. Run under -race: the per-partition sequence counters and
+// dispatchers must not share state.
+func TestPartitionedSequencesStayContiguousUnderConcurrency(t *testing.T) {
+	tier, codec, app := partitionedFixture(t, 2)
+
+	type stream struct {
+		mu   sync.Mutex
+		seqs []uint64
+		tpls []string
+	}
+	streams := make([]*stream, tier.Parts())
+	for p := range streams {
+		st := &stream{}
+		streams[p] = st
+		tier.Part(p).OnConfirm(func(batch []homeserver.Confirmed) {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			for _, c := range batch {
+				st.seqs = append(st.seqs, c.Seq)
+				st.tpls = append(st.tpls, c.Update.TemplateID)
+			}
+		})
+	}
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tpl, params := app.Update("U1"), []sqlparse.Value{sqlparse.IntVal(int64(i)), sqlparse.IntVal(int64(w % 8))}
+				if w%2 == 1 {
+					tpl, params = app.Update("U2"), []sqlparse.Value{sqlparse.StringVal(fmt.Sprint(i)), sqlparse.IntVal(int64(w % 8))}
+				}
+				su, err := codec.SealUpdate(tpl, params)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := tier.ExecUpdate(su); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	wantPerPart := workers / 2 * perWorker
+	for p, st := range streams {
+		st.mu.Lock()
+		if len(st.seqs) != wantPerPart {
+			t.Fatalf("partition %d confirmed %d updates, want %d", p, len(st.seqs), wantPerPart)
+		}
+		for i, seq := range st.seqs {
+			if seq != uint64(i)+1 {
+				t.Fatalf("partition %d stream has gap at position %d: seq %d (want %d)", p, i, seq, i+1)
+			}
+		}
+		// Exposure defaults to stmt for updates, so TemplateID rides the
+		// sealed form: partition 0 must only ever confirm U1, partition 1
+		// only U2.
+		want := "U1"
+		if p == 1 {
+			want = "U2"
+		}
+		for _, id := range st.tpls {
+			if id != want {
+				t.Fatalf("partition %d confirmed template %s, want only %s", p, id, want)
+			}
+		}
+		st.mu.Unlock()
+		if got := tier.Part(p).ConfirmedSeq(); got != uint64(wantPerPart) {
+			t.Errorf("partition %d ConfirmedSeq = %d, want %d", p, got, wantPerPart)
+		}
+	}
+	if got := tier.ConfirmedSeq(); got != uint64(wantPerPart) {
+		t.Errorf("scalar ConfirmedSeq = %d, want min %d", got, wantPerPart)
+	}
+	if !tier.Drained() {
+		t.Error("tier not drained after all updates confirmed")
+	}
+	if seqs := tier.ConfirmedSeqs(); len(seqs) != 2 || seqs[0] != uint64(wantPerPart) || seqs[1] != uint64(wantPerPart) {
+		t.Errorf("ConfirmedSeqs = %v, want [%d %d]", seqs, wantPerPart, wantPerPart)
+	}
+}
+
+// TestPartitionedRefusesMisroutedStatement pins the misroute guard: a
+// statement carrying a forged group hint reaches the wrong partition,
+// whose engine re-derives the true group from the opened payload and
+// refuses — the untrusted hint can waste a round trip but never fork the
+// serialization order.
+func TestPartitionedRefusesMisroutedStatement(t *testing.T) {
+	tier, codec, app := partitionedFixture(t, 2)
+
+	su, err := codec.SealUpdate(app.Update("U1"), []sqlparse.Value{sqlparse.IntVal(1), sqlparse.IntVal(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	su.Group = 1 // forged: U1's true group is 0
+	if _, _, err := tier.ExecUpdate(su); err == nil || !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("forged update hint err = %v, want misroute refusal", err)
+	}
+
+	sq, err := codec.SealQuery(app.Query("Q2"), []sqlparse.Value{sqlparse.IntVal(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq.Group = 0 // forged: Q2's true group is 1
+	if _, _, _, err := tier.ExecQuery(sq); err == nil || !strings.Contains(err.Error(), "misrouted") {
+		t.Fatalf("forged query hint err = %v, want misroute refusal", err)
+	}
+
+	// Correct hints execute on their owning partitions.
+	su2, err := codec.SealUpdate(app.Update("U2"), []sqlparse.Value{sqlparse.StringVal("9"), sqlparse.IntVal(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, err := tier.ExecUpdate(su2); err != nil || seq != 1 {
+		t.Fatalf("routed update: seq %d, err %v; want seq 1 on partition 1", seq, err)
+	}
+}

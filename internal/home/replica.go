@@ -39,6 +39,11 @@ type Replica struct {
 	// bypassed rather than served stale.
 	delay atomic.Int64
 
+	// part is the home partition this replica mirrors (0 in an
+	// unpartitioned tier); lag refusals carry it so the node can tell
+	// which partition's stream the replica is behind on.
+	part int
+
 	appliedGauge *obs.Gauge
 }
 
@@ -53,6 +58,18 @@ func NewReplica(name string, db *storage.Database, app *template.App, codec *wir
 
 // Name identifies the replica in metrics and selection.
 func (r *Replica) Name() string { return r.name }
+
+// SetPartition records which home partition this replica mirrors; its
+// engine then also refuses misrouted statements, exactly as the
+// partition's primary does.
+func (r *Replica) SetPartition(part, parts int) {
+	r.part = part
+	r.srv.SetPartition(part, parts)
+}
+
+// Partition reports which home partition this replica mirrors (0 when
+// unpartitioned).
+func (r *Replica) Partition() int { return r.part }
 
 // SetObs redirects the replica's instruments (its engine's, plus the
 // applied-sequence gauge) to the given registry and clock.
@@ -139,7 +156,7 @@ type replicaQueryBackend struct{ r *Replica }
 
 func (b replicaQueryBackend) QueryAt(_ context.Context, sq wire.SealedQuery, minSeq uint64, done func(pipeline.ExecQueryResult, error)) {
 	if a := b.r.Applied(); a < minSeq {
-		done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: a, Want: minSeq})
+		done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: a, Want: minSeq, Part: b.r.part})
 		return
 	}
 	res, empty, scanned, err := b.r.ExecQuery(sq)

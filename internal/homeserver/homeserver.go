@@ -25,6 +25,7 @@ import (
 
 	"dssp/internal/engine"
 	"dssp/internal/obs"
+	"dssp/internal/schema"
 	"dssp/internal/sqlparse"
 	"dssp/internal/storage"
 	"dssp/internal/template"
@@ -59,6 +60,14 @@ type Server struct {
 
 	queries atomic.Int64
 	updates atomic.Int64
+
+	// part/parts make the server one partition of a partitioned master
+	// tier (parts <= 1 means unpartitioned): it then refuses any statement
+	// whose true template — resolved from the opened payload, never the
+	// untrusted routing hint — pins to a different partition, so a
+	// misrouted message fails loudly instead of silently forking the
+	// serialization order. Set before serving traffic (SetPartition).
+	part, parts int
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -140,6 +149,30 @@ func (s *Server) SetMonitoringInterval(d time.Duration) { s.mon.setInterval(d) }
 // Set before serving traffic.
 func (s *Server) SetAdmissionLimit(n int) { s.adm.setLimit(n) }
 
+// SetPartition declares this server to be partition part of a master tier
+// split into parts partitions by table group (schema.PartitionOf). Every
+// statement is then checked after its payload is opened: the guard uses
+// the true template's group, so a tampered or misconfigured routing hint
+// cannot steer a statement onto the wrong partition's serialization
+// order. parts <= 1 restores the unpartitioned behavior. Set before
+// serving traffic.
+func (s *Server) SetPartition(part, parts int) {
+	s.part, s.parts = part, parts
+}
+
+// checkPartition rejects a statement whose template pins to a different
+// partition than this server.
+func (s *Server) checkPartition(t *template.Template) error {
+	if s.parts <= 1 {
+		return nil
+	}
+	want := schema.PartitionOf(s.Codec.GroupOf(t), s.parts)
+	if want != s.part {
+		return fmt.Errorf("homeserver: template %s belongs to partition %d, not %d (misrouted)", t.ID, want, s.part)
+	}
+	return nil
+}
+
 // admit acquires an execution slot, recording the wait both in the
 // admission histogram and as an admission_wait span of the request's
 // trace, and returns the release function.
@@ -176,6 +209,9 @@ func (s *Server) ExecQuery(sq wire.SealedQuery) (res wire.SealedResult, empty bo
 	if t.Kind != template.KQuery {
 		return wire.SealedResult{}, false, 0, fmt.Errorf("homeserver: payload %s is not a query", t.ID)
 	}
+	if err := s.checkPartition(t); err != nil {
+		return wire.SealedResult{}, false, 0, err
+	}
 	release := s.admit(s.waitQ, sq.TraceID, sq.ParentSpan, t.ID)
 	sp := s.tracer.StartSpan(sq.TraceID, sq.ParentSpan, obs.StageHomeExec, t.ID)
 	s.mu.RLock()
@@ -207,6 +243,9 @@ func (s *Server) ExecUpdate(su wire.SealedUpdate) (int, uint64, error) {
 	}
 	if !t.Kind.IsUpdate() {
 		return 0, 0, fmt.Errorf("homeserver: payload %s is not an update", t.ID)
+	}
+	if err := s.checkPartition(t); err != nil {
+		return 0, 0, err
 	}
 	release := s.admit(s.waitU, su.TraceID, su.ParentSpan, t.ID)
 	sp := s.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageHomeExec, t.ID)

@@ -89,10 +89,13 @@ const (
 // the replica must not answer. AppliedHeader rides every replica
 // response: the replica's applied watermark (on a 409 refusal it tells
 // the node how far behind the replica is).
+// PartitionHeader rides replica 409 refusals: the home partition whose
+// stream the applied watermark positions the replica in.
 const (
 	ConfirmSeqHeader = "X-DSSP-Confirm-Seq"
 	MinSeqHeader     = "X-DSSP-Min-Seq"
 	AppliedHeader    = "X-DSSP-Replica-Applied"
+	PartitionHeader  = "X-DSSP-Partition"
 )
 
 // QueryResponse is the node's answer to a sealed query.
@@ -497,7 +500,21 @@ type NodeOptions struct {
 	// pipeline.ReplicaSet: updates still go to HomeURL (the primary);
 	// misses spread across the replicas, subject to the node's freshness
 	// floor, with primary fallback when a replica lags or fails.
+	// Shorthand for a one-partition PartitionReplicaURLs.
 	HomeReplicaURLs []string
+
+	// HomePartitionURLs, when set, declares a partitioned home tier: the
+	// full list of partition primaries in partition order (entry 0 should
+	// equal the homeURL argument). Statements route to the partition
+	// owning their table group, and the node's freshness floor becomes a
+	// per-partition vector sized to this list.
+	HomePartitionURLs []string
+
+	// PartitionReplicaURLs lists each partition's read replicas, index-
+	// aligned with HomePartitionURLs. Partitions may have zero replicas
+	// (misses go to that partition's primary); a short or nil list leaves
+	// the remaining partitions replica-less.
+	PartitionReplicaURLs [][]string
 }
 
 // NewNodeServer wires a node to its home server endpoint. The server
@@ -516,15 +533,40 @@ func NewNodeServerWithOptions(node *dssp.Node, homeURL string, client *http.Clie
 		SetIdentity(obs.ProcNode, opts.NodeID).
 		SetStore(obs.NewSpanStore(0))
 	popts := pipeline.Options{MonitorInterval: opts.MonitorInterval, Leakage: opts.Leakage}
-	var transport pipeline.Transport = httpTransport{client: client, homeURL: homeURL, reg: reg}
-	if len(opts.HomeReplicaURLs) > 0 {
-		eps := make([]pipeline.ReplicaEndpoint, len(opts.HomeReplicaURLs))
-		for i, u := range opts.HomeReplicaURLs {
-			eps[i] = pipeline.ReplicaEndpoint{Name: u, Backend: replicaProxy{url: u, client: client}}
-		}
-		popts.Fresh = pipeline.NewFreshness()
-		transport = pipeline.NewReplicaSet(transport, eps, popts.Fresh, reg)
+	primaries := opts.HomePartitionURLs
+	if len(primaries) == 0 {
+		primaries = []string{homeURL}
 	}
+	replicas := opts.PartitionReplicaURLs
+	if replicas == nil && len(opts.HomeReplicaURLs) > 0 {
+		replicas = [][]string{opts.HomeReplicaURLs}
+	}
+	anyReplicas := false
+	for _, urls := range replicas {
+		if len(urls) > 0 {
+			anyReplicas = true
+			break
+		}
+	}
+	// The freshness vector exists only when something consumes it — a
+	// replica set checking floors, or a partitioned tier tracking each
+	// partition's stream — so the singleton deployment keeps its shape.
+	if len(primaries) > 1 || anyReplicas {
+		popts.Fresh = pipeline.NewFreshnessParts(len(primaries))
+	}
+	parts := make([]pipeline.Transport, len(primaries))
+	for p, u := range primaries {
+		var tr pipeline.Transport = httpTransport{client: client, homeURL: u, reg: reg}
+		if p < len(replicas) && len(replicas[p]) > 0 {
+			eps := make([]pipeline.ReplicaEndpoint, len(replicas[p]))
+			for i, ru := range replicas[p] {
+				eps[i] = pipeline.ReplicaEndpoint{Name: ru, Backend: replicaProxy{url: ru, part: p, client: client}}
+			}
+			tr = pipeline.NewReplicaSet(tr, eps, popts.Fresh, reg)
+		}
+		parts[p] = tr
+	}
+	transport := pipeline.NewPartitionedTransport(parts)
 	return &NodeServer{
 		Node:    node,
 		HomeURL: homeURL,

@@ -68,8 +68,11 @@ func ReplicaHandler(rep *home.Replica) http.Handler {
 			// rather than serve a result that predates an update the node
 			// already invalidated for. 409 keeps the refusal distinct from
 			// transport failure, and the applied watermark rides back so
-			// the node can stop asking until the replica catches up.
+			// the node can stop asking until the replica catches up. The
+			// partition header says whose stream the watermark counts —
+			// sequences are per-partition in a partitioned home tier.
 			w.Header().Set(AppliedHeader, strconv.FormatUint(applied, 10))
+			w.Header().Set(PartitionHeader, strconv.Itoa(rep.Partition()))
 			http.Error(w, fmt.Sprintf("replica lagging: applied %d < floor %d", applied, minSeq), http.StatusConflict)
 			return
 		}
@@ -158,6 +161,12 @@ type ReplicaHub struct {
 	log     []homeserver.Confirmed // log[i].Seq == uint64(i)+1
 	streams map[string]*replicaStream
 	closed  bool
+
+	// stop unblocks pushers sleeping in a retry backoff at Close time —
+	// without it, a stream stuck on an unreachable replica would outlive
+	// the hub. wg counts live pushers so Close can wait for all of them.
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
 // replicaStream is one replica's pusher state; acked counts the log
@@ -171,7 +180,7 @@ type replicaStream struct {
 // primary.OnConfirm(hub.Confirm); reg (nil allowed) counts stream push
 // errors.
 func NewReplicaHub(client *http.Client, reg *obs.Registry) *ReplicaHub {
-	h := &ReplicaHub{client: defaultClient(client), reg: reg, streams: make(map[string]*replicaStream)}
+	h := &ReplicaHub{client: defaultClient(client), reg: reg, streams: make(map[string]*replicaStream), stop: make(chan struct{})}
 	h.cond = sync.NewCond(&h.mu)
 	return h
 }
@@ -180,9 +189,16 @@ func NewReplicaHub(client *http.Client, reg *obs.Registry) *ReplicaHub {
 // the confirmation dispatcher's lock) with each contiguous batch the
 // monitoring gate releases. It only appends and wakes the pushers — the
 // network work happens on the per-replica goroutines, so the home
-// server's update path never blocks on a slow replica.
+// server's update path never blocks on a slow replica. A batch arriving
+// after Close is dropped: shutdown flushes and drains before closing, so
+// anything later is a stray dispatch racing SIGTERM, and appending it
+// would push to replicas after the hub promised to stop.
 func (h *ReplicaHub) Confirm(batch []homeserver.Confirmed) {
 	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
 	h.log = append(h.log, batch...)
 	h.mu.Unlock()
 	h.cond.Broadcast()
@@ -203,18 +219,24 @@ func (h *ReplicaHub) Register(url string) {
 	}
 	st := &replicaStream{url: url}
 	h.streams[url] = st
+	h.wg.Add(1)
 	go h.run(st)
 }
 
 // run is one replica's push loop: send the unacknowledged log suffix,
-// advance on acknowledgment, back off and resend on failure.
+// advance on acknowledgment, back off and resend on failure. The loop
+// exits as soon as the hub closes — even mid-backoff against an
+// unreachable replica — because Close is only called after Drain has
+// confirmed every reachable replica acked the log; retrying past Close
+// would leak the goroutine for as long as the replica stays down.
 func (h *ReplicaHub) run(st *replicaStream) {
+	defer h.wg.Done()
 	for {
 		h.mu.Lock()
 		for !h.closed && st.acked >= uint64(len(h.log)) {
 			h.cond.Wait()
 		}
-		if h.closed && st.acked >= uint64(len(h.log)) {
+		if h.closed {
 			h.mu.Unlock()
 			return
 		}
@@ -226,7 +248,11 @@ func (h *ReplicaHub) run(st *replicaStream) {
 			if h.reg != nil {
 				h.reg.Counter(obs.MHTTPRetries).Inc()
 			}
-			time.Sleep(retryBackoff)
+			select {
+			case <-h.stop:
+				return
+			case <-time.After(retryBackoff):
+			}
 			continue
 		}
 		h.mu.Lock()
@@ -290,23 +316,34 @@ func (h *ReplicaHub) Drain(ctx context.Context) error {
 	}
 }
 
-// Close stops the push loops once they are idle. Call after Drain; a
-// stream with unacknowledged entries keeps pushing until they are acked,
-// then exits.
+// Close stops every push loop and waits for them to exit; after it
+// returns no goroutine of the hub is live and no further batch is
+// accepted or delivered. Call after Drain — Close does not wait for
+// unacknowledged entries (Drain is the mechanism for that), it only
+// guarantees the loops are gone, including one mid-backoff against an
+// unreachable replica. Idempotent.
 func (h *ReplicaHub) Close() {
 	h.mu.Lock()
+	already := h.closed
 	h.closed = true
 	h.mu.Unlock()
+	if !already {
+		close(h.stop)
+	}
 	h.cond.Broadcast()
+	h.wg.Wait()
 }
 
 // replicaProxy is the node side of a remote replica: a
 // pipeline.ReplicaBackend over HTTP. A refusal (409) surfaces as
-// pipeline.LagError carrying the replica's applied watermark; transport
+// pipeline.LagError carrying the replica's applied watermark and home
+// partition (from the response headers; the configured part is the
+// fallback for replicas predating the partition header); transport
 // errors are returned as-is. No retry — the replica set's primary
 // fallback is the retry.
 type replicaProxy struct {
 	url    string
+	part   int
 	client *http.Client
 }
 
@@ -325,7 +362,11 @@ func (p replicaProxy) QueryAt(ctx context.Context, sq wire.SealedQuery, minSeq u
 	defer r.Body.Close()
 	applied, _ := strconv.ParseUint(r.Header.Get(AppliedHeader), 10, 64)
 	if r.StatusCode == http.StatusConflict {
-		done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: applied, Want: minSeq})
+		part := p.part
+		if v := r.Header.Get(PartitionHeader); v != "" {
+			part, _ = strconv.Atoi(v)
+		}
+		done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: applied, Want: minSeq, Part: part})
 		return
 	}
 	if r.StatusCode != http.StatusOK {

@@ -92,11 +92,13 @@ func (b *batcher) flush() {
 // entry point for updates confirmed elsewhere — the simulator and the
 // shard router fan other nodes' completed updates into each node's
 // monitor through it. seq is the update's confirmed sequence number at
-// the home server (0 when unknown); it raises the node's freshness floor
-// so no later miss is served by a replica that hasn't applied it.
+// the home partition that executed it (0 when unknown); it raises the
+// node's freshness floor for that partition — identified by the sealed
+// update's table group — so no later miss of the same partition is
+// served by a replica that hasn't applied it.
 func (p *Pipeline) MonitorUpdate(su wire.SealedUpdate, seq uint64, done func(invalidated int)) {
 	if p.opts.Fresh != nil {
-		p.opts.Fresh.Raise(seq)
+		p.opts.Fresh.Raise(su.Group, seq)
 	}
 	if p.batcher == nil {
 		inv := p.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageInvalidate, obs.Tmpl(su.TemplateID))

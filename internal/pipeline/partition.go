@@ -1,0 +1,42 @@
+package pipeline
+
+import (
+	"context"
+
+	"dssp/internal/schema"
+	"dssp/internal/wire"
+)
+
+// partitionedTransport routes each sealed statement to the transport of
+// the home partition owning its table group (schema.PartitionOf over the
+// message's Group hint). Each per-partition transport is typically the
+// partition's own ReplicaSet or direct/HTTP transport; the partitions
+// share nothing — each primary has its own master write lock, sequence
+// stream, and replica feed, which is exactly where the write scaling
+// comes from.
+//
+// The hint is untrusted (the node stamps what the client sealed), but a
+// wrong hint cannot corrupt state: each partition's engine re-derives the
+// true group from the opened payload and refuses misrouted statements
+// (homeserver.SetPartition), so the worst a bad hint buys is an error.
+type partitionedTransport struct {
+	parts []Transport
+}
+
+// NewPartitionedTransport builds the group-routing transport over one
+// transport per home partition, in partition order. A single-element
+// slice is returned as-is: one partition is the unpartitioned topology.
+func NewPartitionedTransport(parts []Transport) Transport {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return &partitionedTransport{parts: parts}
+}
+
+func (t *partitionedTransport) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(ExecQueryResult, error)) {
+	t.parts[schema.PartitionOf(sq.Group, len(t.parts))].ExecQuery(ctx, sq, done)
+}
+
+func (t *partitionedTransport) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(ExecUpdateResult, error)) {
+	t.parts[schema.PartitionOf(su.Group, len(t.parts))].ExecUpdate(ctx, su, done)
+}

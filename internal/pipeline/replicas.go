@@ -9,45 +9,83 @@ import (
 	"dssp/internal/wire"
 )
 
-// Freshness is a node's confirmed-update floor: the highest home-server
-// sequence number the node has learned is confirmed — from its own
-// updates' responses and from invalidation fan-out for updates confirmed
-// elsewhere. The correctness invariant of the replicated home tier is
-// that a miss is never served by a replica that has not applied every
-// update at or below the floor: the node has already invalidated for
-// those updates, so a staler answer would be cached and never invalidated
-// again.
+// Freshness is a node's confirmed-update floor, one per home partition:
+// the highest sequence number the node has learned is confirmed in each
+// partition's serialization order — from its own updates' responses and
+// from invalidation fan-out for updates confirmed elsewhere. The
+// correctness invariant of the replicated home tier is that a miss is
+// never served by a replica that has not applied every update of its
+// partition at or below that partition's floor: the node has already
+// invalidated for those updates, so a staler answer would be cached and
+// never invalidated again.
+//
+// Entries are indexed by table group (the wire-level routing hint); a
+// group maps to its partition's slot via schema.PartitionOf's rule
+// (group mod partitions), applied internally — so an update only ever
+// raises the floor of the partition it executed on, and a miss only
+// checks the floor of the partition that will serve it.
 type Freshness struct {
-	floor atomic.Uint64
+	floors []atomic.Uint64
 }
 
-// NewFreshness returns a floor starting at zero (nothing confirmed yet).
-func NewFreshness() *Freshness { return &Freshness{} }
+// NewFreshness returns a single-partition floor starting at zero — the
+// unpartitioned home tier's freshness state, where every group shares
+// slot 0.
+func NewFreshness() *Freshness { return NewFreshnessParts(1) }
 
-// Raise lifts the floor to seq if it is higher; it never lowers.
-func (f *Freshness) Raise(seq uint64) {
-	for {
-		cur := f.floor.Load()
-		if seq <= cur || f.floor.CompareAndSwap(cur, seq) {
-			return
-		}
+// NewFreshnessParts returns a floor vector for a home tier split into
+// parts partitions (minimum 1), all starting at zero.
+func NewFreshnessParts(parts int) *Freshness {
+	if parts < 1 {
+		parts = 1
 	}
+	return &Freshness{floors: make([]atomic.Uint64, parts)}
 }
 
-// Floor reports the current confirmed-update floor.
-func (f *Freshness) Floor() uint64 { return f.floor.Load() }
+// Parts reports the number of partition slots.
+func (f *Freshness) Parts() int { return len(f.floors) }
+
+// slot maps a table group to its partition's floor entry.
+func (f *Freshness) slot(group int) *atomic.Uint64 {
+	if group <= 0 || len(f.floors) == 1 {
+		return &f.floors[0]
+	}
+	return &f.floors[group%len(f.floors)]
+}
+
+// Raise lifts the floor of group's partition to seq if it is higher; it
+// never lowers, and it never touches another partition's floor.
+func (f *Freshness) Raise(group int, seq uint64) {
+	raise(f.slot(group), seq)
+}
+
+// Floor reports the confirmed-update floor of group's partition.
+func (f *Freshness) Floor(group int) uint64 { return f.slot(group).Load() }
+
+// Floors snapshots every partition's floor, in partition order.
+func (f *Freshness) Floors() []uint64 {
+	out := make([]uint64, len(f.floors))
+	for i := range f.floors {
+		out[i] = f.floors[i].Load()
+	}
+	return out
+}
 
 // LagError is a replica's refusal to serve a query because it has not yet
 // applied the caller's freshness floor. Applied is the replica's current
 // applied sequence — the caller uses it to refresh its view of the
-// replica before falling back to the primary.
+// replica before falling back to the primary. Part identifies the home
+// partition the refusal is about (0 in an unpartitioned tier): sequences
+// are per-partition, so the pair (Part, Applied) is what positions the
+// replica in its stream.
 type LagError struct {
 	Applied uint64
 	Want    uint64
+	Part    int
 }
 
 func (e *LagError) Error() string {
-	return fmt.Sprintf("replica lagging: applied %d, want %d", e.Applied, e.Want)
+	return fmt.Sprintf("replica lagging: partition %d applied %d, want %d", e.Part, e.Applied, e.Want)
 }
 
 // ReplicaBackend serves cache misses from one home read replica, subject
@@ -68,6 +106,13 @@ type ReplicaEndpoint struct {
 // replicaState is the node's view of one replica: the highest applied
 // sequence it has reported (via answers and lag refusals) and the number
 // of misses currently in flight to it.
+//
+// Counter contract: misses counts only misses this replica actually
+// served. A refusal or failure that bypasses to the primary counts once,
+// in the bypass instrument for its reason, and nowhere else — so the
+// per-replica miss counters plus the bypass counters partition the
+// replica-routed miss stream exactly (pinned by
+// TestReplicaSetBypassCountsOnceNotAsMiss).
 type replicaState struct {
 	ep       ReplicaEndpoint
 	applied  atomic.Uint64
@@ -126,8 +171,11 @@ const staleProbeEvery = 16
 
 // pick selects the replica for a miss at the given floor: the
 // least-loaded replica known to have applied the floor, with a rotating
-// start among ties. When no replica is known fresh — or periodically,
-// one miss in staleProbeEvery — a stale replica is probed instead.
+// start among ties — the scan starts one position later each call and
+// strict less-than keeps the first equal-load candidate, so equal-load
+// fleets rotate deterministically instead of concentrating on the lowest
+// index. When no replica is known fresh — or periodically, one miss in
+// staleProbeEvery — a stale replica is probed instead.
 func (s *ReplicaSet) pick(floor uint64) *replicaState {
 	n := len(s.reps)
 	tick := s.rr.Add(1) - 1
@@ -161,7 +209,7 @@ func (s *ReplicaSet) ExecQuery(ctx context.Context, sq wire.SealedQuery, done fu
 		s.primary.ExecQuery(ctx, sq, done)
 		return
 	}
-	floor := s.fresh.Floor()
+	floor := s.fresh.Floor(sq.Group)
 	r := s.pick(floor)
 	r.inflight.Add(1)
 	r.ep.Backend.QueryAt(ctx, sq, floor, func(er ExecQueryResult, err error) {

@@ -73,15 +73,24 @@ type Config struct {
 	// wall-clock gate stays off). 0 invalidates inline per update.
 	MonitorInterval time.Duration
 
-	// HomeReplicas adds K trusted read replicas behind the home server,
-	// mirroring the HTTP deployment's replicated home tier: each replica
-	// starts from a database populated identically to the master (same
-	// benchmark seed), applies the primary's confirmed updates in
-	// sequence order, and serves cache misses through each node's
-	// pipeline.ReplicaSet — preferring replicas at the node's freshness
-	// floor, falling back to the primary when a replica lags. 0 (the
-	// default) keeps the single-home topology.
+	// HomeReplicas adds K trusted read replicas behind each home
+	// partition, mirroring the HTTP deployment's replicated home tier:
+	// each replica starts from a database populated identically to the
+	// master (same benchmark seed), applies its partition's confirmed
+	// updates in sequence order, and serves cache misses through each
+	// node's pipeline.ReplicaSet — preferring replicas at the node's
+	// freshness floor, falling back to the partition primary when a
+	// replica lags. 0 (the default) keeps the single-home topology.
 	HomeReplicas int
+
+	// HomePartitions splits the home tier's master into P partitions by
+	// table group (schema.DeriveGroups over the benchmark app), mirroring
+	// the deployed partitioned topology on virtual time: each partition
+	// is its own homeserver.Server with its own CPU, write lock, and
+	// sequence stream; statements route by their sealed group, and each
+	// node's freshness floor is a per-partition vector. 0 or 1 keeps the
+	// single-master topology.
+	HomePartitions int
 
 	// ReplicaApplyLag delays each confirmed batch's application on the
 	// replicas by this much virtual time — the simulator's replica-lag
@@ -320,7 +329,7 @@ func (b *simReplicaBackend) QueryAt(_ context.Context, sq wire.SealedQuery, minS
 	b.toHome.Send(b.costs.RequestBytes+len(sq.Opaque), func() {
 		if a := b.rep.Applied(); a < minSeq {
 			b.fromHome.Send(64, func() {
-				done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: a, Want: minSeq})
+				done(pipeline.ExecQueryResult{}, &pipeline.LagError{Applied: a, Want: minSeq, Part: b.rep.Partition()})
 			})
 			return
 		}
@@ -354,6 +363,10 @@ func Simulate(cfg Config) (*Result, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
+	if cfg.HomePartitions <= 0 {
+		cfg.HomePartitions = 1
+	}
+	nParts := cfg.HomePartitions
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	app := cfg.Benchmark.App()
 
@@ -387,43 +400,74 @@ func Simulate(cfg Config) (*Result, error) {
 	for i := range nodes {
 		nodes[i] = dssp.NewNode(app, analysis, cacheOpts)
 	}
-	home := homeserver.New(db, app, codec)
 	nodeCPUs := make([]*sim.Server, cfg.Nodes)
 	for i := range nodeCPUs {
 		nodeCPUs[i] = sim.NewServer(&world, cfg.Costs.DSSPCapacity)
 	}
-	homeCPU := sim.NewServer(&world, cfg.Costs.HomeCapacity)
+
+	// The home tier's partitions: partition 0 owns the database populated
+	// above; further partitions are populated from a fresh same-seed RNG
+	// (Populate is the seed's first use, so every copy is byte-identical).
+	// Each partition is a full home server with its own CPU — concurrent
+	// write capacity is what the partitioned topology buys.
+	homes := make([]*homeserver.Server, nParts)
+	homeCPUs := make([]*sim.Server, nParts)
+	for p := range homes {
+		pdb := db
+		if p > 0 {
+			pdb = storage.NewDatabase(app.Schema)
+			if err := cfg.Benchmark.Populate(pdb, rand.New(rand.NewSource(cfg.Seed))); err != nil {
+				return nil, fmt.Errorf("workload: populate partition: %w", err)
+			}
+		}
+		homes[p] = homeserver.New(pdb, app, codec)
+		if nParts > 1 {
+			homes[p].SetPartition(p, nParts)
+		}
+		homeCPUs[p] = sim.NewServer(&world, cfg.Costs.HomeCapacity)
+	}
 	toHome := sim.NewLink(&world, cfg.Network.HomeLatency, cfg.Network.HomeBitsPS)
 	fromHome := sim.NewLink(&world, cfg.Network.HomeLatency, cfg.Network.HomeBitsPS)
 
 	res := &Result{Users: cfg.Users}
 
-	// The replicated home tier, mirroring the HTTP topology: each replica
-	// is populated from a fresh same-seed RNG (Populate is the seed's
-	// first use, so every copy is byte-identical to the master's initial
-	// state), gets its own CPU behind the shared trusted-tier links, and
-	// applies the primary's confirmed stream — ReplicaApplyLag of virtual
-	// time after each gate release.
-	reps := make([]*hometier.Replica, cfg.HomeReplicas)
-	repCPUs := make([]*sim.Server, cfg.HomeReplicas)
-	for k := range reps {
-		rdb := storage.NewDatabase(app.Schema)
-		if err := cfg.Benchmark.Populate(rdb, rand.New(rand.NewSource(cfg.Seed))); err != nil {
-			return nil, fmt.Errorf("workload: populate replica: %w", err)
+	// The replicated home tier, mirroring the HTTP topology: each
+	// partition gets its own replica fleet, populated from a fresh
+	// same-seed RNG, with its own CPU behind the shared trusted-tier
+	// links; each applies its partition primary's confirmed stream —
+	// ReplicaApplyLag of virtual time after each gate release.
+	reps := make([][]*hometier.Replica, nParts)
+	repCPUs := make([][]*sim.Server, nParts)
+	for p := range reps {
+		reps[p] = make([]*hometier.Replica, cfg.HomeReplicas)
+		repCPUs[p] = make([]*sim.Server, cfg.HomeReplicas)
+		for k := range reps[p] {
+			rdb := storage.NewDatabase(app.Schema)
+			if err := cfg.Benchmark.Populate(rdb, rand.New(rand.NewSource(cfg.Seed))); err != nil {
+				return nil, fmt.Errorf("workload: populate replica: %w", err)
+			}
+			name := strconv.Itoa(k)
+			if nParts > 1 {
+				name = fmt.Sprintf("p%d-%d", p, k)
+			}
+			reps[p][k] = hometier.NewReplica(name, rdb, app, codec)
+			if nParts > 1 {
+				reps[p][k].SetPartition(p, nParts)
+			}
+			repCPUs[p][k] = sim.NewServer(&world, cfg.Costs.HomeCapacity)
 		}
-		reps[k] = hometier.NewReplica(strconv.Itoa(k), rdb, app, codec)
-		repCPUs[k] = sim.NewServer(&world, cfg.Costs.HomeCapacity)
-	}
-	if len(reps) > 0 {
-		home.OnConfirm(func(batch []homeserver.Confirmed) {
-			world.After(cfg.ReplicaApplyLag, func() {
-				for _, rep := range reps {
-					if err := rep.ApplyBatch(batch); err != nil {
-						panic(fmt.Sprintf("simrun: replica apply: %v", err))
+		if len(reps[p]) > 0 {
+			fleet := reps[p]
+			homes[p].OnConfirm(func(batch []homeserver.Confirmed) {
+				world.After(cfg.ReplicaApplyLag, func() {
+					for _, rep := range fleet {
+						if err := rep.ApplyBatch(batch); err != nil {
+							panic(fmt.Sprintf("simrun: replica apply: %v", err))
+						}
 					}
-				}
+				})
 			})
-		})
+		}
 	}
 
 	// Admission-instrument mirrors, registered eagerly (like
@@ -461,13 +505,6 @@ func Simulate(cfg Config) (*Result, error) {
 	for i := range pipes {
 		nodeTracer := obs.NewTracer(reg, clock).
 			SetIdentity(obs.ProcNode, strconv.Itoa(i)).SetStore(store)
-		tr := &simTransport{
-			world: &world, reg: reg, tracer: homeTracer, codec: codec,
-			home: home, homeCPU: homeCPU, toHome: toHome, fromHome: fromHome,
-			costs: cfg.Costs, network: cfg.Network, pipes: pipes, self: i, res: res,
-			planner:    planner,
-			queueDepth: queueDepth, waitQ: waitQ, waitU: waitU,
-		}
 		popts := pipeline.Options{
 			MonitorInterval: cfg.MonitorInterval,
 			After:           func(d time.Duration, fn func()) { world.After(d, fn) },
@@ -475,19 +512,35 @@ func Simulate(cfg Config) (*Result, error) {
 		if audit != nil {
 			popts.Leakage = audit
 		}
-		var transport pipeline.Transport = tr
-		if len(reps) > 0 {
-			eps := make([]pipeline.ReplicaEndpoint, len(reps))
-			for k, rep := range reps {
-				eps[k] = pipeline.ReplicaEndpoint{Name: rep.Name(), Backend: &simReplicaBackend{
-					world: &world, rep: rep, cpu: repCPUs[k],
-					toHome: toHome, fromHome: fromHome, costs: cfg.Costs, res: res,
-				}}
-			}
-			popts.Fresh = pipeline.NewFreshness()
-			transport = pipeline.NewReplicaSet(tr, eps, popts.Fresh, reg)
+		if cfg.HomeReplicas > 0 || nParts > 1 {
+			popts.Fresh = pipeline.NewFreshnessParts(nParts)
 		}
-		pipes[i] = pipeline.New(nodes[i], transport, nodeTracer, popts)
+		// One virtual-time transport per home partition, each optionally
+		// behind its partition's replica set, composed by the same group
+		// router the deployed topologies use.
+		partTransports := make([]pipeline.Transport, nParts)
+		for p := 0; p < nParts; p++ {
+			tr := &simTransport{
+				world: &world, reg: reg, tracer: homeTracer, codec: codec,
+				home: homes[p], homeCPU: homeCPUs[p], toHome: toHome, fromHome: fromHome,
+				costs: cfg.Costs, network: cfg.Network, pipes: pipes, self: i, res: res,
+				planner:    planner,
+				queueDepth: queueDepth, waitQ: waitQ, waitU: waitU,
+			}
+			var transport pipeline.Transport = tr
+			if len(reps[p]) > 0 {
+				eps := make([]pipeline.ReplicaEndpoint, len(reps[p]))
+				for k, rep := range reps[p] {
+					eps[k] = pipeline.ReplicaEndpoint{Name: rep.Name(), Backend: &simReplicaBackend{
+						world: &world, rep: rep, cpu: repCPUs[p][k],
+						toHome: toHome, fromHome: fromHome, costs: cfg.Costs, res: res,
+					}}
+				}
+				transport = pipeline.NewReplicaSet(tr, eps, popts.Fresh, reg)
+			}
+			partTransports[p] = transport
+		}
+		pipes[i] = pipeline.New(nodes[i], pipeline.NewPartitionedTransport(partTransports), nodeTracer, popts)
 	}
 
 	// clientDelay models the per-client duplex access link (no cross-
@@ -615,7 +668,11 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 	elapsed := world.Now()
 	if elapsed > 0 {
-		res.HomeBusyFrac = float64(homeCPU.BusyTime()) / float64(elapsed*time.Duration(cfg.Costs.HomeCapacity))
+		var busy time.Duration
+		for _, cpu := range homeCPUs {
+			busy += cpu.BusyTime()
+		}
+		res.HomeBusyFrac = float64(busy) / float64(elapsed*time.Duration(cfg.Costs.HomeCapacity)*time.Duration(nParts))
 	}
 	res.Metrics = reg.Snapshot()
 	res.Traces = store.All()

@@ -1,0 +1,32 @@
+package template
+
+import "dssp/internal/schema"
+
+// AppGroups derives the application's table groups: the schema's FK graph
+// plus every template's relation list as a co-reference set, so each
+// template's tables — and therefore each template — belong to exactly one
+// group. The derivation uses only public information (the schema and the
+// template set, both of which the DSSP already holds for its static
+// analysis), so the trusted and untrusted sides compute identical groups.
+func AppGroups(a *App) *schema.Groups {
+	coRefs := make([][]string, 0, len(a.Queries)+len(a.Updates))
+	for _, t := range a.Queries {
+		coRefs = append(coRefs, t.Relations)
+	}
+	for _, t := range a.Updates {
+		coRefs = append(coRefs, t.Relations)
+	}
+	return schema.DeriveGroups(a.Schema, coRefs)
+}
+
+// GroupOf resolves one template's table group under groups. Every relation
+// of a template shares a group by construction (AppGroups feeds each
+// template's relation list to the derivation as a co-reference set), so
+// the first relation decides. Returns -1 for a template with no relations
+// or one resolved against a different schema.
+func GroupOf(groups *schema.Groups, t *Template) int {
+	if t == nil || len(t.Relations) == 0 {
+		return -1
+	}
+	return groups.OfTable(t.Relations[0])
+}

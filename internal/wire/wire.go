@@ -73,6 +73,16 @@ type SealedQuery struct {
 	// TemplateID is exposed at template exposure and above.
 	TemplateID string
 
+	// Group is the statement's table group (see schema.DeriveGroups): the
+	// routing hint the partitioned home tier needs to steer this query to
+	// the partition owning its tables. It is stamped at every exposure
+	// level — the group assignment is derived from the schema and template
+	// set, which the DSSP already holds, but at blind exposure the hint
+	// does narrow the statement to one table group's templates; that is
+	// the (documented) price of partition routing, exactly as the sealed
+	// key's determinism is the price of caching.
+	Group int
+
 	// Params are exposed at stmt exposure and above.
 	Params []sqlparse.Value
 
@@ -90,6 +100,7 @@ type SealedUpdate struct {
 	TraceID    string // observability metadata, as in SealedQuery
 	ParentSpan string // observability metadata, as in SealedQuery
 	TemplateID string
+	Group      int // table-group routing hint, as in SealedQuery
 	Params     []sqlparse.Value
 	Opaque     []byte
 }
@@ -107,14 +118,30 @@ type Codec struct {
 	app  *template.App
 	kr   *encrypt.Keyring
 	exps map[string]template.Exposure
+
+	// groups assigns each template its table group (via its relations) —
+	// the partition-routing hint stamped into every sealed message.
+	groups map[string]int
 }
 
 // NewCodec builds a codec for an application under an exposure assignment
 // (template ID -> exposure level). Templates missing from the assignment
 // default to full exposure.
 func NewCodec(app *template.App, kr *encrypt.Keyring, exps map[string]template.Exposure) *Codec {
-	return &Codec{app: app, kr: kr, exps: exps}
+	g := template.AppGroups(app)
+	groups := make(map[string]int, len(app.Queries)+len(app.Updates))
+	for _, t := range app.Queries {
+		groups[t.ID] = template.GroupOf(g, t)
+	}
+	for _, t := range app.Updates {
+		groups[t.ID] = template.GroupOf(g, t)
+	}
+	return &Codec{app: app, kr: kr, exps: exps, groups: groups}
 }
+
+// GroupOf reports the table group stamped into sealed instances of a
+// template.
+func (c *Codec) GroupOf(t *template.Template) int { return c.groups[t.ID] }
 
 // ExposureOf returns the configured exposure of a template.
 func (c *Codec) ExposureOf(t *template.Template) template.Exposure {
@@ -132,7 +159,7 @@ func (c *Codec) SealQuery(t *template.Template, params []sqlparse.Value) (Sealed
 	exp := c.ExposureOf(t)
 	eb := getBuf()
 	eb.b = appendPayload(eb.b[:0], t.ID, params)
-	sq := SealedQuery{Exposure: exp, TraceID: obs.NewTraceID(), Opaque: c.kr.Seal(domOpaque, eb.b)}
+	sq := SealedQuery{Exposure: exp, TraceID: obs.NewTraceID(), Group: c.groups[t.ID], Opaque: c.kr.Seal(domOpaque, eb.b)}
 	switch exp {
 	case template.ExpBlind:
 		// The encrypted statement is the lookup key: the whole statement
@@ -169,6 +196,7 @@ func (c *Codec) SealUpdate(t *template.Template, params []sqlparse.Value) (Seale
 	su := SealedUpdate{
 		Exposure: exp,
 		TraceID:  obs.NewTraceID(),
+		Group:    c.groups[t.ID],
 		Opaque:   c.kr.Seal(domOpaque, eb.b),
 	}
 	putBuf(eb)
