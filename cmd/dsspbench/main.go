@@ -22,6 +22,7 @@
 //	dsspbench -exp leakage -apps auction,bboard,bookstore,toystore
 //	                                      # adversary's-eye leakage audit per exposure level (-out writes JSON)
 //	dsspbench -exp trace -app bboard      # stitched fleet-wide traces through router + 2 nodes + home
+//	dsspbench -exp elastic                # warm vs cold membership-change recovery (-out writes JSON)
 //	dsspbench -exp all                    # everything (simulations included)
 //
 // Simulation-based experiments (figure3, figure8) accept -full for the
@@ -45,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|scaleout|homescale|obs|leakage|trace|all")
+	exp := flag.String("exp", "all", "experiment: table2|table4|table7|figure3|figure4|figure6|figure7|figure8|route|batch|security|ablation|capacity|nodes|coalesce|scaleout|homescale|obs|leakage|trace|elastic|all")
 	app := flag.String("app", "bboard", "application for figure4/route/obs/scaleout/trace: auction|bboard|bookstore|toystore")
 	pair := flag.String("pair", "U1/Q2", "toystore template pair for figure6, e.g. U1/Q2")
 	full := flag.Bool("full", false, "use the paper's full 10-minute simulation runs")
@@ -80,6 +81,9 @@ func main() {
 		return
 	case "trace":
 		exit(runTrace(*app, opts))
+		return
+	case "elastic":
+		exit(runElastic(*out, opts))
 		return
 	}
 	if err := run(*exp, *app, *pair, opts); err != nil {
@@ -213,6 +217,45 @@ func runScaleout(app, out string, opts experiments.RunOptions) error {
 			"date":   time.Now().Format("2006-01-02"),
 		},
 		Scaleout: r,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+// runElastic measures warm vs cold membership-change recovery on a live
+// HTTP fleet and, when asked, writes the committed benchmark artifact
+// (BENCH_elastic.json shape).
+func runElastic(out string, opts experiments.RunOptions) error {
+	o := experiments.DefaultElasticOptions()
+	o.Seed = opts.Seed
+	r, err := experiments.Elastic(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Format())
+	if out == "" {
+		return nil
+	}
+	artifact := struct {
+		Description string                     `json:"description"`
+		Environment map[string]interface{}     `json:"environment"`
+		Elastic     *experiments.ElasticResult `json:"elastic"`
+	}{
+		Description: fmt.Sprintf("Elastic-fleet recovery: go run ./cmd/dsspbench -exp elastic. "+
+			"Router + 2 nodes + home over HTTP; a %d-entry bookstore working set is warmed, then a third node joins "+
+			"with a warm sealed-bucket handoff and a node is killed; a fresh identically seeded fleet repeats the join cold. "+
+			"Recovery time is the number of %d-op intervals until the aggregate hit rate is within %.0f%% of steady state.",
+			r.WorkingSet, r.IntervalOps, 100*r.Threshold),
+		Environment: map[string]interface{}{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+			"date":   time.Now().Format("2006-01-02"),
+		},
+		Elastic: r,
 	}
 	buf, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {

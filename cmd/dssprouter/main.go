@@ -16,6 +16,26 @@
 // pass the same -nodes value, because ownership is derived from the
 // node's position in the list.
 //
+// -nodes only sets the initial fleet. Membership is live: the ring admin
+// endpoints grow and shrink it without a restart, re-deriving ownership
+// on a consistent hash ring so each change only moves the buckets it
+// must.
+//
+//	POST /v1/ring/join  {"url": "http://n2:8420", "warm": true}
+//	POST /v1/ring/leave {"node": 0}            (or {"url": ...})
+//	GET  /v1/ring
+//
+// A warm join streams the sealed buckets the new node is about to own
+// from their current owners before the epoch flips, so the fleet's hit
+// rate carries over; a warm leave drains the departing node's buckets to
+// the survivors the same way. "warm": false skips the handoff — a cold
+// join starts empty, a cold leave models a crash and loses the node's
+// entries. The handoff moves ciphertext and sealed routing metadata
+// only; the router and nodes never need keys to migrate entries. Each
+// change returns a migration report ({kind, node, epoch, warm,
+// moved_templates, entries_migrated, members}); GET /v1/ring serves the
+// current epoch and membership.
+//
 // Usage:
 //
 //	dssprouter -app toystore -addr :8399 -nodes http://n0:8400,http://n1:8410
@@ -44,6 +64,8 @@ func main() {
 	addr := flag.String("addr", ":8399", "listen address")
 	nodes := flag.String("nodes", "", "comma-separated node base URLs, in fleet order (same order on every router)")
 	maxFanout := flag.Int("max-fanout", 0, "max concurrent invalidation pushes per update (0 = default)")
+	blindCache := flag.Int("blind-cache", 0, "blind-key routing cache entries (0 = default)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "pause before the single query retry after a proxy failure (0 = default)")
 	constraints := flag.Bool("constraints", true, "use integrity constraints in the analysis (must match the nodes)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
@@ -65,7 +87,11 @@ func main() {
 		os.Exit(2)
 	}
 	analysis := core.Analyze(app, core.Options{UseIntegrityConstraints: *constraints})
-	srv := httpapi.NewRouterServer(analysis, urls, httpapi.RouterOptions{MaxFanout: *maxFanout})
+	srv := httpapi.NewRouterServer(analysis, urls, httpapi.RouterOptions{
+		MaxFanout:      *maxFanout,
+		BlindCacheSize: *blindCache,
+		RetryBackoff:   *retryBackoff,
+	})
 
 	servePprof(logger, *pprofAddr)
 	logger.Info("DSSP router listening",

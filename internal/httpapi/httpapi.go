@@ -65,6 +65,12 @@ const (
 	PathMetrics         = "/v1/metrics"          // every process: metrics snapshot (JSON or Prometheus text)
 	PathTrace           = "/v1/trace/"           // every process: one trace's spans, JSON ({id} appended)
 	PathTraces          = "/v1/traces"           // every process: retained trace IDs, JSON
+	PathBucketExport    = "/v1/buckets/export"   // node: template-ID list -> sealed bucket entries (warm handoff)
+	PathBucketImport    = "/v1/buckets/import"   // node: sealed bucket entries -> imported count
+	PathBucketDrop      = "/v1/buckets/drop"     // node: template-ID list -> dropped count (post-flip cleanup)
+	PathRing            = "/v1/ring"             // router: current membership + epoch, JSON
+	PathRingJoin        = "/v1/ring/join"        // router: admit a node URL into the ring (warm by default)
+	PathRingLeave       = "/v1/ring/leave"       // router: retire a node (warm drain) or declare it dead (warm=false)
 	PathExecQuery       = "/v1/exec/query"       // home primary and replicas: sealed query -> sealed result
 	PathExecUpdate      = "/v1/exec/update"      // home primary: sealed update -> ack
 	PathReplicaApply    = "/v1/replica/apply"    // replica: confirmed-update batch -> applied watermark
@@ -126,6 +132,17 @@ type DecisionsResponse struct {
 	Decisions []cache.Decision `json:"decisions"`
 	Dump      []string         `json:"dump"`
 	Stats     cache.Stats      `json:"stats"`
+}
+
+// BucketImportResponse is the node's answer to a migration import: how
+// many sealed entries it took (keys it already held are skipped).
+type BucketImportResponse struct {
+	Imported int `json:"imported"`
+}
+
+// BucketDropResponse is the node's answer to a post-flip bucket drop.
+type BucketDropResponse struct {
+	Dropped int `json:"dropped"`
 }
 
 // ExecQueryResponse is the home server's answer to a forwarded query.
@@ -253,6 +270,43 @@ func doPost(ctx context.Context, client *http.Client, url, trace, parent string,
 		}
 	}
 	return client.Do(hreq)
+}
+
+// postBytes sends one raw (non-gob) request body and returns the raw
+// response body. It is the migration stream's transport: bucket exports,
+// imports, and drops are all idempotent (exports copy, imports skip keys
+// the cache already holds, drops of an absent bucket are no-ops), so a
+// connection-level error is retried once like an idempotent query.
+func postBytes(ctx context.Context, client *http.Client, url string, body []byte, reg *obs.Registry) ([]byte, error) {
+	do := func() (*http.Response, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/octet-stream")
+		return client.Do(hreq)
+	}
+	r, err := do()
+	if err != nil && ctx.Err() == nil {
+		if reg != nil {
+			reg.Counter(obs.MHTTPRetries).Inc()
+		}
+		select {
+		case <-time.After(retryBackoff):
+		case <-ctx.Done():
+			return nil, err
+		}
+		r, err = do()
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	raw, rerr := io.ReadAll(r.Body)
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: %s: %s: %s", url, r.Status, bytes.TrimSpace(raw))
+	}
+	return raw, rerr
 }
 
 // MetricsHandler serves a registry snapshot: JSON by default, Prometheus
@@ -583,6 +637,9 @@ func (s *NodeServer) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathQuery, s.handleQuery)
 	mux.HandleFunc("POST "+PathUpdate, s.handleUpdate)
 	mux.HandleFunc("POST "+PathInvalidate, s.handleInvalidate)
+	mux.HandleFunc("POST "+PathBucketExport, s.handleBucketExport)
+	mux.HandleFunc("POST "+PathBucketImport, s.handleBucketImport)
+	mux.HandleFunc("POST "+PathBucketDrop, s.handleBucketDrop)
 	mux.HandleFunc("GET "+PathDecisions, s.handleDecisions)
 	mux.Handle("GET "+PathMetrics, MetricsHandler(s.Reg))
 	mux.Handle("GET "+PathTraces, TraceIDsHandler(s.Tracer.Store()))
@@ -650,6 +707,61 @@ func (s *NodeServer) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		http.Error(w, r.Context().Err().Error(), http.StatusGatewayTimeout)
 	}
+}
+
+// handleBucketExport streams the named template buckets' sealed entries
+// out for a warm handoff. The request body is a wire template-ID list,
+// the response the wire migration encoding — no gob, no keys, nothing
+// the node did not already hold sealed.
+func (s *NodeServer) handleBucketExport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ids, err := wire.DecodeTemplateIDs(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	entries := s.Node.Cache.ExportBuckets(ids)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(wire.AppendBucketEntries(nil, entries)); err != nil {
+		slog.Warn("httpapi: bucket export write failed", "entries", len(entries), "err", err)
+		s.Reg.Counter(obs.MHTTPWriteErrors).Inc()
+	}
+}
+
+// handleBucketImport takes migrated sealed entries into the node's cache.
+func (s *NodeServer) handleBucketImport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	entries, err := wire.DecodeBucketEntries(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(BucketImportResponse{Imported: s.Node.Cache.ImportBuckets(entries)})
+}
+
+// handleBucketDrop removes migrated buckets after the epoch flip.
+func (s *NodeServer) handleBucketDrop(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ids, err := wire.DecodeTemplateIDs(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(BucketDropResponse{Dropped: s.Node.Cache.DropBuckets(ids)})
 }
 
 // handleDecisions serves the node's decision log, cache dump, and counter

@@ -2,8 +2,12 @@ package httpapi
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"dssp/internal/core"
 	"dssp/internal/obs"
@@ -56,6 +60,43 @@ func (p NodeProxy) Invalidate(ctx context.Context, su wire.SealedUpdate, seq uin
 	return resp.Invalidated, err
 }
 
+// ExportBuckets pulls the named template buckets' sealed entries from the
+// node for a warm handoff. Request and response are the raw wire
+// migration encoding, not gob.
+func (p NodeProxy) ExportBuckets(ctx context.Context, templateIDs []string) ([]wire.BucketEntry, error) {
+	raw, err := postBytes(ctx, p.Client, p.URL+PathBucketExport, wire.AppendTemplateIDs(nil, templateIDs), p.Reg)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBucketEntries(raw)
+}
+
+// ImportBuckets pushes migrated sealed entries into the node's cache.
+func (p NodeProxy) ImportBuckets(ctx context.Context, entries []wire.BucketEntry) (int, error) {
+	raw, err := postBytes(ctx, p.Client, p.URL+PathBucketImport, wire.AppendBucketEntries(nil, entries), p.Reg)
+	if err != nil {
+		return 0, err
+	}
+	var resp BucketImportResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Imported, nil
+}
+
+// DropBuckets removes migrated buckets from the node after the epoch flip.
+func (p NodeProxy) DropBuckets(ctx context.Context, templateIDs []string) (int, error) {
+	raw, err := postBytes(ctx, p.Client, p.URL+PathBucketDrop, wire.AppendTemplateIDs(nil, templateIDs), p.Reg)
+	if err != nil {
+		return 0, err
+	}
+	var resp BucketDropResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Dropped, nil
+}
+
 // RouterOptions tune a router server.
 type RouterOptions struct {
 	// MaxFanout caps concurrent invalidation pushes per update.
@@ -69,6 +110,15 @@ type RouterOptions struct {
 	// Leakage, when set, audits the sealed traffic at the router's trust
 	// boundary — the vantage point that sees the whole fleet's stream.
 	Leakage pipeline.LeakageObserver
+
+	// BlindCacheSize bounds the router's blind-key cache (sealed lookup
+	// key -> owning node). 0 means shard.DefaultBlindCacheSize; negative
+	// disables the cache.
+	BlindCacheSize int
+
+	// RetryBackoff is the pause before the router's single query retry.
+	// 0 means shard.DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // RouterServer fronts a fleet of dsspnode processes with the shard
@@ -87,6 +137,15 @@ type RouterServer struct {
 	// the router's cache/transport halves, which adds fleet-wide
 	// single-flight miss coalescing on top of the per-node pipelines.
 	Pipe *pipeline.Pipeline
+
+	// client builds NodeProxies for nodes joining after startup.
+	client *http.Client
+
+	// mu guards urls, the node URL -> ring node ID map behind the ring
+	// admin endpoints. It is held across Router.Join/Leave so a concurrent
+	// duplicate join of the same URL is rejected, not admitted twice.
+	mu   sync.Mutex
+	urls map[string]int
 }
 
 // NewRouterServer wires a router over the node base URLs, in fleet
@@ -104,12 +163,22 @@ func NewRouterServer(analysis *core.Analysis, nodeURLs []string, opts RouterOpti
 		backends[i] = NewNodeProxy(url, client, reg)
 	}
 	planner := shard.NewPlanner(shard.NewAffinity(len(nodeURLs)), analysis)
-	router := shard.NewRouter(planner, backends, tracer, shard.Options{MaxFanout: opts.MaxFanout})
+	router := shard.NewRouter(planner, backends, tracer, shard.Options{
+		MaxFanout:      opts.MaxFanout,
+		BlindCacheSize: opts.BlindCacheSize,
+		RetryBackoff:   opts.RetryBackoff,
+	})
+	urls := make(map[string]int, len(nodeURLs))
+	for i, url := range nodeURLs {
+		urls[url] = i
+	}
 	return &RouterServer{
 		Router: router,
 		Reg:    reg,
 		Tracer: tracer,
 		Pipe:   pipeline.New(router, router, tracer, pipeline.Options{Leakage: opts.Leakage}),
+		client: client,
+		urls:   urls,
 	}
 }
 
@@ -119,6 +188,9 @@ func (s *RouterServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathQuery, s.handleQuery)
 	mux.HandleFunc("POST "+PathUpdate, s.handleUpdate)
+	mux.HandleFunc("POST "+PathRingJoin, s.handleRingJoin)
+	mux.HandleFunc("POST "+PathRingLeave, s.handleRingLeave)
+	mux.HandleFunc("GET "+PathRing, s.handleRing)
 	mux.Handle("GET "+PathMetrics, MetricsHandler(s.Reg))
 	mux.Handle("GET "+PathTraces, TraceIDsHandler(s.Tracer.Store()))
 	mux.Handle("GET "+PathTrace+"{id}", TraceHandler(s.Tracer.Store()))
@@ -155,4 +227,108 @@ func (s *RouterServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeGob(s.Reg, w, UpdateResponse{Affected: reply.Affected, Invalidated: reply.Invalidated, Seq: reply.Seq})
+}
+
+// RingJoinRequest admits a node process into the ring by its base URL.
+// Warm (default true) streams the moved sealed buckets from their old
+// owners before the epoch flips; false is a cold join that earns its
+// working set through misses.
+type RingJoinRequest struct {
+	URL  string `json:"url"`
+	Warm *bool  `json:"warm,omitempty"`
+}
+
+// RingLeaveRequest retires a ring member, named by node ID or by URL.
+// Warm (default true) drains the departing node's sealed buckets to
+// their new owners first; false declares the node dead (a kill — its
+// entries are lost and re-missed).
+type RingLeaveRequest struct {
+	Node *int   `json:"node,omitempty"`
+	URL  string `json:"url,omitempty"`
+	Warm *bool  `json:"warm,omitempty"`
+}
+
+// RingResponse is the fleet's current membership view.
+type RingResponse struct {
+	Epoch   uint64         `json:"epoch"`
+	Members []int          `json:"members"`
+	URLs    map[string]int `json:"urls"` // node URL -> ring node ID
+}
+
+// handleRingJoin admits a node into the ring. A URL that is already a
+// member answers 409: joining is not idempotent (each join mints a new
+// node ID), so the duplicate must be an operator error.
+func (s *RouterServer) handleRingJoin(w http.ResponseWriter, r *http.Request) {
+	var req RingJoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		http.Error(w, "ring join: need JSON body {\"url\": ...}", http.StatusBadRequest)
+		return
+	}
+	warm := req.Warm == nil || *req.Warm
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if node, ok := s.urls[req.URL]; ok {
+		http.Error(w, fmt.Sprintf("ring join: %s is already member %d", req.URL, node), http.StatusConflict)
+		return
+	}
+	rep, err := s.Router.Join(r.Context(), NewNodeProxy(req.URL, s.client, s.Reg), warm)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	s.urls[req.URL] = rep.Node
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rep)
+}
+
+// handleRingLeave retires a member (warm drain) or declares it dead.
+func (s *RouterServer) handleRingLeave(w http.ResponseWriter, r *http.Request) {
+	var req RingLeaveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || (req.Node == nil && req.URL == "") {
+		http.Error(w, "ring leave: need JSON body {\"node\": ...} or {\"url\": ...}", http.StatusBadRequest)
+		return
+	}
+	warm := req.Warm == nil || *req.Warm
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node := 0
+	switch {
+	case req.Node != nil:
+		node = *req.Node
+	default:
+		n, ok := s.urls[req.URL]
+		if !ok {
+			http.Error(w, fmt.Sprintf("ring leave: %s is not a member", req.URL), http.StatusNotFound)
+			return
+		}
+		node = n
+	}
+	rep, err := s.Router.Leave(r.Context(), node, warm)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	for url, n := range s.urls {
+		if n == node {
+			delete(s.urls, url)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rep)
+}
+
+// handleRing serves the current membership and epoch.
+func (s *RouterServer) handleRing(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	urls := make(map[string]int, len(s.urls))
+	for u, n := range s.urls {
+		urls[u] = n
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(RingResponse{
+		Epoch:   s.Router.Epoch(),
+		Members: s.Router.Members(),
+		URLs:    urls,
+	})
 }

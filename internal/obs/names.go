@@ -14,6 +14,12 @@ const (
 	MCacheUpdatesSeen   = "dssp_cache_updates_seen_total"
 	MCacheEntries       = "dssp_cache_entries" // gauge
 
+	// Migrated sealed entries taken in during a ring rebalance (label:
+	// tenant on multi-tenant nodes). Not stores: the entry was earned by
+	// a miss somewhere once; migration only rehomes it. Registered lazily
+	// on first import, so static fleets keep their metric shape.
+	MCacheImported = "dssp_cache_imported_entries_total"
+
 	// Invalidation routing instruments (label: tenant on multi-tenant
 	// nodes): buckets an invalidation pass inspected vs. buckets the
 	// routing index proved A = 0 and skipped.
@@ -81,6 +87,20 @@ const (
 	MRouterBroadcasts    = "dssp_router_broadcasts_total"
 	MRouterProxyErrors   = "dssp_router_proxy_errors_total"
 	MRouterNodeSeconds   = "dssp_router_node_seconds"
+
+	// Elastic-fleet instruments, registered lazily on first use (only
+	// deployments that change membership expose them). query_retries
+	// counts idempotent proxied queries re-sent once after a connection
+	// error — e.g. racing a just-joined node's listener. blind_cache_*
+	// count the router-side blind-key cache's warm pins served vs. ring
+	// recomputations; migrations counts committed membership changes
+	// (label: kind — join/leave/kill); migrated_entries counts sealed
+	// cache entries streamed between nodes during warm handoffs.
+	MRouterQueryRetries    = "dssp_router_query_retries_total"
+	MRouterBlindCacheHits  = "dssp_router_blind_cache_hits_total"
+	MRouterBlindCacheMiss  = "dssp_router_blind_cache_misses_total"
+	MRouterMigrations      = "dssp_router_ring_migrations_total"
+	MRouterMigratedEntries = "dssp_router_migrated_entries_total"
 
 	// Replicated home tier instruments, registered only when a node's
 	// transport is a ReplicaSet (so single-home deployments keep their

@@ -1,8 +1,9 @@
 package shard
 
 import (
+	"fmt"
 	"sort"
-	"sync/atomic"
+	"sync"
 
 	"dssp/internal/core"
 	"dssp/internal/invalidate"
@@ -17,29 +18,139 @@ import (
 // template; they are spread by their sealed lookup key (deterministic
 // under the application's keyring, so the same blind statement always
 // lands on the same node and still hits).
+//
+// The ring is epoch-stamped and membership is live: Stage computes the
+// diff to a new member set without changing routing, Commit flips the
+// epoch atomically (requests that resolved their owner before the flip
+// drain against the old owner — exactly what warm handoff wants, since
+// the old owner keeps the moved buckets until after the flip), and Abort
+// discards the staged view.
 type Affinity struct {
-	ring *Ring
+	mu     sync.RWMutex
+	epoch  uint64
+	ring   *Ring
+	staged *Ring // non-nil while a rebalance is staged
 }
 
-// NewAffinity builds the affinity map for an n-node fleet.
+// NewAffinity builds the affinity map for an n-node fleet with members
+// 0..n-1, at epoch 0.
 func NewAffinity(n int) *Affinity {
 	return &Affinity{ring: NewRing(n)}
 }
 
-// Nodes returns the fleet size.
-func (a *Affinity) Nodes() int { return a.ring.Nodes() }
+// NewAffinityMembers builds the affinity map for an explicit member set.
+func NewAffinityMembers(members []int) *Affinity {
+	return &Affinity{ring: NewRingMembers(members)}
+}
+
+// Nodes returns the current live member count.
+func (a *Affinity) Nodes() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.ring.Nodes()
+}
+
+// Members returns the sorted live node IDs.
+func (a *Affinity) Members() []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.ring.Members()
+}
+
+// IsMember reports whether node is currently live.
+func (a *Affinity) IsMember(node int) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.ring.Contains(node)
+}
+
+// Epoch returns the current ring epoch. It advances by one at every
+// committed membership change.
+func (a *Affinity) Epoch() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.epoch
+}
+
+// Ring returns the current ring.
+func (a *Affinity) Ring() *Ring {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.ring
+}
+
+// StagedRing returns the staged ring, if a rebalance is in progress.
+func (a *Affinity) StagedRing() (*Ring, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.staged, a.staged != nil
+}
+
+// RebalanceDiff describes a staged membership change: the epochs on
+// either side and the exact hash-space segments whose owner moves.
+type RebalanceDiff struct {
+	FromEpoch uint64
+	ToEpoch   uint64
+	Members   []int // the staged member set, sorted
+	Segments  []Segment
+}
+
+// Stage computes and stages a rebalance to a new member set. Routing is
+// unchanged until Commit; at most one rebalance may be staged at a time.
+func (a *Affinity) Stage(members []int) (*RebalanceDiff, error) {
+	next := NewRingMembers(members)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.staged != nil {
+		return nil, fmt.Errorf("shard: a rebalance is already staged")
+	}
+	a.staged = next
+	return &RebalanceDiff{
+		FromEpoch: a.epoch,
+		ToEpoch:   a.epoch + 1,
+		Members:   next.Members(),
+		Segments:  a.ring.Diff(next),
+	}, nil
+}
+
+// Commit atomically flips to the staged ring and returns the new epoch.
+// Owner resolutions made before the flip used the old ring (old-epoch
+// requests drain against the old owner); every resolution after it uses
+// the new one.
+func (a *Affinity) Commit() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.staged == nil {
+		panic("shard: Commit without a staged rebalance")
+	}
+	a.ring = a.staged
+	a.staged = nil
+	a.epoch++
+	return a.epoch
+}
+
+// Abort discards the staged rebalance, if any.
+func (a *Affinity) Abort() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.staged = nil
+}
 
 // OwnerOfTemplate returns the node owning a query template's bucket.
 func (a *Affinity) OwnerOfTemplate(id string) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.ring.Owner("tmpl\x00" + id)
 }
 
 // OwnerOfQuery returns the node a sealed query belongs to.
 func (a *Affinity) OwnerOfQuery(sq wire.SealedQuery) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if sq.TemplateID == "" {
 		return a.ring.Owner("blind\x00" + sq.Key)
 	}
-	return a.OwnerOfTemplate(sq.TemplateID)
+	return a.ring.Owner("tmpl\x00" + sq.TemplateID)
 }
 
 // ExecNode returns the node that forwards a sealed update to the home
@@ -49,10 +160,49 @@ func (a *Affinity) OwnerOfQuery(sq wire.SealedQuery) int {
 // encryption keeps stable per statement — keeps update forwarding load
 // off any single node.
 func (a *Affinity) ExecNode(su wire.SealedUpdate) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if su.TemplateID == "" {
 		return a.ring.Owner("blindu\x00" + string(su.Opaque))
 	}
 	return a.ring.Owner("upd\x00" + su.TemplateID)
+}
+
+// TemplateMove is one query template bucket whose owner changes in a
+// staged rebalance.
+type TemplateMove struct {
+	Template string
+	From     int
+	To       int
+}
+
+// MovePlan is everything a warm handoff needs: the ring diff plus the
+// template buckets it moves. Only the sealed entries of the listed
+// buckets travel; the keyring never does.
+type MovePlan struct {
+	Diff  *RebalanceDiff
+	Moves []TemplateMove
+}
+
+// MovesByFrom groups the moved templates by their current owner, the
+// node a warm handoff exports each bucket from. Template lists preserve
+// the application's template order, so export batches are deterministic.
+func (mp *MovePlan) MovesByFrom() map[int][]string {
+	byFrom := make(map[int][]string)
+	for _, m := range mp.Moves {
+		byFrom[m.From] = append(byFrom[m.From], m.Template)
+	}
+	return byFrom
+}
+
+// MovesByTo groups the moved templates by their next owner, the node a
+// warm handoff imports each bucket into.
+func (mp *MovePlan) MovesByTo() map[int][]string {
+	byTo := make(map[int][]string)
+	for _, m := range mp.Moves {
+		byTo[m.To] = append(byTo[m.To], m.Template)
+	}
+	return byTo
 }
 
 // Planner decides which nodes a completed update must reach. It
@@ -63,59 +213,99 @@ func (a *Affinity) ExecNode(su wire.SealedUpdate) int {
 // be blind-invalidated, and affinity cannot see inside them); updates
 // with hidden or unknown template IDs broadcast to every node, the
 // network-level analogue of the cache's blind invalidation.
+//
+// While a rebalance is staged, fan-out targets are the union of the
+// current and staged owners: entries already copied to their next owner
+// must see every invalidation that their still-serving old copy sees, or
+// the migrated copy would go stale during the handoff window.
 type Planner struct {
-	aff    *Affinity
-	idx    *invalidate.Router
-	owners map[string][]int // update template ID -> sorted target node set
+	aff      *Affinity
+	idx      *invalidate.Router
+	analysis *core.Analysis
 
-	// blindSeen[i] records that node i has been routed at least one blind
-	// query and may hold hidden-bucket entries.
-	blindSeen []atomic.Bool
+	mu            sync.RWMutex
+	owners        map[string][]int // update template ID -> sorted target node set
+	stagedOwners  map[string][]int // non-nil while a rebalance is staged
+	stagedMembers []int
+	// blindSeen records the nodes that have been routed at least one
+	// blind query and may hold hidden-bucket entries.
+	blindSeen map[int]bool
 }
 
 // NewPlanner precomputes the fan-out plan for a fleet from the
 // application's static analysis.
 func NewPlanner(aff *Affinity, analysis *core.Analysis) *Planner {
-	idx := invalidate.NewRouter(analysis)
 	p := &Planner{
 		aff:       aff,
-		idx:       idx,
-		owners:    make(map[string][]int, len(analysis.App.Updates)),
-		blindSeen: make([]atomic.Bool, aff.Nodes()),
+		idx:       invalidate.NewRouter(analysis),
+		analysis:  analysis,
+		blindSeen: make(map[int]bool),
 	}
-	for _, u := range analysis.App.Updates {
-		ids, ok := idx.Affected(u.ID)
+	p.owners = p.ownersFor(aff.Ring())
+	return p
+}
+
+// ownersFor computes the per-update-template target node sets under one
+// ring.
+func (p *Planner) ownersFor(ring *Ring) map[string][]int {
+	owners := make(map[string][]int, len(p.analysis.App.Updates))
+	for _, u := range p.analysis.App.Updates {
+		ids, ok := p.idx.Affected(u.ID)
 		if !ok {
 			continue
 		}
 		set := make(map[int]bool, len(ids))
 		for _, q := range ids {
-			set[aff.OwnerOfTemplate(q)] = true
+			set[ring.Owner("tmpl\x00"+q)] = true
 		}
 		nodes := make([]int, 0, len(set))
 		for n := range set {
 			nodes = append(nodes, n)
 		}
 		sort.Ints(nodes)
-		p.owners[u.ID] = nodes
+		owners[u.ID] = nodes
 	}
-	return p
+	return owners
 }
 
 // Affinity returns the fleet's ownership map.
 func (p *Planner) Affinity() *Affinity { return p.aff }
 
-// Nodes returns the fleet size.
+// Nodes returns the current live member count.
 func (p *Planner) Nodes() int { return p.aff.Nodes() }
+
+// Members returns the sorted live node IDs.
+func (p *Planner) Members() []int { return p.aff.Members() }
+
+// IsMember reports whether node is currently live.
+func (p *Planner) IsMember(node int) bool { return p.aff.IsMember(node) }
+
+// Epoch returns the current ring epoch.
+func (p *Planner) Epoch() uint64 { return p.aff.Epoch() }
 
 // NoteQuery returns the node that owns a sealed query, recording blind
 // traffic so later updates know which hidden buckets exist where.
 func (p *Planner) NoteQuery(sq wire.SealedQuery) int {
 	ni := p.aff.OwnerOfQuery(sq)
 	if sq.TemplateID == "" {
-		p.blindSeen[ni].Store(true)
+		p.NoteBlind(ni)
 	}
 	return ni
+}
+
+// NoteBlind records that a node was routed a blind query — by the ring
+// or by the router's blind-key cache pinning the key to its warm node —
+// so fan-out keeps covering its hidden buckets.
+func (p *Planner) NoteBlind(ni int) {
+	p.mu.RLock()
+	seen := p.blindSeen[ni]
+	p.mu.RUnlock()
+	if seen {
+		return
+	}
+	p.mu.Lock()
+	p.blindSeen[ni] = true
+	p.mu.Unlock()
 }
 
 // ExecNode returns the node that forwards the update to the home server.
@@ -123,29 +313,101 @@ func (p *Planner) ExecNode(su wire.SealedUpdate) int {
 	return p.aff.ExecNode(su)
 }
 
+// StageRebalance stages a membership change to a new member set and
+// returns the plan a warm handoff executes: the ring segment diff plus
+// the query template buckets whose owner moves. Until CommitRebalance,
+// queries and update execution keep routing on the current ring, while
+// fan-out targets widen to the union of both rings' owners.
+func (p *Planner) StageRebalance(members []int) (*MovePlan, error) {
+	diff, err := p.aff.Stage(members)
+	if err != nil {
+		return nil, err
+	}
+	staged, _ := p.aff.StagedRing()
+	cur := p.aff.Ring()
+	var moves []TemplateMove
+	for _, q := range p.analysis.App.Queries {
+		from := cur.Owner("tmpl\x00" + q.ID)
+		to := staged.Owner("tmpl\x00" + q.ID)
+		if from != to {
+			moves = append(moves, TemplateMove{Template: q.ID, From: from, To: to})
+		}
+	}
+	p.mu.Lock()
+	p.stagedOwners = p.ownersFor(staged)
+	p.stagedMembers = diff.Members
+	p.mu.Unlock()
+	return &MovePlan{Diff: diff, Moves: moves}, nil
+}
+
+// CommitRebalance flips the staged rebalance live and returns the new
+// epoch. Blind-seen marks for departed nodes are dropped with the
+// membership.
+func (p *Planner) CommitRebalance() uint64 {
+	epoch := p.aff.Commit()
+	live := make(map[int]bool)
+	for _, m := range p.aff.Members() {
+		live[m] = true
+	}
+	p.mu.Lock()
+	p.owners = p.stagedOwners
+	p.stagedOwners = nil
+	p.stagedMembers = nil
+	for ni := range p.blindSeen {
+		if !live[ni] {
+			delete(p.blindSeen, ni)
+		}
+	}
+	p.mu.Unlock()
+	return epoch
+}
+
+// AbortRebalance discards the staged rebalance, if any.
+func (p *Planner) AbortRebalance() {
+	p.aff.Abort()
+	p.mu.Lock()
+	p.stagedOwners = nil
+	p.stagedMembers = nil
+	p.mu.Unlock()
+}
+
 // Targets returns the sorted set of nodes whose caches a completed update
 // must be monitored on, and whether the plan is a blind broadcast (hidden
 // or unknown update template — every node must see it). The exec node is
 // not implicitly included: callers that route the update's execution
 // through a node's own update pathway get that node's invalidation for
-// free and fan the rest out.
+// free and fan the rest out. During a staged rebalance the set is the
+// union over both rings, so entries already streamed to their next owner
+// never miss an invalidation.
 func (p *Planner) Targets(su wire.SealedUpdate) (nodes []int, broadcast bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	owned, known := p.owners[su.TemplateID]
+	stagedOwned := p.stagedOwners[su.TemplateID] // nil when not staged
 	if su.TemplateID == "" || !known {
-		all := make([]int, p.Nodes())
-		for i := range all {
-			all[i] = i
+		set := make(map[int]bool)
+		for _, m := range p.aff.Members() {
+			set[m] = true
 		}
-		return all, true
+		for _, m := range p.stagedMembers {
+			set[m] = true
+		}
+		nodes = make([]int, 0, len(set))
+		for n := range set {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		return nodes, true
 	}
-	set := make(map[int]bool, len(owned)+1)
+	set := make(map[int]bool, len(owned)+len(stagedOwned)+len(p.blindSeen))
 	for _, n := range owned {
 		set[n] = true
 	}
-	for i := range p.blindSeen {
-		if p.blindSeen[i].Load() {
-			set[i] = true
-		}
+	for _, n := range stagedOwned {
+		set[n] = true
+	}
+	for n := range p.blindSeen {
+		set[n] = true
 	}
 	nodes = make([]int, 0, len(set))
 	for n := range set {

@@ -2,6 +2,8 @@ package shard
 
 import (
 	"context"
+	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -16,7 +18,10 @@ import (
 // surface only, because the router — untrusted, like the nodes — never
 // opens anything. Invalidate is the fan-out half of the update pathway:
 // the update is already confirmed at the home server and the node only
-// monitors it (no second execution).
+// monitors it (no second execution). The bucket methods move sealed
+// cache entries between nodes during a ring rebalance: everything that
+// travels is ciphertext plus routing metadata, so the router can warm a
+// new owner without ever holding a key.
 type Backend interface {
 	Query(ctx context.Context, sq wire.SealedQuery) (res wire.SealedResult, hit bool, err error)
 	Update(ctx context.Context, su wire.SealedUpdate) (affected, invalidated int, seq uint64, err error)
@@ -24,17 +29,38 @@ type Backend interface {
 	// target node can raise its freshness floor before it next serves a
 	// miss from a read replica.
 	Invalidate(ctx context.Context, su wire.SealedUpdate, seq uint64) (invalidated int, err error)
+	// ExportBuckets copies the sealed entries of the named template
+	// buckets, LRU-ordered (least recent first), without disturbing them.
+	ExportBuckets(ctx context.Context, templateIDs []string) ([]wire.BucketEntry, error)
+	// ImportBuckets inserts migrated sealed entries, skipping keys the
+	// node already holds, and returns how many it took.
+	ImportBuckets(ctx context.Context, entries []wire.BucketEntry) (int, error)
+	// DropBuckets removes the named template buckets after their entries
+	// have moved, returning how many entries were dropped. Not an
+	// invalidation: the decision log is untouched.
+	DropBuckets(ctx context.Context, templateIDs []string) (int, error)
 }
 
 // DefaultMaxFanout bounds how many invalidation pushes one update issues
 // concurrently.
 const DefaultMaxFanout = 4
 
+// DefaultRetryBackoff is the pause before the router's single re-send of
+// a failed idempotent proxied query.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
 // Options tune a Router.
 type Options struct {
 	// MaxFanout caps concurrent invalidation pushes per update batch.
 	// 0 means DefaultMaxFanout.
 	MaxFanout int
+	// BlindCacheSize bounds the router-side blind-key cache (sealed
+	// lookup key → node pins that survive ring changes). 0 means
+	// DefaultBlindCacheSize; negative disables the cache.
+	BlindCacheSize int
+	// RetryBackoff is the pause before the query path's single retry.
+	// 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // Router steers sealed traffic across a fleet of DSSP nodes. It
@@ -53,12 +79,33 @@ type Options struct {
 // concurrency bound, to the other nodes the Planner could not prove
 // untouched. Nodes outside the plan never hear about the update at all:
 // the skipped messages are the scale-out payoff of the static analysis.
+//
+// Membership is live: Join adds a node (optionally streaming the moved
+// template buckets' sealed entries to it first, so its cache is warm the
+// moment the epoch flips) and Leave removes one (optionally streaming
+// the departing node's buckets to their survivors). During the handoff
+// window invalidation fans out to the union of both epochs' owners, so a
+// migrated copy can never go stale before it starts serving.
 type Router struct {
-	planner  *Planner
-	backends []Backend
-	tracer   *obs.Tracer
-	reg      *obs.Registry
-	sem      chan struct{}
+	planner *Planner
+	tracer  *obs.Tracer
+	reg     *obs.Registry
+	sem     chan struct{}
+	backoff time.Duration
+
+	// bmu guards backends, keyed by node ID. IDs are never reused, so a
+	// ring point always refers to at most one backend ever.
+	bmu      sync.RWMutex
+	backends map[int]Backend
+
+	// migMu serializes membership changes; at most one join/leave/kill
+	// is in flight at a time. nextNode is the next never-used node ID —
+	// monotonic, so an ID freed by a leave is never minted again even
+	// after the fleet shrinks below it.
+	migMu    sync.Mutex
+	nextNode int
+
+	blind *BlindCache // nil when disabled
 
 	fanoutNodes   *obs.Histogram
 	fanoutSkipped *obs.Counter
@@ -75,34 +122,47 @@ type Router struct {
 
 // execResult is one confirmed update's exec-node outcome awaiting fan-out.
 type execResult struct {
-	inv int
-	seq uint64
+	inv  int
+	seq  uint64
+	exec int // the node whose pathway ran the update
 }
 
 // NewRouter builds a router over a fleet. backends must match the
-// planner's fleet size, index for index. tracer supplies the clock and
-// registry for the router's instruments; nil disables them.
+// planner's initial member list, index for index. tracer supplies the
+// clock and registry for the router's instruments; nil disables them.
 func NewRouter(planner *Planner, backends []Backend, tracer *obs.Tracer, opts Options) *Router {
-	if len(backends) != planner.Nodes() {
+	members := planner.Members()
+	if len(backends) != len(members) {
 		panic("shard: backend count does not match planner fleet size")
 	}
 	if opts.MaxFanout <= 0 {
 		opts.MaxFanout = DefaultMaxFanout
 	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
 	r := &Router{
 		planner:  planner,
-		backends: backends,
 		tracer:   tracer,
 		sem:      make(chan struct{}, opts.MaxFanout),
+		backoff:  opts.RetryBackoff,
+		backends: make(map[int]Backend, len(backends)),
 		execInv:  make(map[string][]execResult),
+	}
+	for i, b := range backends {
+		r.backends[members[i]] = b
+	}
+	r.nextNode = members[len(members)-1] + 1
+	if opts.BlindCacheSize >= 0 {
+		r.blind = NewBlindCache(opts.BlindCacheSize)
 	}
 	if tracer != nil {
 		r.reg = tracer.Registry()
 	}
 	if r.reg != nil {
 		// Eager registration: every routed deployment exposes the same
-		// metric shape, busy or idle. Per-node latency histograms are
-		// registered lazily per (node, kind) on first use.
+		// metric shape, busy or idle. Per-node latency histograms and the
+		// elastic-fleet counters are registered lazily on first use.
 		r.fanoutNodes = r.reg.Histogram(obs.MRouterFanoutNodes)
 		r.fanoutSkipped = r.reg.Counter(obs.MRouterFanoutSkipped)
 		r.broadcasts = r.reg.Counter(obs.MRouterBroadcasts)
@@ -112,6 +172,26 @@ func NewRouter(planner *Planner, backends []Backend, tracer *obs.Tracer, opts Op
 
 // Planner returns the router's fan-out planner.
 func (r *Router) Planner() *Planner { return r.planner }
+
+// Epoch returns the current ring epoch.
+func (r *Router) Epoch() uint64 { return r.planner.Epoch() }
+
+// Members returns the sorted live node IDs.
+func (r *Router) Members() []int { return r.planner.Members() }
+
+// backend returns the live backend for a node, or nil.
+func (r *Router) backend(ni int) Backend {
+	r.bmu.RLock()
+	defer r.bmu.RUnlock()
+	return r.backends[ni]
+}
+
+// count bumps a lazily-registered counter.
+func (r *Router) count(name string, labels ...obs.Label) {
+	if r.reg != nil {
+		r.reg.Counter(name, labels...).Inc()
+	}
+}
 
 // now reads the router's clock (zero without a tracer).
 func (r *Router) now() time.Duration {
@@ -136,9 +216,7 @@ func (r *Router) observeNode(ni int, kind string, start time.Duration) {
 // retry gave up). Registered lazily on first error, like the httpapi
 // error counters.
 func (r *Router) proxyError(kind string) {
-	if r.reg != nil {
-		r.reg.Counter(obs.MRouterProxyErrors, obs.L(obs.LKind, kind)).Inc()
-	}
+	r.count(obs.MRouterProxyErrors, obs.L(obs.LKind, kind))
 }
 
 // HandleQuery implements pipeline.Cache. The router caches nothing
@@ -152,21 +230,68 @@ func (r *Router) HandleQuery(wire.SealedQuery) (wire.SealedResult, bool) {
 // already stored the result on its own miss path.
 func (r *Router) StoreResult(wire.SealedQuery, wire.SealedResult, bool) {}
 
-// ExecQuery implements pipeline.Transport: proxy the sealed query to its
-// owning node and surface that node's hit/miss through the pipeline.
-func (r *Router) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
+// routeQuery resolves a sealed query's target node. Template traffic
+// follows the current ring. Blind traffic consults the blind-key cache
+// first: a remembered key keeps going to the node that built its entry
+// for as long as that node is live, so a ring change doesn't orphan warm
+// blind entries; the pin is re-recorded as blind-seen so invalidation
+// fan-out keeps covering it.
+func (r *Router) routeQuery(sq wire.SealedQuery) int {
+	if sq.TemplateID != "" || r.blind == nil {
+		return r.planner.NoteQuery(sq)
+	}
+	if ni, _, ok := r.blind.Lookup(sq.Key, r.planner.IsMember); ok {
+		r.count(obs.MRouterBlindCacheHits)
+		r.planner.NoteBlind(ni)
+		return ni
+	}
+	r.count(obs.MRouterBlindCacheMiss)
 	ni := r.planner.NoteQuery(sq)
-	// One route span per proxied call, labelled with the target node; the
-	// node's own spans nest under it via the forwarded ParentSpan.
+	r.blind.Put(sq.Key, ni, r.planner.Epoch())
+	return ni
+}
+
+// queryNode runs one proxied query attempt against a node, with its own
+// route span and latency sample.
+func (r *Router) queryNode(ctx context.Context, ni int, sq wire.SealedQuery) (wire.SealedResult, bool, error) {
+	b := r.backend(ni)
+	if b == nil {
+		return wire.SealedResult{}, false, fmt.Errorf("shard: node %d has no live backend", ni)
+	}
 	sp := r.tracer.StartSpan(sq.TraceID, sq.ParentSpan, obs.StageRoute, obs.Tmpl(sq.TemplateID)).
 		WithNode(strconv.Itoa(ni))
 	if id := sp.ID(); id != "" {
 		sq.ParentSpan = id
 	}
 	start := r.now()
-	res, hit, err := r.backends[ni].Query(ctx, sq)
+	res, hit, err := b.Query(ctx, sq)
 	sp.End()
 	r.observeNode(ni, obs.KindQuery, start)
+	return res, hit, err
+}
+
+// ExecQuery implements pipeline.Transport: proxy the sealed query to its
+// owning node and surface that node's hit/miss through the pipeline.
+// Queries are idempotent, so a failed proxy gets the same single
+// retry-with-backoff the invalidation fan-out already enjoys — after
+// re-resolving the owner, since the failure may be a membership change
+// (a just-joined node's listener still coming up, a killed node) that a
+// re-route fixes outright.
+func (r *Router) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(pipeline.ExecQueryResult, error)) {
+	ni := r.routeQuery(sq)
+	res, hit, err := r.queryNode(ctx, ni, sq)
+	if err != nil && ctx.Err() == nil {
+		r.count(obs.MRouterQueryRetries)
+		t := time.NewTimer(r.backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+		if ctx.Err() == nil {
+			res, hit, err = r.queryNode(ctx, r.routeQuery(sq), sq)
+		}
+	}
 	if err != nil {
 		r.proxyError(obs.KindQuery)
 		done(pipeline.ExecQueryResult{}, err)
@@ -182,13 +307,19 @@ func (r *Router) ExecQuery(ctx context.Context, sq wire.SealedQuery, done func(p
 // so no fan-out follows.
 func (r *Router) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func(pipeline.ExecUpdateResult, error)) {
 	exec := r.planner.ExecNode(su)
+	b := r.backend(exec)
+	if b == nil {
+		r.proxyError(obs.KindUpdate)
+		done(pipeline.ExecUpdateResult{}, fmt.Errorf("shard: exec node %d has no live backend", exec))
+		return
+	}
 	sp := r.tracer.StartSpan(su.TraceID, su.ParentSpan, obs.StageRoute, obs.Tmpl(su.TemplateID)).
 		WithNode(strconv.Itoa(exec))
 	if id := sp.ID(); id != "" {
 		su.ParentSpan = id
 	}
 	start := r.now()
-	affected, invalidated, seq, err := r.backends[exec].Update(ctx, su)
+	affected, invalidated, seq, err := b.Update(ctx, su)
 	sp.End()
 	r.observeNode(exec, obs.KindUpdate, start)
 	if err != nil {
@@ -197,19 +328,19 @@ func (r *Router) ExecUpdate(ctx context.Context, su wire.SealedUpdate, done func
 		return
 	}
 	r.mu.Lock()
-	r.execInv[su.TraceID] = append(r.execInv[su.TraceID], execResult{inv: invalidated, seq: seq})
+	r.execInv[su.TraceID] = append(r.execInv[su.TraceID], execResult{inv: invalidated, seq: seq, exec: exec})
 	r.mu.Unlock()
 	done(pipeline.ExecUpdateResult{Affected: affected, Seq: seq}, nil)
 }
 
 // popExecInv retrieves the stashed exec-node result for an update the
 // pipeline just confirmed.
-func (r *Router) popExecInv(trace string) execResult {
+func (r *Router) popExecInv(trace string) (execResult, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	stack := r.execInv[trace]
 	if len(stack) == 0 {
-		return execResult{}
+		return execResult{}, false
 	}
 	n := stack[len(stack)-1]
 	if len(stack) == 1 {
@@ -217,7 +348,7 @@ func (r *Router) popExecInv(trace string) execResult {
 	} else {
 		r.execInv[trace] = stack[:len(stack)-1]
 	}
-	return n
+	return n, true
 }
 
 // OnUpdateCompleted implements pipeline.Cache: the pipeline calls it once
@@ -242,19 +373,31 @@ func (r *Router) OnUpdatesCompleted(us []wire.SealedUpdate) []int {
 // except the exec node (whose own pathway already invalidated), in
 // parallel under the concurrency bound. A node that fails after retries
 // is counted and skipped — the batch still reaches the surviving nodes.
+// Backends are captured before the goroutines start, so a node leaving
+// mid-batch still receives this batch's push (its pipeline outlives its
+// membership by exactly the in-flight work).
 func (r *Router) fanOut(su wire.SealedUpdate) int {
-	exec := r.planner.ExecNode(su)
+	er, ok := r.popExecInv(su.TraceID)
+	exec := er.exec
+	if !ok {
+		// Nothing stashed (the exec node's pathway was bypassed); derive
+		// the exec node the same way ExecUpdate would today.
+		exec = r.planner.ExecNode(su)
+	}
 	targets, broadcast := r.planner.Targets(su)
 	if broadcast && r.broadcasts != nil {
 		r.broadcasts.Inc()
 	}
 
-	er := r.popExecInv(su.TraceID)
 	total := int64(er.inv)
 	touched := 1 // the exec node
 	var wg sync.WaitGroup
 	for _, ni := range targets {
 		if ni == exec {
+			continue
+		}
+		b := r.backend(ni)
+		if b == nil {
 			continue
 		}
 		touched++
@@ -270,7 +413,7 @@ func (r *Router) fanOut(su wire.SealedUpdate) int {
 				fsu.ParentSpan = id
 			}
 			start := r.now()
-			inv, err := r.backends[ni].Invalidate(context.Background(), fsu, er.seq)
+			inv, err := b.Invalidate(context.Background(), fsu, er.seq)
 			sp.End()
 			r.observeNode(ni, obs.KindInvalidate, start)
 			if err != nil {
@@ -291,4 +434,172 @@ func (r *Router) fanOut(su wire.SealedUpdate) int {
 		r.fanoutSkipped.Add(int64(skipped))
 	}
 	return int(atomic.LoadInt64(&total))
+}
+
+// MigrationReport summarizes one committed membership change.
+type MigrationReport struct {
+	Kind    string `json:"kind"` // "join", "leave", or "kill"
+	Node    int    `json:"node"`
+	Epoch   uint64 `json:"epoch"` // the epoch the fleet is on after the flip
+	Warm    bool   `json:"warm"`  // sealed entries were streamed
+	Moved   int    `json:"moved_templates"`
+	Entries int    `json:"entries_migrated"`
+	Members []int  `json:"members"`
+}
+
+// Join adds a node to the live ring and returns its assigned ID. With
+// warm set, the moved template buckets' sealed entries stream from their
+// current owners into the new node before the epoch flips: requests that
+// resolved on the old epoch drain against the old owner (which keeps its
+// copies until after the flip), invalidation fans out to both owners
+// during the window, and the first post-flip query on a moved bucket is
+// a hit. Without warm, the new node starts cold and re-earns every entry
+// from the home tier.
+func (r *Router) Join(ctx context.Context, b Backend, warm bool) (*MigrationReport, error) {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+	members := r.planner.Members()
+	node := r.nextNode // IDs are never reused, even after a leave
+	r.nextNode++       // burned even if the join aborts: the ID may have seen fan-out
+	plan, err := r.planner.StageRebalance(append(members, node))
+	if err != nil {
+		return nil, err
+	}
+	r.bmu.Lock()
+	r.backends[node] = b
+	r.bmu.Unlock()
+
+	entries := 0
+	byFrom := plan.MovesByFrom()
+	if warm {
+		entries, err = r.migrate(ctx, byFrom, r.backend, func(int) Backend { return b })
+		if err != nil {
+			r.planner.AbortRebalance()
+			r.bmu.Lock()
+			delete(r.backends, node)
+			r.bmu.Unlock()
+			return nil, fmt.Errorf("shard: warm handoff to joining node %d: %w", node, err)
+		}
+	}
+	epoch := r.planner.CommitRebalance()
+	if warm {
+		r.dropMigrated(ctx, byFrom)
+	}
+	r.count(obs.MRouterMigrations, obs.L(obs.LKind, "join"))
+	return r.report("join", node, epoch, warm, plan, entries), nil
+}
+
+// Leave removes a live node from the ring. With warm set, the departing
+// node's buckets stream to their new owners before the flip — a graceful
+// drain. Without warm — a kill — the node's entries are simply lost and
+// its keys re-hash cold; use KindKill in reports to tell them apart.
+func (r *Router) Leave(ctx context.Context, node int, warm bool) (*MigrationReport, error) {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+	members := r.planner.Members()
+	rest := make([]int, 0, len(members))
+	for _, m := range members {
+		if m != node {
+			rest = append(rest, m)
+		}
+	}
+	if len(rest) == len(members) {
+		return nil, fmt.Errorf("shard: node %d is not a member", node)
+	}
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("shard: cannot remove the last node")
+	}
+	plan, err := r.planner.StageRebalance(rest)
+	if err != nil {
+		return nil, err
+	}
+	entries := 0
+	if warm {
+		// Every moved bucket comes from the departing node; group by the
+		// receiving owner instead.
+		entries, err = r.migrate(ctx, plan.MovesByTo(), func(int) Backend { return r.backend(node) }, r.backend)
+		if err != nil {
+			r.planner.AbortRebalance()
+			return nil, fmt.Errorf("shard: warm drain of leaving node %d: %w", node, err)
+		}
+	}
+	epoch := r.planner.CommitRebalance()
+	r.bmu.Lock()
+	delete(r.backends, node)
+	r.bmu.Unlock()
+	if r.blind != nil {
+		r.blind.DropNode(node)
+	}
+	kind := "leave"
+	if !warm {
+		kind = "kill"
+	}
+	r.count(obs.MRouterMigrations, obs.L(obs.LKind, kind))
+	return r.report(kind, node, epoch, warm, plan, entries), nil
+}
+
+// migrate streams bucket entries between nodes, one export/import per
+// group key, in deterministic order. For a join the groups are the old
+// owners (each exports its moved buckets to the fixed new node); for a
+// leave they are the receiving owners (the fixed departing node exports
+// each group to its survivor).
+func (r *Router) migrate(ctx context.Context, groups map[int][]string, from, to func(int) Backend) (int, error) {
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	entries := 0
+	for _, k := range keys {
+		src, dst := from(k), to(k)
+		if src == nil || dst == nil {
+			continue
+		}
+		es, err := src.ExportBuckets(ctx, groups[k])
+		if err != nil {
+			return entries, err
+		}
+		if len(es) == 0 {
+			continue
+		}
+		n, err := dst.ImportBuckets(ctx, es)
+		if err != nil {
+			return entries, err
+		}
+		entries += n
+	}
+	if entries > 0 && r.reg != nil {
+		r.reg.Counter(obs.MRouterMigratedEntries).Add(int64(entries))
+	}
+	return entries, nil
+}
+
+// dropMigrated removes migrated buckets from their old owners after the
+// flip. Failures are tolerated: a leftover copy only wastes space and
+// keeps receiving fan-out until its entries age out.
+func (r *Router) dropMigrated(ctx context.Context, byFrom map[int][]string) {
+	keys := make([]int, 0, len(byFrom))
+	for k := range byFrom {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if b := r.backend(k); b != nil {
+			if _, err := b.DropBuckets(ctx, byFrom[k]); err != nil {
+				r.proxyError(obs.KindInvalidate)
+			}
+		}
+	}
+}
+
+func (r *Router) report(kind string, node int, epoch uint64, warm bool, plan *MovePlan, entries int) *MigrationReport {
+	return &MigrationReport{
+		Kind:    kind,
+		Node:    node,
+		Epoch:   epoch,
+		Warm:    warm,
+		Moved:   len(plan.Moves),
+		Entries: entries,
+		Members: r.planner.Members(),
+	}
 }

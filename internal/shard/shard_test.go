@@ -158,6 +158,10 @@ type fakeBackend struct {
 	affected    int
 	invalidated int
 	fail        error
+
+	// buckets is a toy bucket store so migration paths are exercisable
+	// without a real cache.
+	buckets map[string][]wire.BucketEntry
 }
 
 func (f *fakeBackend) Query(_ context.Context, sq wire.SealedQuery) (wire.SealedResult, bool, error) {
@@ -180,6 +184,45 @@ func (f *fakeBackend) Invalidate(_ context.Context, su wire.SealedUpdate, _ uint
 	f.invalidates = append(f.invalidates, su)
 	f.mu.Unlock()
 	return f.invalidated, f.fail
+}
+
+func (f *fakeBackend) ExportBuckets(_ context.Context, ids []string) ([]wire.BucketEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return nil, f.fail
+	}
+	var out []wire.BucketEntry
+	for _, id := range ids {
+		out = append(out, f.buckets[id]...)
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) ImportBuckets(_ context.Context, entries []wire.BucketEntry) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return 0, f.fail
+	}
+	if f.buckets == nil {
+		f.buckets = make(map[string][]wire.BucketEntry)
+	}
+	for _, e := range entries {
+		f.buckets[e.Query.TemplateID] = append(f.buckets[e.Query.TemplateID], e)
+	}
+	return len(entries), nil
+}
+
+func (f *fakeBackend) DropBuckets(_ context.Context, ids []string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		n += len(f.buckets[id])
+		delete(f.buckets, id)
+	}
+	return n, nil
 }
 
 // routedFixture builds a router over fake backends and the pipeline in

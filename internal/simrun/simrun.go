@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"time"
 
@@ -65,6 +66,15 @@ type Config struct {
 	// round-robin node and updates broadcast — the pre-scale-out model.
 	Affinity bool
 
+	// Fleet schedules ring-membership changes on virtual time, mirroring
+	// the HTTP router's live join/leave/kill pathway in the simulator.
+	// Valid only with Affinity (membership is meaningless without the
+	// ownership ring). Events may be given in any order; each fires at
+	// its virtual offset. Migration itself is treated as a control-plane
+	// action with no virtual-time cost — what the simulation measures is
+	// the traffic's hit-rate response, not the handoff's bandwidth.
+	Fleet []FleetEvent
+
 	// MonitorInterval batches each node's invalidation per monitoring
 	// interval, on virtual time: confirmed updates accumulate in the
 	// node's pipeline batcher and are applied together when the interval
@@ -108,6 +118,20 @@ type Config struct {
 	// node trust boundary (on virtual time); the audit lands in
 	// Result.Leakage.
 	Leakage bool
+}
+
+// FleetEvent is one scheduled ring-membership change. Kind "join" adds
+// a node (its ID is minted by the ring: one past the highest member ever
+// admitted); "leave" retires the named member; "kill" removes it as a
+// failure. Warm, on a join, streams the moved template buckets' sealed
+// entries from their old owners before the epoch flips; on a leave it
+// drains the departing node's buckets to their survivors. A kill never
+// migrates — the dead node's entries are simply lost and re-missed.
+type FleetEvent struct {
+	At   time.Duration
+	Kind string // "join", "leave", or "kill"
+	Node int    // the member to remove (leave/kill); ignored for join
+	Warm bool
 }
 
 // DefaultConfig fills in the paper's §5.2 parameters for a benchmark.
@@ -164,6 +188,10 @@ type Result struct {
 	// PerNode holds each node's own cache counters, in fleet order — the
 	// per-node hit rates the sim↔HTTP scale-out parity test compares.
 	PerNode []cache.Stats
+
+	// MigratedEntries counts the sealed cache entries streamed between
+	// node caches by warm Fleet events (joins and drains).
+	MigratedEntries int
 
 	// FanoutMessages and FanoutSkipped count, in Affinity mode, the
 	// cross-node invalidation messages actually sent versus the ones the
@@ -287,7 +315,13 @@ func (t *simTransport) ExecUpdate(_ context.Context, su wire.SealedUpdate, done 
 					}
 				}
 				t.res.FanoutMessages += len(targets)
-				t.res.FanoutSkipped += len(t.pipes) - len(targets) - 1
+				// Skipped counts against the live member count, not the
+				// preallocated fleet arrays — nodes that have left (or not
+				// yet joined) were never candidates. During a handoff
+				// window the union plan can exceed the live set, so clamp.
+				if skipped := t.planner.Nodes() - len(targets) - 1; skipped > 0 {
+					t.res.FanoutSkipped += skipped
+				}
 			} else {
 				for oi := range t.pipes {
 					if oi != t.self {
@@ -366,6 +400,23 @@ func Simulate(cfg Config) (*Result, error) {
 	if cfg.HomePartitions <= 0 {
 		cfg.HomePartitions = 1
 	}
+	joins := 0
+	for _, ev := range cfg.Fleet {
+		switch ev.Kind {
+		case "join":
+			joins++
+		case "leave", "kill":
+		default:
+			return nil, fmt.Errorf("simrun: fleet event kind %q (want join, leave, or kill)", ev.Kind)
+		}
+	}
+	if len(cfg.Fleet) > 0 && !cfg.Affinity {
+		return nil, fmt.Errorf("simrun: Fleet events need Affinity (membership is meaningless without the ownership ring)")
+	}
+	// Node IDs are never reused: every join mints one past the highest ID
+	// ever admitted, so the fleet arrays are sized for the whole run up
+	// front (slots beyond the live set stay nil until their join fires).
+	maxNodes := cfg.Nodes + joins
 	nParts := cfg.HomePartitions
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	app := cfg.Benchmark.App()
@@ -396,12 +447,10 @@ func Simulate(cfg Config) (*Result, error) {
 
 	cacheOpts := cfg.CacheOpts
 	cacheOpts.Obs = reg
-	nodes := make([]*dssp.Node, cfg.Nodes)
-	for i := range nodes {
+	nodes := make([]*dssp.Node, maxNodes)
+	nodeCPUs := make([]*sim.Server, maxNodes)
+	for i := 0; i < cfg.Nodes; i++ {
 		nodes[i] = dssp.NewNode(app, analysis, cacheOpts)
-	}
-	nodeCPUs := make([]*sim.Server, cfg.Nodes)
-	for i := range nodeCPUs {
 		nodeCPUs[i] = sim.NewServer(&world, cfg.Costs.DSSPCapacity)
 	}
 
@@ -500,9 +549,15 @@ func Simulate(cfg Config) (*Result, error) {
 	// One pipeline per node — the same pathway every other deployment
 	// routes through — over a virtual-time transport. The pipes slice is
 	// shared with every transport before it is filled: fan-out only runs
-	// once the world does, when all pipelines exist.
-	pipes := make([]*pipeline.Pipeline, cfg.Nodes)
-	for i := range pipes {
+	// once the world does, when all pipelines exist. buildNode also serves
+	// joins mid-run: a joining node's slot was preallocated, so filling it
+	// is visible to every transport holding the slice.
+	pipes := make([]*pipeline.Pipeline, maxNodes)
+	buildNode := func(i int) {
+		if nodes[i] == nil {
+			nodes[i] = dssp.NewNode(app, analysis, cacheOpts)
+			nodeCPUs[i] = sim.NewServer(&world, cfg.Costs.DSSPCapacity)
+		}
 		nodeTracer := obs.NewTracer(reg, clock).
 			SetIdentity(obs.ProcNode, strconv.Itoa(i)).SetStore(store)
 		popts := pipeline.Options{
@@ -541,6 +596,63 @@ func Simulate(cfg Config) (*Result, error) {
 			partTransports[p] = transport
 		}
 		pipes[i] = pipeline.New(nodes[i], pipeline.NewPartitionedTransport(partTransports), nodeTracer, popts)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		buildNode(i)
+	}
+
+	// Fleet events, on virtual time. Warm handoffs move sealed entries
+	// directly between node caches — the in-process mirror of the HTTP
+	// deployment's export/import streams — and the epoch flips only after
+	// the copies land, so a migrated entry is serving the moment its new
+	// owner first gets asked. Source buckets are dropped after the flip.
+	for _, ev := range cfg.Fleet {
+		ev := ev
+		world.After(ev.At, func() {
+			members := planner.Members()
+			switch ev.Kind {
+			case "join":
+				ni := members[len(members)-1] + 1
+				buildNode(ni)
+				plan, err := planner.StageRebalance(append(members, ni))
+				if err != nil {
+					panic(fmt.Sprintf("simrun: fleet join: %v", err))
+				}
+				byFrom := plan.MovesByFrom()
+				if ev.Warm {
+					for _, from := range sortedKeys(byFrom) {
+						res.MigratedEntries += nodes[ni].Cache.ImportBuckets(nodes[from].Cache.ExportBuckets(byFrom[from]))
+					}
+				}
+				planner.CommitRebalance()
+				if ev.Warm {
+					for _, from := range sortedKeys(byFrom) {
+						nodes[from].Cache.DropBuckets(byFrom[from])
+					}
+				}
+			case "leave", "kill":
+				rest := make([]int, 0, len(members))
+				for _, m := range members {
+					if m != ev.Node {
+						rest = append(rest, m)
+					}
+				}
+				if len(rest) == len(members) || len(rest) == 0 {
+					panic(fmt.Sprintf("simrun: fleet %s: node %d not removable from members %v", ev.Kind, ev.Node, members))
+				}
+				plan, err := planner.StageRebalance(rest)
+				if err != nil {
+					panic(fmt.Sprintf("simrun: fleet %s: %v", ev.Kind, err))
+				}
+				if ev.Kind == "leave" && ev.Warm {
+					byTo := plan.MovesByTo()
+					for _, to := range sortedKeys(byTo) {
+						res.MigratedEntries += nodes[to].Cache.ImportBuckets(nodes[ev.Node].Cache.ExportBuckets(byTo[to]))
+					}
+				}
+				planner.CommitRebalance()
+			}
+		})
 	}
 
 	// clientDelay models the per-client duplex access link (no cross-
@@ -651,6 +763,9 @@ func Simulate(cfg Config) (*Result, error) {
 	world.Run(cfg.Duration)
 
 	for _, n := range nodes {
+		if n == nil {
+			continue // preallocated slot whose join never fired
+		}
 		st := n.Cache.Stats()
 		res.PerNode = append(res.PerNode, st)
 		res.Cache.Hits += st.Hits
@@ -683,6 +798,18 @@ func Simulate(cfg Config) (*Result, error) {
 		res.Leakage = &rep
 	}
 	return res, nil
+}
+
+// sortedKeys returns a migration group map's node keys in ascending
+// order, so warm handoffs run in a deterministic order (map iteration
+// would otherwise vary the import order, and with it LRU state).
+func sortedKeys(m map[int][]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // UniformExposures assigns one exposure level to every template (capped at

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"dssp/internal/engine"
+	"dssp/internal/sqlparse"
+	"dssp/internal/template"
+)
+
+func bucketFixtures() []BucketEntry {
+	return []BucketEntry{
+		{ // sealed result, exposed template, mixed params
+			Query: SealedQuery{
+				Exposure:   template.ExpStmt,
+				TemplateID: "Q2",
+				Group:      3,
+				Params:     []sqlparse.Value{sqlparse.IntVal(5), sqlparse.StringVal("bear"), sqlparse.FloatVal(2.5)},
+				Key:        "Q2\x005",
+				Opaque:     []byte("opaque-cipher"),
+			},
+			Result:  SealedResult{Cipher: []byte("ciphertext")},
+			Ordinal: 0,
+		},
+		{ // view-exposure plaintext result
+			Query: SealedQuery{
+				Exposure:   template.ExpView,
+				TemplateID: "Q1",
+				Key:        "Q1\x00bear",
+			},
+			Result: SealedResult{Result: &engine.Result{
+				Columns: []string{"toy_id"},
+				Rows:    [][]sqlparse.Value{{sqlparse.IntVal(7)}},
+			}},
+			Ordinal: 1,
+		},
+		{ // blind entry: no template, no result body
+			Query: SealedQuery{
+				Exposure: template.ExpBlind,
+				Key:      "blind-token",
+				Opaque:   []byte{0x00, 0xff, 0x01},
+			},
+			Ordinal: 12345,
+		},
+	}
+}
+
+func TestBucketEntriesRoundTrip(t *testing.T) {
+	want := bucketFixtures()
+	enc := AppendBucketEntries(nil, want)
+	got, err := DecodeBucketEntries(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got: %+v\nwant: %+v", got, want)
+	}
+	// Decoded entries must not alias the encoding: the migration path
+	// reuses request buffers after decode.
+	for i := range enc {
+		enc[i] = 0xAA
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("decoded entries alias the wire buffer")
+	}
+}
+
+func TestBucketEntriesEmpty(t *testing.T) {
+	enc := AppendBucketEntries(nil, nil)
+	got, err := DecodeBucketEntries(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d entries from an empty stream", len(got))
+	}
+}
+
+func TestBucketEntriesRejectMalformed(t *testing.T) {
+	enc := AppendBucketEntries(nil, bucketFixtures())
+	if _, err := DecodeBucketEntries(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeBucketEntries(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// n=1, exposure, empty template/params/key/opaque, then result tag 9.
+	if _, err := DecodeBucketEntries([]byte{1, 0, 0, 0, 0, 0, 0, 9}); err == nil {
+		t.Error("unknown result tag accepted")
+	}
+}
+
+func TestTemplateIDsRoundTrip(t *testing.T) {
+	for _, ids := range [][]string{nil, {"Q1"}, {"Q1", "Q2", "a long template identifier"}} {
+		got, err := DecodeTemplateIDs(AppendTemplateIDs(nil, ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("round trip %v -> %v", ids, got)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("round trip %v -> %v", ids, got)
+			}
+		}
+	}
+	if _, err := DecodeTemplateIDs(append(AppendTemplateIDs(nil, []string{"Q1"}), 'x')); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

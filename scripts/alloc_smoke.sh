@@ -19,6 +19,8 @@ command -v jq >/dev/null || { echo "alloc_smoke: jq is required" >&2; exit 1; }
 out=$(go test -run '^$' -bench 'BenchmarkSeal$|BenchmarkOpen$' -benchmem -benchtime 200x ./internal/encrypt)
 out+=$'\n'
 out+=$(go test -run '^$' -bench 'BenchmarkOnUpdateBatch' -benchmem -benchtime 200x ./internal/cache)
+out+=$'\n'
+out+=$(go test -run '^$' -bench 'BenchmarkRingOwner$' -benchmem -benchtime 200x ./internal/shard)
 printf '%s\n' "$out"
 
 fail=0
